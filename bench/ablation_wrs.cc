@@ -1,0 +1,42 @@
+/**
+ * @file
+ * §4.3.1 ablation: the degree-2 WRS polynomial vs a degree-1 linear
+ * combination vs the OutputOnly knob, at high load.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Ablation — WRS formula (§4.3.1)",
+                  "the degree-2 polynomial improves performance by up to "
+                  "~10% over a degree-1 combination");
+
+    auto tb = bench::makeTestbed(100);
+    const auto trace = tb.trace(9.0, 300.0);
+    std::printf("%-22s %12s %12s\n", "wrs form", "p99ttft(s)",
+                "p50ttft(s)");
+    double degree2 = 0.0;
+    double degree1 = 0.0;
+    for (const auto &[name, kind] :
+         std::vector<std::pair<const char *, core::SystemKind>>{
+             {"degree-2 (paper)", core::SystemKind::Chameleon},
+             {"degree-1 linear", core::SystemKind::ChameleonDegree1},
+             {"output-only", core::SystemKind::ChameleonOutputOnly}}) {
+        const auto result = bench::run(tb, kind, trace);
+        std::printf("%-22s %12.2f %12.2f\n", name,
+                    result.stats.ttft.p99(), result.stats.ttft.p50());
+        if (kind == core::SystemKind::Chameleon)
+            degree2 = result.stats.ttft.p99();
+        if (kind == core::SystemKind::ChameleonDegree1)
+            degree1 = result.stats.ttft.p99();
+    }
+    std::printf("\ndegree-2 vs degree-1: %.1f%% better P99 TTFT\n",
+                100.0 * (1.0 - degree2 / degree1));
+    return 0;
+}

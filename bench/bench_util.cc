@@ -1,0 +1,102 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "simkit/check.h"
+
+namespace chameleon::bench {
+
+workload::Trace
+Testbed::trace(double rps, double seconds, std::uint64_t seed) const
+{
+    workload::TraceGenConfig cfg = wl;
+    cfg.rps = rps;
+    cfg.durationSeconds = seconds;
+    cfg.seed = seed;
+    workload::TraceGenerator gen(cfg, pool.get());
+    return gen.generate();
+}
+
+model::CostModel
+Testbed::costModel() const
+{
+    return model::CostModel(cfg.engine.model, cfg.engine.gpu,
+                            cfg.engine.tpDegree, cfg.engine.cost);
+}
+
+double
+Testbed::sloSeconds(const workload::Trace &t) const
+{
+    const auto cost = costModel();
+    return sim::toSeconds(serving::computeSlo(t, cost, pool.get()));
+}
+
+Testbed
+makeTestbed(int numAdapters)
+{
+    Testbed tb;
+    tb.cfg.engine.model = model::llama7B();
+    tb.cfg.engine.gpu = model::a40();
+    tb.wl = workload::splitwiseLike();
+    tb.wl.numAdapters = numAdapters;
+    if (numAdapters > 0)
+        tb.pool = std::make_unique<model::AdapterPool>(tb.cfg.engine.model,
+                                                       numAdapters);
+    return tb;
+}
+
+Testbed
+makeA100Testbed(const model::ModelSpec &model, int memGiB, int numAdapters,
+                int tpDegree)
+{
+    Testbed tb;
+    tb.cfg.engine.model = model;
+    tb.cfg.engine.gpu = model::a100(memGiB);
+    tb.cfg.engine.tpDegree = tpDegree;
+    tb.wl = workload::splitwiseLike();
+    tb.wl.numAdapters = numAdapters;
+    if (numAdapters > 0)
+        tb.pool = std::make_unique<model::AdapterPool>(model, numAdapters);
+    return tb;
+}
+
+core::RunResult
+run(const Testbed &tb, core::SystemKind kind, const workload::Trace &trace)
+{
+    return core::runSystem(kind, tb.cfg, tb.pool.get(), trace);
+}
+
+void
+banner(const std::string &figure, const std::string &paperClaim)
+{
+    std::printf("================================================================\n");
+    std::printf("%s\n", figure.c_str());
+    std::printf("paper: %s\n", paperClaim.c_str());
+    std::printf("================================================================\n");
+}
+
+std::vector<std::pair<double, double>>
+sweepLoads(const Testbed &tb, core::SystemKind kind,
+           const std::vector<double> &rpsList, const std::string &metric,
+           double traceSeconds)
+{
+    std::vector<std::pair<double, double>> out;
+    for (double rps : rpsList) {
+        const auto trace = tb.trace(rps, traceSeconds);
+        const auto result = run(tb, kind, trace);
+        double value = 0.0;
+        if (metric == "p99ttft") {
+            value = result.stats.ttft.p99();
+        } else if (metric == "p50ttft") {
+            value = result.stats.ttft.p50();
+        } else if (metric == "p99tbt") {
+            value = result.stats.tbt.p99();
+        } else {
+            CHM_FATAL("unknown sweep metric: " << metric);
+        }
+        out.emplace_back(rps, value);
+    }
+    return out;
+}
+
+} // namespace chameleon::bench

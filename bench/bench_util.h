@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benchmarks.
+ *
+ * Every bench binary regenerates one table/figure of the paper's
+ * evaluation on the standard testbed configuration (§5.1): Llama-7B on
+ * an A40-48GB GPU, Na=100 adapters with ranks {8,16,32,64,128}, uniform
+ * rank popularity and power-law adapter popularity, Poisson arrivals
+ * with Splitwise-like length distributions. Output is a plain-text
+ * table on stdout with "paper reports" annotations so EXPERIMENTS.md
+ * can record paper-vs-measured per experiment.
+ */
+
+#ifndef CHAMELEON_BENCH_BENCH_UTIL_H
+#define CHAMELEON_BENCH_BENCH_UTIL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chameleon/system.h"
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "serving/slo.h"
+#include "workload/trace_gen.h"
+
+namespace chameleon::bench {
+
+/** Paper load levels (§5.2): low / medium / high RPS on the A40. */
+constexpr double kLowRps = 6.0;
+constexpr double kMediumRps = 8.0;
+constexpr double kHighRps = 9.5;
+
+/** Standard single-GPU testbed: pool + config + workload template. */
+struct Testbed
+{
+    std::unique_ptr<model::AdapterPool> pool;
+    core::SystemConfig cfg;
+    workload::TraceGenConfig wl;
+
+    /** Generate the trace for a given load. */
+    workload::Trace trace(double rps, double seconds,
+                          std::uint64_t seed = 42) const;
+
+    /** The paper's TTFT SLO: 5x mean isolated E2E for this workload. */
+    double sloSeconds(const workload::Trace &t) const;
+
+    /** Cost model matching the engine configuration. */
+    model::CostModel costModel() const;
+};
+
+/** Llama-7B / A40 / Na adapters / Splitwise-like workload (§5.1). */
+Testbed makeTestbed(int numAdapters = 100);
+
+/** Testbed on an A100 with the given memory and base model. */
+Testbed makeA100Testbed(const model::ModelSpec &model, int memGiB,
+                        int numAdapters, int tpDegree = 1);
+
+/** Run one system over a trace. */
+core::RunResult run(const Testbed &tb, core::SystemKind kind,
+                    const workload::Trace &trace);
+
+/** Print a figure banner with the paper's headline expectation. */
+void banner(const std::string &figure, const std::string &paperClaim);
+
+/**
+ * Sweep loads and return (rps, metric) rows for a system.
+ * metric: "p99ttft" | "p50ttft" | "p99tbt".
+ */
+std::vector<std::pair<double, double>> sweepLoads(
+    const Testbed &tb, core::SystemKind kind,
+    const std::vector<double> &rpsList, const std::string &metric,
+    double traceSeconds = 240.0);
+
+} // namespace chameleon::bench
+
+#endif // CHAMELEON_BENCH_BENCH_UTIL_H

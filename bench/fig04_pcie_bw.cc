@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 4: normalised PCIe bandwidth consumption under S-LoRA for
+ * environments with 1 / 50 / 500 distinct rank-32 adapters at loads of
+ * 5..8 RPS. Normalised to LoRA-1 at 5 RPS, as in the paper.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+namespace {
+
+/** Testbed with `n` rank-32 adapters, uniform popularity. */
+bench::Testbed
+rank32Testbed(int n)
+{
+    bench::Testbed tb = bench::makeTestbed(0);
+    tb.pool = std::make_unique<model::AdapterPool>(
+        tb.cfg.engine.model, std::vector<int>(n, 32));
+    tb.wl.numAdapters = n;
+    tb.wl.rankPopularity = workload::Popularity::Uniform;
+    tb.wl.adapterPopularity = workload::Popularity::Uniform;
+    return tb;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4 — PCIe bandwidth vs load and adapter count",
+                  "bandwidth consumption grows steeply from LoRA-1 to "
+                  "LoRA-50 and LoRA-500; P99 TTFT of LoRA-50/LoRA-500 is "
+                  "1.69x/2.60x LoRA-1 at 8 RPS");
+
+    const std::vector<int> pools{1, 50, 500};
+    const std::vector<double> loads{5, 6, 7, 8};
+
+    double baseline = 0.0; // LoRA-1 @ 5 RPS mean PCIe rate
+    std::printf("%8s %10s %16s %14s %12s\n", "pool", "rps",
+                "pcie(MB/s)", "norm.bw", "p99ttft(s)");
+    std::vector<double> p99_at8;
+    for (int n : pools) {
+        const auto tb = rank32Testbed(n);
+        for (double rps : loads) {
+            const auto trace = tb.trace(rps, 240.0);
+            const auto result =
+                bench::run(tb, core::SystemKind::SLora, trace);
+            const double rate = result.pcieMeanBytesPerSec;
+            if (baseline == 0.0)
+                baseline = std::max(rate, 1.0);
+            std::printf("%8d %10.0f %16.1f %14.1f %12.2f\n", n, rps,
+                        rate / 1e6, rate / baseline,
+                        result.stats.ttft.p99());
+            if (rps == 8.0)
+                p99_at8.push_back(result.stats.ttft.p99());
+        }
+    }
+    if (p99_at8.size() == 3 && p99_at8[0] > 0) {
+        std::printf("\nP99 TTFT at 8 RPS vs LoRA-1: LoRA-50 %.2fx "
+                    "(paper 1.69x), LoRA-500 %.2fx (paper 2.60x)\n",
+                    p99_at8[1] / p99_at8[0], p99_at8[2] / p99_at8[0]);
+    }
+    return 0;
+}

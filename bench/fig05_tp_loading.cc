@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 5: adapter-loading share of the TTFT for Llama-70B under
+ * tensor parallelism (TP2/4/8 on A100s), for ranks 8..128.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/cost_model.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Figure 5 — adapter loading share of TTFT, Llama-70B",
+                  "loading share grows with TP degree and rank; e.g. "
+                  "~68% of TTFT for rank 32 at TP4");
+
+    std::printf("%6s %12s %12s %12s\n", "rank", "TP2", "TP4", "TP8");
+    for (int rank : model::paperRanks()) {
+        std::printf("%6d", rank);
+        for (int tp : {2, 4, 8}) {
+            model::CostModel cost(model::llama70B(), model::a100(80), tp);
+            const auto bytes = model::adapterBytes(model::llama70B(), rank);
+            const auto ttft = cost.isolatedTtft(model::kMediumInputTokens,
+                                                rank, bytes, true);
+            const double share =
+                static_cast<double>(cost.adapterLoadTime(bytes)) /
+                static_cast<double>(ttft);
+            std::printf(" %11.1f%%", 100.0 * share);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

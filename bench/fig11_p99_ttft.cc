@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 11 (and §5.2.4's breakdown): P99 TTFT vs load for S-LoRA,
+ * ChameleonNoCache, ChameleonNoSched, and full Chameleon, with the SLO
+ * line and the derived throughput (max load meeting the SLO).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 11 — P99 TTFT vs load + throughput breakdown",
+        "at high load (9 RPS) Chameleon cuts P99 TTFT by 80.7%; "
+        "throughput 1.5x over S-LoRA (NoSched 1.2x, NoCache 1.05x)");
+
+    auto tb = bench::makeTestbed(100);
+    const std::vector<double> loads{5, 6, 7, 8, 9, 10, 11, 12, 13};
+    const auto slo_trace = tb.trace(bench::kMediumRps, 240.0);
+    const double slo = tb.sloSeconds(slo_trace);
+
+    const std::vector<std::pair<const char *, core::SystemKind>> systems{
+        {"S-LoRA", core::SystemKind::SLora},
+        {"ChNoCache", core::SystemKind::ChameleonNoCache},
+        {"ChNoSched", core::SystemKind::ChameleonNoSched},
+        {"Chameleon", core::SystemKind::Chameleon},
+    };
+
+    std::map<const char *, std::vector<std::pair<double, double>>> curves;
+    std::printf("TTFT SLO: %.2f s (5x mean isolated latency)\n\n", slo);
+    std::printf("%8s", "rps");
+    for (const auto &[name, kind] : systems)
+        std::printf(" %12s", name);
+    std::printf("\n");
+    for (double rps : loads) {
+        const auto trace = tb.trace(rps, 240.0);
+        std::printf("%8.1f", rps);
+        for (const auto &[name, kind] : systems) {
+            const auto result = bench::run(tb, kind, trace);
+            const double p99 = result.stats.ttft.p99();
+            curves[name].emplace_back(rps, p99);
+            std::printf(" %12.2f", p99);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nthroughput (max RPS with P99 TTFT <= SLO):\n");
+    const double base_knee =
+        serving::throughputKnee(curves["S-LoRA"], slo);
+    for (const auto &[name, kind] : systems) {
+        const double knee = serving::throughputKnee(curves[name], slo);
+        std::printf("  %-12s %6.2f RPS  (%.2fx over S-LoRA)\n", name, knee,
+                    knee / base_knee);
+    }
+    std::printf("paper: S-LoRA ~8.6 RPS, Chameleon ~12.9 RPS (1.5x); "
+                "NoSched 1.2x, NoCache 1.05x\n");
+
+    // Headline latency reductions at the paper's load points.
+    std::printf("\nP99 TTFT reduction of Chameleon over S-LoRA:\n");
+    for (double rps : {6.0, 8.0, 9.0}) {
+        const auto trace = tb.trace(rps, 240.0);
+        const auto base = bench::run(tb, core::SystemKind::SLora, trace);
+        const auto cham =
+            bench::run(tb, core::SystemKind::Chameleon, trace);
+        std::printf("  %4.1f RPS: %5.1f%%  (paper: %s)\n", rps,
+                    100.0 * (1.0 - cham.stats.ttft.p99() /
+                                       base.stats.ttft.p99()),
+                    rps == 6.0   ? "14.7%"
+                    : rps == 8.0 ? "24.6%"
+                                 : "80.7%");
+    }
+    return 0;
+}

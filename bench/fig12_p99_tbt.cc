@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 12: P99 time-between-tokens vs load for S-LoRA and Chameleon.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Figure 12 — P99 TBT vs load",
+                  "Chameleon's TBT stays at or below S-LoRA's; both stay "
+                  "within the TBT SLO across loads");
+
+    auto tb = bench::makeTestbed(100);
+    const std::vector<double> loads{5, 6, 7, 8, 9, 10, 11, 12, 13};
+    const auto slora =
+        bench::sweepLoads(tb, core::SystemKind::SLora, loads, "p99tbt");
+    const auto cham = bench::sweepLoads(tb, core::SystemKind::Chameleon,
+                                        loads, "p99tbt");
+    std::printf("%8s %14s %14s\n", "rps", "S-LoRA(ms)", "Chameleon(ms)");
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        // The TBT tracker stores milliseconds.
+        std::printf("%8.1f %14.1f %14.1f\n", loads[i], slora[i].second,
+                    cham[i].second);
+    }
+    std::printf("\nnote: TBT here is per-iteration latency; the simulated "
+                "testbed fuses prefill into iterations, so absolute values "
+                "exceed the paper's GPU measurements (see EXPERIMENTS.md)\n");
+    return 0;
+}

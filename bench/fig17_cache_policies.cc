@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 17: P99 TTFT by adapter rank (normalised to S-LoRA) for
+ * Chameleon with LRU, FairShare, and the tuned compound eviction.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "simkit/stats.h"
+
+using namespace chameleon;
+
+namespace {
+
+std::map<int, double>
+p99ByRank(const serving::EngineStats &stats)
+{
+    std::map<int, sim::PercentileTracker> by_rank;
+    sim::PercentileTracker total;
+    for (const auto &rec : stats.records) {
+        by_rank[rec.rank].add(sim::toSeconds(rec.ttft));
+        total.add(sim::toSeconds(rec.ttft));
+    }
+    std::map<int, double> out;
+    for (auto &[rank, tracker] : by_rank)
+        out[rank] = tracker.p99();
+    out[0] = total.p99(); // rank 0 slot holds the whole-trace value
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 17 — eviction policies, P99 TTFT by rank",
+                  "all caches beat S-LoRA (LRU -18%, FairShare -22%, "
+                  "Chameleon -26% on the total trace); the tuned policy "
+                  "helps large ranks most (-12% vs FairShare at rank 128)");
+
+    // Memory-tight configuration: the paper's testbed keeps far less
+    // idle memory than our 48 GB model, so we reserve extra workspace to
+    // put the cache under real eviction pressure (~11 GB for KV+cache).
+    auto tb = bench::makeTestbed(200);
+    tb.cfg.engine.workspacePerGpu = 24ll << 30;
+    const auto trace = tb.trace(bench::kMediumRps, 300.0);
+
+    const std::vector<std::pair<const char *, core::SystemKind>> systems{
+        {"S-LoRA", core::SystemKind::SLora},
+        {"Ch-LRU", core::SystemKind::ChameleonLru},
+        {"Ch-FairShare", core::SystemKind::ChameleonFairShare},
+        {"Chameleon", core::SystemKind::Chameleon},
+    };
+
+    std::map<std::string, std::map<int, double>> rows;
+    for (const auto &[name, kind] : systems)
+        rows[name] = p99ByRank(bench::run(tb, kind, trace).stats);
+
+    const auto &base = rows["S-LoRA"];
+    std::printf("%-14s", "system");
+    for (int rank : model::paperRanks())
+        std::printf(" %8s%d", "r", rank);
+    std::printf(" %9s\n", "total");
+    for (const auto &[name, kind] : systems) {
+        std::printf("%-14s", name);
+        for (int rank : model::paperRanks()) {
+            std::printf(" %9.2f",
+                        rows[name].at(rank) / base.at(rank));
+        }
+        std::printf(" %9.2f\n", rows[name].at(0) / base.at(0));
+    }
+    std::printf("\n(values: P99 TTFT normalised to S-LoRA per rank)\n");
+    return 0;
+}

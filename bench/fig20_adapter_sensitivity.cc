@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 20: sensitivity to (left) the total number of adapters with
+ * uniform vs power-law rank popularity, and (right) the popularity
+ * distribution combinations U-U / U-P / P-P. Load 9.5 RPS, SLO 5 s.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Figure 20 — adapter count & popularity sensitivity",
+                  "Chameleon meets the SLO up to ~100 adapters (uniform) "
+                  "/ ~150 (power-law); S-LoRA only at ~10; both do best "
+                  "under P-P");
+
+    // Left: number of adapters x rank-popularity distribution.
+    std::printf("%6s %10s %14s %14s %14s %14s\n", "Na", "", "S-Uni",
+                "C-Uni", "S-Pow", "C-Pow");
+    for (int na : {10, 50, 100, 150, 200}) {
+        double vals[4];
+        int i = 0;
+        for (auto rank_pop : {workload::Popularity::Uniform,
+                              workload::Popularity::PowerLaw}) {
+            auto tb = bench::makeTestbed(na);
+            tb.wl.rankPopularity = rank_pop;
+            const auto trace = tb.trace(bench::kHighRps, 240.0);
+            vals[i++] =
+                bench::run(tb, core::SystemKind::SLora, trace).stats
+                    .ttft.p99();
+            vals[i++] =
+                bench::run(tb, core::SystemKind::Chameleon, trace).stats
+                    .ttft.p99();
+        }
+        std::printf("%6d %10s %14.2f %14.2f %14.2f %14.2f\n", na,
+                    "p99(s)", vals[0], vals[1], vals[2], vals[3]);
+    }
+
+    // Right: popularity combinations at Na=100.
+    std::printf("\n%8s %14s %14s %14s\n", "dist", "S-LoRA(s)",
+                "Chameleon(s)", "Cham norm");
+    struct Combo
+    {
+        const char *name;
+        workload::Popularity rank;
+        workload::Popularity adapter;
+    };
+    double s_uu = 0.0;
+    for (const Combo &combo :
+         {Combo{"U-U", workload::Popularity::Uniform,
+                workload::Popularity::Uniform},
+          Combo{"U-P", workload::Popularity::Uniform,
+                workload::Popularity::PowerLaw},
+          Combo{"P-P", workload::Popularity::PowerLaw,
+                workload::Popularity::PowerLaw}}) {
+        auto tb = bench::makeTestbed(100);
+        tb.wl.rankPopularity = combo.rank;
+        tb.wl.adapterPopularity = combo.adapter;
+        const auto trace = tb.trace(bench::kHighRps, 240.0);
+        const double s =
+            bench::run(tb, core::SystemKind::SLora, trace).stats.ttft.p99();
+        const double c = bench::run(tb, core::SystemKind::Chameleon, trace)
+                             .stats.ttft.p99();
+        if (s_uu == 0.0)
+            s_uu = s;
+        std::printf("%8s %14.2f %14.2f %14.2f\n", combo.name, s, c,
+                    c / s_uu);
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 22: dynamic queue organisation (K-means + quota refresh) vs a
+ * static configuration (4 equal WRS ranges, equal quotas) at low,
+ * medium, and high load.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Figure 22 — static vs dynamic queue organisation",
+                  "similar at low/medium load; the dynamic scheme cuts "
+                  "P99 TTFT ~10% at high load");
+
+    auto tb = bench::makeTestbed(100);
+    std::printf("%-8s %12s %14s %12s\n", "load", "Static(s)",
+                "Chameleon(s)", "norm");
+    for (const auto &[label, rps] :
+         std::vector<std::pair<const char *, double>>{
+             {"Low", bench::kLowRps},
+             {"Medium", bench::kMediumRps},
+             {"High", bench::kHighRps}}) {
+        const auto trace = tb.trace(rps, 300.0);
+        const auto fixed =
+            bench::run(tb, core::SystemKind::ChameleonStatic, trace);
+        const auto dyn = bench::run(tb, core::SystemKind::Chameleon, trace);
+        std::printf("%-8s %12.2f %14.2f %12.2f\n", label,
+                    fixed.stats.ttft.p99(), dyn.stats.ttft.p99(),
+                    dyn.stats.ttft.p99() / fixed.stats.ttft.p99());
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 23: scalability with LLM size on an A100-80GB — normalised P99
+ * TTFT (left) and throughput ratio (right) of Chameleon over S-LoRA for
+ * Llama-7B (500 adapters), 13B (100), and 30B (10) at three loads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Figure 23 — scalability with LLM size (A100-80G)",
+                  "P99 TTFT reduced ~60% on average for 7B/13B/30B; "
+                  "throughput 1.86x / 1.41x / 1.67x");
+
+    struct Entry
+    {
+        const char *name;
+        model::ModelSpec model;
+        int adapters;
+        /** Loads scale down with model size (larger models are slower). */
+        double loads[3];
+    };
+    const std::vector<Entry> entries{
+        {"llama-7b", model::llama7B(), 500, {15, 25, 35}},
+        {"llama-13b", model::llama13B(), 100, {16, 24, 32}},
+        {"llama-30b", model::llama30B(), 10, {4, 6, 8}},
+    };
+
+    std::printf("%-10s %-8s %12s %14s %10s\n", "model", "load",
+                "S-LoRA(s)", "Chameleon(s)", "norm p99");
+    for (const auto &entry : entries) {
+        auto tb = bench::makeA100Testbed(entry.model, 80, entry.adapters);
+        double reductions = 0.0;
+        std::vector<std::pair<double, double>> s_curve, c_curve;
+        const char *labels[3] = {"Low", "Med", "High"};
+        for (int i = 0; i < 3; ++i) {
+            const auto trace = tb.trace(entry.loads[i], 200.0);
+            const auto s = bench::run(tb, core::SystemKind::SLora, trace);
+            const auto c =
+                bench::run(tb, core::SystemKind::Chameleon, trace);
+            const double norm =
+                c.stats.ttft.p99() / s.stats.ttft.p99();
+            reductions += 1.0 - norm;
+            s_curve.emplace_back(entry.loads[i], s.stats.ttft.p99());
+            c_curve.emplace_back(entry.loads[i], c.stats.ttft.p99());
+            std::printf("%-10s %-8s %12.2f %14.2f %10.2f\n", entry.name,
+                        labels[i], s.stats.ttft.p99(), c.stats.ttft.p99(),
+                        norm);
+        }
+        const auto slo_trace = tb.trace(entry.loads[1], 200.0);
+        const double slo = tb.sloSeconds(slo_trace);
+        const double s_knee = serving::throughputKnee(s_curve, slo);
+        const double c_knee = serving::throughputKnee(c_curve, slo);
+        std::printf("  -> mean P99 reduction %.1f%%; throughput %.2fx "
+                    "(SLO %.2f s)\n",
+                    100.0 * reductions / 3.0, c_knee / s_knee, slo);
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 24: throughput of Chameleon normalised to S-LoRA as the GPU
+ * memory grows (A100 with 24/48/80 GiB) for the Llama models that fit.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace chameleon;
+
+int
+main()
+{
+    bench::banner("Figure 24 — throughput vs GPU memory size",
+                  "the gain grows with memory (more room for adapter "
+                  "caching): 1.4x / 1.6x / 1.9x for Llama-7B at "
+                  "24/48/80 GiB");
+
+    struct Entry
+    {
+        const char *name;
+        model::ModelSpec model;
+        int adapters;
+        std::vector<double> loads;
+    };
+    const std::vector<Entry> models{
+        {"llama-7b", model::llama7B(), 500, {8, 14, 20, 26, 32, 38}},
+        {"llama-13b", model::llama13B(), 100, {10, 18, 26, 34}},
+        {"llama-30b", model::llama30B(), 10, {3, 5, 7, 9}},
+    };
+
+    std::printf("%-10s %8s %12s %12s %12s\n", "model", "mem", "S-knee",
+                "C-knee", "throughput");
+    for (const auto &entry : models) {
+        for (int mem : {24, 48, 80}) {
+            const auto weights = entry.model.weightsBytes();
+            if (weights + (2ll << 30) >=
+                static_cast<std::int64_t>(mem) * (1ll << 30)) {
+                std::printf("%-10s %7dG %12s %12s %12s\n", entry.name, mem,
+                            "-", "-", "(no fit)");
+                continue;
+            }
+            auto tb = bench::makeA100Testbed(entry.model, mem,
+                                             entry.adapters);
+            const auto slo_trace = tb.trace(entry.loads[1], 180.0);
+            const double slo = tb.sloSeconds(slo_trace);
+            std::vector<std::pair<double, double>> s_curve, c_curve;
+            for (double rps : entry.loads) {
+                const auto trace = tb.trace(rps, 180.0);
+                s_curve.emplace_back(
+                    rps, bench::run(tb, core::SystemKind::SLora, trace)
+                             .stats.ttft.p99());
+                c_curve.emplace_back(
+                    rps, bench::run(tb, core::SystemKind::Chameleon, trace)
+                             .stats.ttft.p99());
+            }
+            const double s_knee = serving::throughputKnee(s_curve, slo);
+            const double c_knee = serving::throughputKnee(c_curve, slo);
+            std::printf("%-10s %7dG %12.2f %12.2f %11.2fx\n", entry.name,
+                        mem, s_knee, c_knee, c_knee / s_knee);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the core data structures:
+ * event kernel throughput, eviction scoring, 1-D K-means, quota
+ * assignment, WRS computation, and the paged KV allocator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chameleon/eviction.h"
+#include "chameleon/kmeans.h"
+#include "chameleon/quota.h"
+#include "chameleon/wrs.h"
+#include "gpu/gpu_memory.h"
+#include "gpu/kv_cache.h"
+#include "model/llm.h"
+#include "simkit/rng.h"
+#include "simkit/simulator.h"
+
+using namespace chameleon;
+
+namespace {
+
+void
+BM_SimulatorScheduleDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        for (int i = 0; i < 1024; ++i)
+            simulator.scheduleAt(i, [] {});
+        simulator.run();
+        benchmark::DoNotOptimize(simulator.eventsDispatched());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch);
+
+void
+BM_EvictionPickVictim(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<core::EvictionCandidate> candidates(n);
+    sim::Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        candidates[i].id = static_cast<model::AdapterId>(i);
+        candidates[i].bytes = static_cast<std::int64_t>(
+            (1 + rng.nextBelow(16)) << 20);
+        candidates[i].lastUsed = static_cast<sim::SimTime>(rng.nextBelow(
+            1000000));
+        candidates[i].frequency = rng.nextDouble() * 50.0;
+    }
+    core::ChameleonEviction policy;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(policy.pickVictim(candidates, 1000000));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvictionPickVictim)->Arg(16)->Arg(128)->Arg(1024);
+
+void
+BM_KMeans1d(benchmark::State &state)
+{
+    sim::Rng rng(2);
+    std::vector<double> data;
+    for (int i = 0; i < state.range(0); ++i)
+        data.push_back(rng.nextDouble());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::chooseClusters(data, 4));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans1d)->Arg(512)->Arg(4096);
+
+void
+BM_QuotaAssignment(benchmark::State &state)
+{
+    std::vector<core::QueueLoadStats> stats(4);
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        stats[i].maxTokens = 100.0 * static_cast<double>(i + 1);
+        stats[i].meanServiceSeconds = 0.5 * static_cast<double>(i + 1);
+        stats[i].arrivalRate = 4.0 - static_cast<double>(i);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::assignQuotas(stats, 5.0, 100000));
+}
+BENCHMARK(BM_QuotaAssignment);
+
+void
+BM_WrsCompute(benchmark::State &state)
+{
+    model::AdapterPool pool(model::llama7B(), 100);
+    core::WrsCalculator wrs(&pool);
+    sim::Rng rng(3);
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wrs.compute(8 + static_cast<std::int64_t>(rng.nextBelow(500)),
+                        8 + static_cast<std::int64_t>(rng.nextBelow(500)),
+                        pool.spec(static_cast<model::AdapterId>(
+                                      i++ % 100)).bytes));
+    }
+}
+BENCHMARK(BM_WrsCompute);
+
+void
+BM_KvCacheReserveRelease(benchmark::State &state)
+{
+    gpu::GpuMemory mem(48ll << 30, 0, 0);
+    gpu::KvCache kv(mem, 512 * 1024, 16);
+    std::int64_t id = 0;
+    for (auto _ : state) {
+        kv.tryReserve(id % 256, 128 + id % 512);
+        kv.release((id + 128) % 256);
+        ++id;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvCacheReserveRelease);
+
+} // namespace
+
+BENCHMARK_MAIN();

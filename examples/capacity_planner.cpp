@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Capacity planner: how many GPUs does a target load need?
+ *
+ * Sweeps offered load on one engine to find the highest RPS that keeps
+ * P99 TTFT within the SLO (the paper's throughput definition, §5.2.2),
+ * for both S-LoRA and Chameleon, then derives the replica count needed
+ * for a target aggregate load. Demonstrates the sweep/SLO helpers of
+ * the public API.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "chameleon/system.h"
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "serving/slo.h"
+#include "workload/trace_gen.h"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const double target_rps = argc > 1 ? std::atof(argv[1]) : 100.0;
+
+    model::AdapterPool pool(model::llama7B(), 100);
+    core::SystemConfig cfg;
+    cfg.engine.model = model::llama7B();
+    cfg.engine.gpu = model::a40();
+
+    auto wl = workload::splitwiseLike();
+    wl.durationSeconds = 200.0;
+
+    // SLO from a medium-load trace (5x mean isolated latency).
+    wl.rps = 8.0;
+    workload::TraceGenerator slo_gen(wl, &pool);
+    model::CostModel cost(cfg.engine.model, cfg.engine.gpu);
+    const double slo =
+        sim::toSeconds(serving::computeSlo(slo_gen.generate(), cost, &pool));
+    std::printf("TTFT SLO: %.2f s; target aggregate load: %.0f RPS\n\n",
+                slo, target_rps);
+
+    std::printf("%8s %14s %14s\n", "rps", "S-LoRA p99(s)", "Cham p99(s)");
+    std::vector<std::pair<double, double>> slora_curve, cham_curve;
+    for (double rps = 5.0; rps <= 13.0; rps += 1.0) {
+        wl.rps = rps;
+        workload::TraceGenerator gen(wl, &pool);
+        const auto trace = gen.generate();
+        const double s =
+            core::runSystem(core::SystemKind::SLora, cfg, &pool, trace)
+                .stats.ttft.p99();
+        const double c =
+            core::runSystem(core::SystemKind::Chameleon, cfg, &pool, trace)
+                .stats.ttft.p99();
+        slora_curve.emplace_back(rps, s);
+        cham_curve.emplace_back(rps, c);
+        std::printf("%8.1f %14.2f %14.2f\n", rps, s, c);
+    }
+
+    const double slora_knee = serving::throughputKnee(slora_curve, slo);
+    const double cham_knee = serving::throughputKnee(cham_curve, slo);
+    std::printf("\nper-GPU sustainable load: S-LoRA %.2f RPS, "
+                "Chameleon %.2f RPS (%.2fx)\n",
+                slora_knee, cham_knee, cham_knee / slora_knee);
+
+    const int slora_gpus =
+        static_cast<int>(std::ceil(target_rps / slora_knee));
+    const int cham_gpus =
+        static_cast<int>(std::ceil(target_rps / cham_knee));
+    std::printf("A40 GPUs for %.0f RPS: S-LoRA %d, Chameleon %d "
+                "(%d fewer)\n",
+                target_rps, slora_gpus, cham_gpus,
+                slora_gpus - cham_gpus);
+    return 0;
+}

@@ -1,0 +1,332 @@
+#include "chameleon/cache_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/check.h"
+
+namespace chameleon::core {
+
+using model::AdapterId;
+using sim::SimTime;
+
+CacheManager::CacheManager(const model::AdapterPool &pool,
+                           gpu::GpuMemory &mem, gpu::PcieLink &link,
+                           const model::CostModel &cost, CacheConfig config)
+    : pool_(pool), mem_(mem), link_(link), cost_(cost),
+      config_(std::move(config)),
+      policy_(makeEvictionPolicy(config_.evictionPolicy)),
+      loadPredictor_(120.0)
+{
+    if (config_.minFreeBytes < 0)
+        config_.minFreeBytes = mem_.capacity() / 25; // auto: 4% headroom
+}
+
+CacheManager::Entry &
+CacheManager::entry(AdapterId id)
+{
+    return entries_[id];
+}
+
+const CacheManager::Entry *
+CacheManager::find(AdapterId id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+double
+CacheManager::decayedFrequency(const Entry &e, SimTime now) const
+{
+    const double dt = sim::toSeconds(now - e.lastFreqTouch);
+    return e.frequency * std::exp(-dt / config_.frequencyTauSeconds);
+}
+
+void
+CacheManager::touch(Entry &e, SimTime now)
+{
+    e.frequency = decayedFrequency(e, now) + 1.0;
+    e.lastFreqTouch = now;
+    e.lastUsed = now;
+}
+
+bool
+CacheManager::isResident(AdapterId id) const
+{
+    const Entry *e = find(id);
+    return e && e->state == State::Resident;
+}
+
+std::int64_t
+CacheManager::cachedBytes() const
+{
+    return mem_.adapterCacheBytes();
+}
+
+std::size_t
+CacheManager::cachedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, e] : entries_) {
+        if (e.state == State::Resident && e.runningRc == 0)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<EvictionCandidate>
+CacheManager::collectCandidates(bool includePinned, SimTime now) const
+{
+    std::vector<EvictionCandidate> out;
+    for (const auto &[id, e] : entries_) {
+        if (e.state != State::Resident || e.runningRc != 0)
+            continue; // in use or absent: never evictable (§4.2.2)
+        const bool pinned = e.queuedRc > 0;
+        if (pinned && !includePinned)
+            continue;
+        const auto &spec = pool_.spec(id);
+        EvictionCandidate c;
+        c.id = id;
+        c.rank = spec.rank;
+        c.bytes = spec.bytes;
+        c.lastUsed = e.lastUsed;
+        c.frequency = decayedFrequency(e, now);
+        c.loadCostMs = sim::toMillis(cost_.adapterLoadTime(spec.bytes));
+        c.queuedPinned = pinned;
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::int64_t
+CacheManager::evictableBytes(bool includePinned) const
+{
+    std::int64_t total = 0;
+    for (const auto &[id, e] : entries_) {
+        if (e.state != State::Resident || e.runningRc != 0)
+            continue;
+        if (e.queuedRc > 0 && !includePinned)
+            continue;
+        total += pool_.spec(id).bytes;
+    }
+    return total;
+}
+
+bool
+CacheManager::evictUntilFree(std::int64_t bytes, bool includePinned,
+                             SimTime now)
+{
+    // Feasibility first: do not destroy cache contents for a target
+    // that cannot be reached anyway.
+    if (mem_.freeBytes() + evictableBytes(includePinned) < bytes)
+        return false;
+    while (mem_.freeBytes() < bytes) {
+        auto candidates = collectCandidates(includePinned, now);
+        if (candidates.empty())
+            return false;
+        const std::size_t victim = policy_->pickVictim(candidates, now);
+        const AdapterId vid = candidates[victim].id;
+        Entry &ve = entries_[vid];
+        CHM_CHECK(ve.state == State::Resident && ve.runningRc == 0,
+                  "evicting a non-idle adapter");
+        mem_.freeAdapterCache(pool_.spec(vid).bytes);
+        ve.state = State::NotResident;
+        ++evictions_;
+    }
+    return true;
+}
+
+bool
+CacheManager::tryFreeMemory(std::int64_t bytes)
+{
+    if (mem_.freeBytes() >= bytes)
+        return true;
+    const auto before = evictions_;
+    // Shrink past the request by the watermark so that subsequent KV
+    // page allocations do not trigger an eviction each (churn guard);
+    // success only requires the requested bytes, though. Unpinned idle
+    // adapters go first; the adapters of queued requests are sacrificed
+    // only when memory constraints make it necessary.
+    evictUntilFree(bytes + config_.minFreeBytes, /*includePinned=*/false,
+                   lastNow_);
+    if (mem_.freeBytes() >= bytes) {
+        kvShrinkEvictions_ += evictions_ - before;
+        return true;
+    }
+    const bool ok = evictUntilFree(bytes, /*includePinned=*/true, lastNow_);
+    kvShrinkEvictions_ += evictions_ - before;
+    return ok;
+}
+
+SimTime
+CacheManager::startLoad(AdapterId id, Entry &e, LoadKind kind, SimTime now)
+{
+    CHM_CHECK(e.state == State::NotResident, "load of resident adapter");
+    const auto bytes = pool_.spec(id).bytes;
+    const auto evictions_before = evictions_;
+    switch (kind) {
+      case LoadKind::Demand:
+        // Admission may shrink the cache to make room.
+        if (mem_.freeBytes() < bytes &&
+            !evictUntilFree(bytes, false, now) &&
+            !evictUntilFree(bytes, true, now)) {
+            return sim::kTimeNever;
+        }
+        break;
+      case LoadKind::QueuedPrefetch:
+        // Adapters of waiting requests are near-term request state: the
+        // cache yields unpinned entries to them (§4.2.1 "store all the
+        // necessary state for incoming requests"). Pinned entries are
+        // never displaced, and the free watermark stays untouched so
+        // prefetching cannot starve KV growth into eviction churn.
+        if (mem_.freeBytes() < bytes + config_.minFreeBytes &&
+            !evictUntilFree(bytes + config_.minFreeBytes,
+                            /*includePinned=*/false, now)) {
+            return sim::kTimeNever;
+        }
+        break;
+      case LoadKind::PredictivePrefetch:
+        // Speculation must not interfere: keep the watermark free.
+        if (mem_.freeBytes() < bytes + config_.minFreeBytes)
+            return sim::kTimeNever;
+        break;
+    }
+    const bool ok = mem_.tryAllocAdapterInUse(bytes);
+    CHM_CHECK(ok, "allocation must succeed after eviction");
+    switch (kind) {
+      case LoadKind::Demand:
+        ++demandLoads_;
+        demandEvictions_ += evictions_ - evictions_before;
+        break;
+      case LoadKind::QueuedPrefetch:
+        ++queuedLoads_;
+        prefetchEvictions_ += evictions_ - evictions_before;
+        break;
+      case LoadKind::PredictivePrefetch:
+        ++predictiveLoads_;
+        break;
+    }
+    e.state = State::Loading;
+    e.prefetched = kind != LoadKind::Demand;
+    e.readyAt = link_.enqueue(bytes, [this, id] {
+        auto &ent = entries_[id];
+        CHM_CHECK(ent.state == State::Loading, "transfer done, not loading");
+        ent.state = State::Resident;
+        if (ent.runningRc == 0) {
+            // Landed as a prefetch: it sits in the cache until claimed.
+            mem_.moveInUseToCache(pool_.spec(id).bytes);
+        }
+    });
+    return e.readyAt;
+}
+
+SimTime
+CacheManager::acquire(AdapterId id, SimTime now)
+{
+    lastNow_ = now;
+    Entry &e = entry(id);
+    SimTime ready;
+    switch (e.state) {
+      case State::Resident:
+        if (e.runningRc == 0)
+            mem_.moveCacheToInUse(pool_.spec(id).bytes);
+        ready = now;
+        break;
+      case State::Loading:
+        ready = std::max(e.readyAt, now);
+        break;
+      case State::NotResident:
+        ready = startLoad(id, e, LoadKind::Demand, now);
+        if (ready == sim::kTimeNever)
+            return sim::kTimeNever;
+        break;
+      default:
+        CHM_PANIC("unreachable adapter state");
+    }
+    ++e.runningRc;
+    e.prefetched = false;
+    touch(e, now);
+    return ready;
+}
+
+void
+CacheManager::release(AdapterId id)
+{
+    Entry &e = entry(id);
+    CHM_CHECK(e.runningRc > 0, "release without acquire for " << id);
+    --e.runningRc;
+    if (e.runningRc == 0 && e.state == State::Resident) {
+        if (e.queuedRc > 0 || mem_.freeBytes() >= config_.minFreeBytes) {
+            // Contrary to the baseline: retain the adapter in the cache.
+            // Adapters still referenced by queued requests are always
+            // kept - discarding them would force an immediate refetch.
+            mem_.moveInUseToCache(pool_.spec(id).bytes);
+        } else {
+            // Under memory pressure caching an unreferenced adapter
+            // would immediately interfere with KV growth; hand the
+            // memory back instead (§4.2.1).
+            mem_.freeAdapterInUse(pool_.spec(id).bytes);
+            e.state = State::NotResident;
+        }
+    }
+}
+
+bool
+CacheManager::canMakeResident(AdapterId id) const
+{
+    const Entry *e = find(id);
+    if (e && e->state != State::NotResident)
+        return true;
+    const auto bytes = pool_.spec(id).bytes;
+    return bytes <= mem_.freeBytes() + evictableBytes(/*includePinned=*/true);
+}
+
+void
+CacheManager::onRequestQueued(AdapterId id, SimTime now)
+{
+    lastNow_ = now;
+    Entry &e = entry(id);
+    ++e.queuedRc;
+    loadPredictor_.recordArrival(id, now);
+    // Hit/miss accounting is per arriving request: a hit means the
+    // weights were already resident (in use or cached) at arrival.
+    if (e.state == State::Resident) {
+        ++hits_;
+    } else {
+        ++misses_;
+    }
+    if (config_.queuedPrefetch && e.state == State::NotResident)
+        startLoad(id, e, LoadKind::QueuedPrefetch, now);
+}
+
+void
+CacheManager::onRequestDequeued(AdapterId id)
+{
+    Entry &e = entry(id);
+    CHM_CHECK(e.queuedRc > 0, "dequeue without queue ref for " << id);
+    --e.queuedRc;
+}
+
+void
+CacheManager::onSchedulingCycle(const std::vector<AdapterId> &queued,
+                                SimTime now)
+{
+    lastNow_ = now;
+    if (config_.queuedPrefetch) {
+        for (AdapterId id : queued) {
+            Entry &e = entry(id);
+            if (e.state == State::NotResident)
+                startLoad(id, e, LoadKind::QueuedPrefetch, now);
+        }
+    }
+    if (config_.predictivePrefetch) {
+        for (AdapterId id :
+             loadPredictor_.hottest(now, config_.predictiveTopK)) {
+            Entry &e = entry(id);
+            if (e.state == State::NotResident)
+                startLoad(id, e, LoadKind::PredictivePrefetch, now);
+        }
+    }
+}
+
+} // namespace chameleon::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The Chameleon Adapter Cache and its Cache Manager (§4.2).
+ *
+ * A transparent, adaptive, interference-free software cache for LoRA
+ * adapters in otherwise-idle GPU memory:
+ *  - adapters whose reference count drops to zero are *retained* in the
+ *    cache instead of discarded;
+ *  - the cache is dynamically sized: whenever request state (KV pages,
+ *    activations, missing adapters) needs memory, the manager shrinks
+ *    the cache by evicting idle adapters with a cost-aware policy;
+ *  - adapters of queued requests are pinned (evicted only under real
+ *    memory pressure);
+ *  - per-adapter metadata (rank/size, last-used time, decayed use
+ *    frequency, reference count) feeds the eviction score;
+ *  - optionally, a histogram-based future-load predictor prefetches
+ *    adapters for requests that have not arrived yet (§4.2.3; off by
+ *    default, as in the paper).
+ */
+
+#ifndef CHAMELEON_CHAMELEON_CACHE_MANAGER_H
+#define CHAMELEON_CHAMELEON_CACHE_MANAGER_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "chameleon/eviction.h"
+#include "gpu/gpu_memory.h"
+#include "gpu/pcie_link.h"
+#include "model/cost_model.h"
+#include "predict/load_predictor.h"
+#include "serving/adapter_manager.h"
+#include "simkit/simulator.h"
+
+namespace chameleon::core {
+
+/** Cache manager configuration. */
+struct CacheConfig
+{
+    /** Eviction policy name: chameleon / fairshare / lru / gdsf. */
+    std::string evictionPolicy = "chameleon";
+    /** Prefetch adapters of waiting (queued) requests. */
+    bool queuedPrefetch = true;
+    /** Histogram-based predictive prefetch (§4.2.3; off by default). */
+    bool predictivePrefetch = false;
+    /** Predictive prefetch width (adapters per cycle). */
+    std::size_t predictiveTopK = 8;
+    /** Frequency decay time constant, seconds. */
+    double frequencyTauSeconds = 60.0;
+    /**
+     * Interference-free watermark (§4.2.1): the cache neither fills via
+     * prefetch nor retains a released adapter unless at least this many
+     * bytes stay free for incoming request state, and KV-driven shrinks
+     * overshoot down to it. Prevents the cache from thrashing against
+     * KV-cache growth under memory pressure. Negative = auto (4% of
+     * device capacity).
+     */
+    std::int64_t minFreeBytes = -1;
+};
+
+/** AdapterManager implementation with the Chameleon cache. */
+class CacheManager : public serving::AdapterManager
+{
+  public:
+    CacheManager(const model::AdapterPool &pool, gpu::GpuMemory &mem,
+                 gpu::PcieLink &link, const model::CostModel &cost,
+                 CacheConfig config = CacheConfig{});
+
+    const char *name() const override { return "chameleon-cache"; }
+
+    bool isResident(model::AdapterId id) const override;
+    sim::SimTime acquire(model::AdapterId id, sim::SimTime now) override;
+    void release(model::AdapterId id) override;
+    bool canMakeResident(model::AdapterId id) const override;
+    void onRequestQueued(model::AdapterId id, sim::SimTime now) override;
+    void onRequestDequeued(model::AdapterId id) override;
+    void onSchedulingCycle(const std::vector<model::AdapterId> &queued,
+                           sim::SimTime now) override;
+    bool tryFreeMemory(std::int64_t bytes) override;
+
+    std::int64_t hits() const override { return hits_; }
+    std::int64_t misses() const override { return misses_; }
+    std::int64_t cachedBytes() const override;
+
+    /** Cached (idle, evictable) adapter count. */
+    std::size_t cachedCount() const;
+    /** Total evictions performed. */
+    std::int64_t evictions() const { return evictions_; }
+    /** Evictions triggered by KV/memory shrink requests. */
+    std::int64_t kvShrinkEvictions() const { return kvShrinkEvictions_; }
+    /** Evictions triggered by demand adapter loads. */
+    std::int64_t demandEvictions() const { return demandEvictions_; }
+    /** Evictions triggered by queued prefetches. */
+    std::int64_t prefetchEvictions() const { return prefetchEvictions_; }
+    /** Transfers started, by kind. */
+    std::int64_t demandLoads() const { return demandLoads_; }
+    std::int64_t queuedLoads() const { return queuedLoads_; }
+    std::int64_t predictiveLoads() const { return predictiveLoads_; }
+    const EvictionPolicy &policy() const { return *policy_; }
+
+  private:
+    enum class State { NotResident, Loading, Resident };
+
+    struct Entry
+    {
+        State state = State::NotResident;
+        int runningRc = 0;
+        int queuedRc = 0;
+        sim::SimTime readyAt = 0;
+        sim::SimTime lastUsed = 0;
+        sim::SimTime lastFreqTouch = 0;
+        double frequency = 0.0;
+        /** Transfer was started by prefetch and is still unclaimed. */
+        bool prefetched = false;
+    };
+
+    /** What triggered a transfer; governs how aggressive it may be. */
+    enum class LoadKind {
+        Demand,             ///< Admission: may evict idle adapters.
+        QueuedPrefetch,     ///< Waiting request: free memory only.
+        PredictivePrefetch, ///< Speculation: leaves the watermark free.
+    };
+
+    Entry &entry(model::AdapterId id);
+    const Entry *find(model::AdapterId id) const;
+    void touch(Entry &e, sim::SimTime now);
+    double decayedFrequency(const Entry &e, sim::SimTime now) const;
+    sim::SimTime startLoad(model::AdapterId id, Entry &e, LoadKind kind,
+                           sim::SimTime now);
+    /** Evict idle adapters (optionally pinned ones too) by policy. */
+    bool evictUntilFree(std::int64_t bytes, bool includePinned,
+                        sim::SimTime now);
+    std::vector<EvictionCandidate> collectCandidates(bool includePinned,
+                                                     sim::SimTime now) const;
+    std::int64_t evictableBytes(bool includePinned) const;
+
+    const model::AdapterPool &pool_;
+    gpu::GpuMemory &mem_;
+    gpu::PcieLink &link_;
+    const model::CostModel &cost_;
+    CacheConfig config_;
+    std::unique_ptr<EvictionPolicy> policy_;
+    predict::HistogramLoadPredictor loadPredictor_;
+    std::unordered_map<model::AdapterId, Entry> entries_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+    std::int64_t evictions_ = 0;
+    std::int64_t kvShrinkEvictions_ = 0;
+    std::int64_t demandEvictions_ = 0;
+    std::int64_t prefetchEvictions_ = 0;
+    std::int64_t demandLoads_ = 0;
+    std::int64_t queuedLoads_ = 0;
+    std::int64_t predictiveLoads_ = 0;
+    /** Most recent simulation time observed (tryFreeMemory has no now). */
+    sim::SimTime lastNow_ = 0;
+};
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_CACHE_MANAGER_H

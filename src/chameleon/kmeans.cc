@@ -1,0 +1,127 @@
+#include "chameleon/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/check.h"
+
+namespace chameleon::core {
+
+KMeansResult
+kmeans1d(const std::vector<double> &data, int k, int maxIters)
+{
+    CHM_CHECK(!data.empty(), "k-means needs data");
+    CHM_CHECK(k >= 1, "k must be at least 1");
+
+    std::vector<double> sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+
+    // Quantile initialisation: deterministic and well-spread.
+    std::vector<double> centroids;
+    centroids.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+        const std::size_t idx = std::min(
+            n - 1, static_cast<std::size_t>((2.0 * i + 1) /
+                                            (2.0 * k) * static_cast<double>(n)));
+        centroids.push_back(sorted[idx]);
+    }
+    std::sort(centroids.begin(), centroids.end());
+
+    std::vector<int> assign(n, 0);
+    for (int iter = 0; iter < maxIters; ++iter) {
+        bool changed = false;
+        // Assignment: nearest centroid (data sorted, centroids sorted,
+        // but a simple scan per point is plenty fast at our sizes).
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double best_d = std::abs(sorted[i] - centroids[0]);
+            for (int c = 1; c < k; ++c) {
+                const double d = std::abs(sorted[i] - centroids[
+                    static_cast<std::size_t>(c)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+        // Update step.
+        std::vector<double> sum(static_cast<std::size_t>(k), 0.0);
+        std::vector<std::size_t> count(static_cast<std::size_t>(k), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            sum[static_cast<std::size_t>(assign[i])] += sorted[i];
+            ++count[static_cast<std::size_t>(assign[i])];
+        }
+        for (int c = 0; c < k; ++c) {
+            const auto cc = static_cast<std::size_t>(c);
+            if (count[cc] > 0)
+                centroids[cc] = sum[cc] / static_cast<double>(count[cc]);
+        }
+        std::sort(centroids.begin(), centroids.end());
+    }
+
+    KMeansResult result;
+    result.centroids = centroids;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d =
+            sorted[i] - centroids[static_cast<std::size_t>(assign[i])];
+        result.wcss += d * d;
+    }
+    return result;
+}
+
+KMeansResult
+chooseClusters(const std::vector<double> &data, int kMax,
+               KSelection selection, double elbowThreshold)
+{
+    CHM_CHECK(kMax >= 1, "kMax must be at least 1");
+    std::vector<KMeansResult> results;
+    results.reserve(static_cast<std::size_t>(kMax));
+    for (int k = 1; k <= kMax; ++k)
+        results.push_back(kmeans1d(data, k));
+
+    if (selection == KSelection::LiteralMinWcss) {
+        // WCSS is non-increasing in K; ties broken toward smaller K.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < results.size(); ++i) {
+            if (results[i].wcss < results[best].wcss)
+                best = i;
+        }
+        return results[best];
+    }
+
+    // Elbow: stop at the first K whose improvement over K-1 is small.
+    // Improvements are measured relative to the total dispersion (the
+    // K=1 WCSS) so that near-zero residuals at well-separated K do not
+    // look like large relative gains.
+    const double total = results[0].wcss;
+    std::size_t chosen = results.size() - 1;
+    if (total <= 0.0)
+        return results[0]; // all samples identical
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const double improvement =
+            (results[i - 1].wcss - results[i].wcss) / total;
+        if (improvement < elbowThreshold) {
+            chosen = i - 1;
+            break;
+        }
+    }
+    return results[chosen];
+}
+
+std::vector<double>
+centroidCutoffs(const std::vector<double> &centroids)
+{
+    std::vector<double> cutoffs;
+    for (std::size_t i = 0; i + 1 < centroids.size(); ++i)
+        cutoffs.push_back(0.5 * (centroids[i] + centroids[i + 1]));
+    return cutoffs;
+}
+
+} // namespace chameleon::core

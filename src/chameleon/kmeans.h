@@ -1,0 +1,59 @@
+/**
+ * @file
+ * One-dimensional K-means for queue sizing (§4.3.4).
+ *
+ * Chameleon clusters the recent WRS distribution for K = 1..Kmax,
+ * computes the within-cluster sum of squares (WCSS), and derives queue
+ * cutoffs as midpoints between consecutive centroids.
+ *
+ * Note on K selection: the paper says to "pick the K that yields minimal
+ * WCSS", but WCSS is monotonically non-increasing in K, which would
+ * always select Kmax. We implement both the literal rule and an elbow
+ * criterion (smallest K whose marginal WCSS improvement falls below a
+ * threshold); the elbow is the default. The deviation is recorded in
+ * DESIGN.md.
+ */
+
+#ifndef CHAMELEON_CHAMELEON_KMEANS_H
+#define CHAMELEON_CHAMELEON_KMEANS_H
+
+#include <vector>
+
+namespace chameleon::core {
+
+/** Result of one K-means run. */
+struct KMeansResult
+{
+    std::vector<double> centroids; ///< Sorted ascending.
+    double wcss = 0.0;
+};
+
+/**
+ * Lloyd's algorithm in one dimension with quantile initialisation
+ * (deterministic).
+ */
+KMeansResult kmeans1d(const std::vector<double> &data, int k,
+                      int maxIters = 64);
+
+/** K-selection rules. */
+enum class KSelection {
+    Elbow,          ///< Smallest K with marginal improvement < threshold.
+    LiteralMinWcss, ///< Paper-literal: minimal WCSS (effectively Kmax).
+};
+
+/**
+ * Choose K in [1, kMax] and return the chosen clustering.
+ *
+ * @param elbowThreshold relative WCSS improvement below which adding a
+ *        cluster is not considered worthwhile (elbow rule only)
+ */
+KMeansResult chooseClusters(const std::vector<double> &data, int kMax,
+                            KSelection selection = KSelection::Elbow,
+                            double elbowThreshold = 0.10);
+
+/** Queue cutoffs: midpoints of consecutive centroids (size K-1). */
+std::vector<double> centroidCutoffs(const std::vector<double> &centroids);
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_KMEANS_H

@@ -1,0 +1,51 @@
+#include "chameleon/quota.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/check.h"
+
+namespace chameleon::core {
+
+std::vector<std::int64_t>
+assignQuotas(const std::vector<QueueLoadStats> &stats, double sloSeconds,
+             std::int64_t totalTokens)
+{
+    CHM_CHECK(!stats.empty(), "quota assignment needs queues");
+    CHM_CHECK(sloSeconds > 0, "SLO must be positive");
+    CHM_CHECK(totalTokens > 0, "token pool must be positive");
+
+    std::vector<double> minima;
+    minima.reserve(stats.size());
+    double min_sum = 0.0;
+    for (const auto &q : stats) {
+        const double tok_min = std::max(
+            1.0, q.maxTokens * q.meanServiceSeconds *
+                     (1.0 / sloSeconds + q.arrivalRate));
+        minima.push_back(tok_min);
+        min_sum += tok_min;
+    }
+
+    const auto total = static_cast<double>(totalTokens);
+    std::vector<std::int64_t> quotas(stats.size(), 0);
+    if (min_sum >= total) {
+        // Oversubscribed: scale minima down proportionally.
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            quotas[i] = static_cast<std::int64_t>(
+                std::floor(minima[i] / min_sum * total));
+        }
+    } else {
+        // Minima plus surplus split proportionally to the minima
+        // ("initial weights" in §4.3.5).
+        const double surplus = total - min_sum;
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            quotas[i] = static_cast<std::int64_t>(std::floor(
+                minima[i] + surplus * (minima[i] / min_sum)));
+        }
+    }
+    for (auto &q : quotas)
+        q = std::max<std::int64_t>(q, 1);
+    return quotas;
+}
+
+} // namespace chameleon::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Queueing-theory quota assignment (§4.3.5).
+ *
+ * Each queue is modeled as an M/M/1 server. With S the maximum request
+ * size in tokens for the queue, Tok its token quota, D the expected
+ * processing duration of one request, and lambda the arrival rate, the
+ * service rate is mu = Tok / (S * D) and the sojourn time is
+ * T = 1 / (mu - lambda). Meeting T <= SLO requires
+ *
+ *     Tok_min >= S * D * (1/SLO + lambda).
+ *
+ * Each queue receives its Tok_min and the remaining tokens are split
+ * proportionally to those minima. If the minima oversubscribe the total
+ * the assignment degrades gracefully by proportional scaling.
+ */
+
+#ifndef CHAMELEON_CHAMELEON_QUOTA_H
+#define CHAMELEON_CHAMELEON_QUOTA_H
+
+#include <cstdint>
+#include <vector>
+
+namespace chameleon::core {
+
+/** Measured load statistics of one queue over the last window. */
+struct QueueLoadStats
+{
+    /** Max request size in tokens admitted to this queue (S). */
+    double maxTokens = 1.0;
+    /** Mean processing duration of a request, seconds (D). */
+    double meanServiceSeconds = 0.1;
+    /** Arrival rate, requests/second (lambda). */
+    double arrivalRate = 0.0;
+};
+
+/**
+ * Per-queue token quotas.
+ *
+ * @param stats one entry per queue
+ * @param sloSeconds the latency SLO each queue must meet
+ * @param totalTokens the engine's total token pool
+ */
+std::vector<std::int64_t> assignQuotas(
+    const std::vector<QueueLoadStats> &stats, double sloSeconds,
+    std::int64_t totalTokens);
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_QUOTA_H

@@ -1,0 +1,211 @@
+#include "chameleon/system.h"
+
+#include <algorithm>
+
+#include "predict/history_predictor.h"
+#include "predict/length_predictor.h"
+#include "serving/fifo_scheduler.h"
+#include "serving/sjf_scheduler.h"
+#include "serving/slora_adapter_manager.h"
+#include "simkit/check.h"
+
+namespace chameleon::core {
+
+using serving::EngineConfig;
+using serving::ServingEngine;
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::SLora: return "S-LoRA";
+      case SystemKind::SLoraSjf: return "S-LoRA+SJF";
+      case SystemKind::SLoraChunked: return "S-LoRA+ChunkPrefill";
+      case SystemKind::ChameleonNoCache: return "ChameleonNoCache";
+      case SystemKind::ChameleonNoSched: return "ChameleonNoSched";
+      case SystemKind::Chameleon: return "Chameleon";
+      case SystemKind::ChameleonLru: return "Chameleon-LRU";
+      case SystemKind::ChameleonFairShare: return "Chameleon-FairShare";
+      case SystemKind::ChameleonGdsf: return "Chameleon-GDSF";
+      case SystemKind::ChameleonPrefetch: return "Chameleon+Prefetch";
+      case SystemKind::ChameleonStatic: return "Chameleon-Static";
+      case SystemKind::ChameleonOutputOnly: return "Chameleon-OutputOnly";
+      case SystemKind::ChameleonDegree1: return "Chameleon-Degree1";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+usesMlq(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::SLora:
+      case SystemKind::SLoraSjf:
+      case SystemKind::SLoraChunked:
+      case SystemKind::ChameleonNoSched:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+usesCache(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::SLora:
+      case SystemKind::SLoraSjf:
+      case SystemKind::SLoraChunked:
+      case SystemKind::ChameleonNoCache:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::string
+evictionPolicyFor(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::ChameleonLru: return "lru";
+      case SystemKind::ChameleonFairShare: return "fairshare";
+      case SystemKind::ChameleonGdsf: return "gdsf";
+      default: return "chameleon";
+    }
+}
+
+/**
+ * Placeholder pool for base-only workloads: no request references an
+ * adapter, so the manager never performs a lookup against it.
+ */
+const model::AdapterPool &
+placeholderPool()
+{
+    static const model::AdapterPool pool(model::llama7B(),
+                                         std::vector<int>{8});
+    return pool;
+}
+
+} // namespace
+
+System::System(SystemKind kind, SystemConfig config,
+               const model::AdapterPool *pool)
+    : kind_(kind), config_(std::move(config)), pool_(pool)
+{
+    EngineConfig ecfg = config_.engine;
+    ecfg.predictedReservation = usesMlq(kind);
+    if (kind == SystemKind::SLoraChunked) {
+        ecfg.prefillChunkTokens =
+            std::max<std::int64_t>(config_.chunkedPrefillTokens, 1);
+    }
+
+    if (config_.predictor == "history") {
+        predictor_ = std::make_unique<predict::HistoryLengthPredictor>();
+    } else {
+        CHM_CHECK(config_.predictor == "bert",
+                  "unknown predictor: " << config_.predictor);
+        predictor_ = std::make_unique<predict::LengthPredictor>(
+            config_.predictorAccuracy, config_.predictorSeed);
+    }
+
+    // Scheduler.
+    std::unique_ptr<serving::Scheduler> scheduler;
+    if (!usesMlq(kind)) {
+        if (kind == SystemKind::SLoraSjf)
+            scheduler = std::make_unique<serving::SjfScheduler>();
+        else
+            scheduler = std::make_unique<serving::FifoScheduler>();
+    } else {
+        MlqConfig mcfg;
+        mcfg.sloSeconds = config_.sloSeconds;
+        mcfg.refreshPeriod = config_.refreshPeriod;
+        mcfg.kvBytesPerToken = ecfg.model.kvBytesPerToken();
+        const std::int64_t pool_bytes =
+            static_cast<std::int64_t>(ecfg.tpDegree) * ecfg.gpu.memBytes -
+            ecfg.model.weightsBytes() -
+            static_cast<std::int64_t>(ecfg.tpDegree) * ecfg.workspacePerGpu;
+        CHM_CHECK(pool_bytes > 0, "model does not leave room for requests");
+        mcfg.totalTokens = pool_bytes / mcfg.kvBytesPerToken;
+        mcfg.bypassEnabled = config_.mlqBypass;
+        if (kind == SystemKind::ChameleonStatic)
+            mcfg.dynamic = false;
+        if (kind == SystemKind::ChameleonOutputOnly)
+            mcfg.wrsForm = WrsForm::OutputOnly;
+        if (kind == SystemKind::ChameleonDegree1)
+            mcfg.wrsForm = WrsForm::Degree1;
+        auto mlq = std::make_unique<MlqScheduler>(mcfg, pool_);
+        mlq_ = mlq.get();
+        scheduler = std::move(mlq);
+    }
+
+    engine_ = std::make_unique<ServingEngine>(
+        sim_, ecfg, pool_, std::move(scheduler), predictor_.get());
+
+    // Adapter manager (needs the engine's memory and link objects).
+    std::unique_ptr<serving::AdapterManager> mgr;
+    if (pool_ == nullptr || !usesCache(kind)) {
+        // Base-only workloads still need a manager object; the baseline
+        // one degenerates gracefully when no adapters are referenced.
+        mgr = std::make_unique<serving::SLoraAdapterManager>(
+            pool_ ? *pool_ : placeholderPool(), engine_->memory(),
+            engine_->pcieLink(), /*prefetchEnabled=*/true);
+    } else {
+        CacheConfig ccfg;
+        ccfg.evictionPolicy = evictionPolicyFor(kind);
+        ccfg.predictivePrefetch = kind == SystemKind::ChameleonPrefetch;
+        ccfg.predictiveTopK = config_.prefetchTopK;
+        mgr = std::make_unique<CacheManager>(
+            *pool_, engine_->memory(), engine_->pcieLink(),
+            engine_->costModel(), ccfg);
+    }
+    engine_->setAdapterManager(std::move(mgr));
+}
+
+System::~System() = default;
+
+RunResult
+System::run(const workload::Trace &trace, sim::SimTime drainWindow)
+{
+    engine_->submitTrace(trace);
+    // Drain everything; the engine's event graph is finite. The drain
+    // window only bounds the clock when the engine ends up idle-stalled.
+    sim_.runUntil(trace.duration());
+    std::int64_t guard = 1ll << 40;
+    while (sim_.pendingEvents() > 0 && guard-- > 0 &&
+           sim_.now() < trace.duration() + drainWindow) {
+        sim_.runUntil(sim_.now() + sim::kSec);
+        if (sim_.pendingEvents() == 0)
+            break;
+    }
+    engine_->finalize();
+
+    RunResult result;
+    result.stats = engine_->stats();
+    const auto &link = engine_->pcieLink();
+    result.pcieBytes = link.totalBytes();
+    result.pcieTransfers = link.totalTransfers();
+    result.pcieUtilisation = link.utilisation();
+    result.pcieMeanBytesPerSec = link.bandwidthSeries().meanRate();
+    result.pcieMaxBytesPerSec = link.bandwidthSeries().maxRate();
+    result.pcieRateSeries = link.bandwidthSeries().ratePerSecond();
+    result.cacheHitRate = result.stats.cacheHitRate();
+    if (auto *cache =
+            dynamic_cast<CacheManager *>(&engine_->adapterManager())) {
+        result.cacheEvictions = cache->evictions();
+    }
+    if (mlq_ != nullptr)
+        result.mlqQueues = mlq_->queueCount();
+    return result;
+}
+
+RunResult
+runSystem(SystemKind kind, const SystemConfig &config,
+          const model::AdapterPool *pool, const workload::Trace &trace)
+{
+    System system(kind, config, pool);
+    return system.run(trace);
+}
+
+} // namespace chameleon::core

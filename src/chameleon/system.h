@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Top-level facade: build and run complete serving systems.
+ *
+ * Wires a ServingEngine with the scheduler/adapter-manager combination
+ * of each system evaluated in the paper, runs a trace through it, and
+ * returns the aggregate statistics. This is the entry point used by the
+ * examples and by every benchmark binary.
+ */
+
+#ifndef CHAMELEON_CHAMELEON_SYSTEM_H
+#define CHAMELEON_CHAMELEON_SYSTEM_H
+
+#include <memory>
+#include <string>
+
+#include "chameleon/cache_manager.h"
+#include "chameleon/mlq_scheduler.h"
+#include "predict/output_predictor.h"
+#include "serving/engine.h"
+#include "simkit/simulator.h"
+#include "workload/trace.h"
+
+namespace chameleon::core {
+
+/** The systems compared in the paper's evaluation. */
+enum class SystemKind {
+    SLora,              ///< FIFO + fetch-on-demand/prefetch/discard [49].
+    SLoraSjf,           ///< S-LoRA with the uServe SJF scheduler [46].
+    SLoraChunked,       ///< S-LoRA with chunked prefill (Sarathi [1]).
+    ChameleonNoCache,   ///< Chameleon scheduler, baseline adapter mgmt.
+    ChameleonNoSched,   ///< Chameleon cache, FIFO scheduling.
+    Chameleon,          ///< Full system (§4).
+    ChameleonLru,       ///< Full system, LRU eviction (Fig. 17).
+    ChameleonFairShare, ///< Full system, equal-weight eviction (Fig. 17).
+    ChameleonGdsf,      ///< Full system, GDSF eviction (§5.3.3).
+    ChameleonPrefetch,  ///< Full system + predictive prefetch (Fig. 18).
+    ChameleonStatic,    ///< Static queues/quotas variant (Fig. 22).
+    ChameleonOutputOnly,///< WRS = predicted output only (Fig. 19).
+    ChameleonDegree1,   ///< Degree-1 WRS polynomial (§4.3.1 ablation).
+};
+
+/** Human-readable system name. */
+const char *systemName(SystemKind kind);
+
+/** Configuration shared by all system kinds. */
+struct SystemConfig
+{
+    serving::EngineConfig engine;
+    /** Output-length predictor: "bert" (accuracy knob) or "history". */
+    std::string predictor = "bert";
+    /** Output-length predictor accuracy (paper's predictor: ~0.8). */
+    double predictorAccuracy = 0.8;
+    std::uint64_t predictorSeed = 0xC0FFEE;
+    /** SLO used by the Chameleon quota assignment, seconds. */
+    double sloSeconds = 5.0;
+    /** Chunk size for the chunked-prefill baseline. */
+    std::int64_t chunkedPrefillTokens = 64;
+    /** Scheduler refresh period (§4.3.4). */
+    sim::SimTime refreshPeriod = 300 * sim::kSec;
+    /** Predictive-prefetch width for ChameleonPrefetch. */
+    std::size_t prefetchTopK = 8;
+    /** Opportunistic bypass toggle (§4.3.3 ablation). */
+    bool mlqBypass = true;
+};
+
+/** Aggregate outcome of one run. */
+struct RunResult
+{
+    serving::EngineStats stats;
+    /** PCIe link statistics. */
+    std::int64_t pcieBytes = 0;
+    std::int64_t pcieTransfers = 0;
+    double pcieUtilisation = 0.0;
+    double pcieMeanBytesPerSec = 0.0;
+    double pcieMaxBytesPerSec = 0.0;
+    std::vector<sim::TimePoint> pcieRateSeries;
+    /** Cache statistics (0 for baseline adapter management). */
+    std::int64_t cacheEvictions = 0;
+    double cacheHitRate = 0.0;
+    /** Final queue count of the MLQ scheduler (0 for FIFO/SJF). */
+    int mlqQueues = 0;
+};
+
+/** A fully wired single-engine serving system. */
+class System
+{
+  public:
+    /**
+     * @param kind which system to build
+     * @param config shared configuration
+     * @param pool adapter catalogue (nullable for base-only workloads)
+     */
+    System(SystemKind kind, SystemConfig config,
+           const model::AdapterPool *pool);
+    ~System();
+
+    sim::Simulator &simulator() { return sim_; }
+    serving::ServingEngine &engine() { return *engine_; }
+    SystemKind kind() const { return kind_; }
+
+    /**
+     * Run a trace to completion (with a drain window after the last
+     * arrival) and collect results.
+     */
+    RunResult run(const workload::Trace &trace,
+                  sim::SimTime drainWindow = 3600 * sim::kSec);
+
+  private:
+    SystemKind kind_;
+    SystemConfig config_;
+    const model::AdapterPool *pool_;
+    sim::Simulator sim_;
+    std::unique_ptr<predict::OutputPredictor> predictor_;
+    std::unique_ptr<serving::ServingEngine> engine_;
+    MlqScheduler *mlq_ = nullptr; // borrowed view when kind uses MLQ
+};
+
+/** One-shot convenience wrapper. */
+RunResult runSystem(SystemKind kind, const SystemConfig &config,
+                    const model::AdapterPool *pool,
+                    const workload::Trace &trace);
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_SYSTEM_H

@@ -1,0 +1,56 @@
+#include "chameleon/wrs.h"
+
+#include <algorithm>
+
+#include "simkit/check.h"
+
+namespace chameleon::core {
+
+namespace {
+/** Normalisation floors: typical medium request (§3.1). */
+constexpr double kMinMaxInput = 256.0;
+constexpr double kMinMaxOutput = 256.0;
+} // namespace
+
+WrsCalculator::WrsCalculator(const model::AdapterPool *pool, WrsForm form,
+                             double a, double b)
+    : pool_(pool), form_(form), a_(a), b_(b), maxInput_(kMinMaxInput),
+      maxOutput_(kMinMaxOutput)
+{
+    CHM_CHECK(a >= 0 && b >= 0, "weights must be non-negative");
+}
+
+double
+WrsCalculator::compute(std::int64_t inputTokens,
+                       std::int64_t predictedOutput,
+                       std::int64_t adapterBytes)
+{
+    maxInput_ = std::max(maxInput_, static_cast<double>(inputTokens));
+    maxOutput_ = std::max(maxOutput_, static_cast<double>(predictedOutput));
+    const double in_n = static_cast<double>(inputTokens) / maxInput_;
+    const double out_n = static_cast<double>(predictedOutput) / maxOutput_;
+
+    double ad_n = 1.0;
+    if (pool_ && pool_->maxBytes() > 0) {
+        // Base-only requests get the smallest adapter's share so the
+        // multiplicative form stays well defined.
+        const double bytes = adapterBytes > 0
+                                 ? static_cast<double>(adapterBytes)
+                                 : static_cast<double>(pool_->maxBytes()) /
+                                       16.0;
+        ad_n = bytes / static_cast<double>(pool_->maxBytes());
+    }
+
+    switch (form_) {
+      case WrsForm::Degree2:
+        return (a_ * in_n + b_ * out_n) * ad_n;
+      case WrsForm::Degree1:
+        // Equal-altitude linear blend; adapter gets the residual weight.
+        return a_ * in_n + b_ * out_n + 0.5 * ad_n;
+      case WrsForm::OutputOnly:
+        return out_n;
+    }
+    CHM_PANIC("unknown WRS form");
+}
+
+} // namespace chameleon::core

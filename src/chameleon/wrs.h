@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Weighted Request Size (§4.3.1).
+ *
+ * WRS estimates a request's total execution cost from its known input
+ * size, predicted output size, and adapter size:
+ *
+ *   WRS = (A * In/MaxIn + B * Out/MaxOut) * AdapterSize/MaxAdapterSize
+ *
+ * with A=0.4 and B=0.6 from the paper's sensitivity studies. The paper
+ * reports this degree-2 polynomial outperforms a linear (degree-1)
+ * combination by up to 10%; both are implemented for the ablation, along
+ * with the OutputOnly variant used in the §5.4.1 predictor study.
+ */
+
+#ifndef CHAMELEON_CHAMELEON_WRS_H
+#define CHAMELEON_CHAMELEON_WRS_H
+
+#include <cstdint>
+
+#include "model/adapter.h"
+
+namespace chameleon::core {
+
+/** WRS formula variants. */
+enum class WrsForm {
+    Degree2,    ///< The paper's formula (length term times adapter term).
+    Degree1,    ///< Linear combination of all three factors (ablation).
+    OutputOnly, ///< Predicted output only (the uServe-style knob, §5.4.1).
+};
+
+/** Computes WRS values with running normalisation maxima. */
+class WrsCalculator
+{
+  public:
+    /**
+     * @param pool adapter catalogue (nullable for base-only workloads)
+     * @param form formula variant
+     * @param a input weight (paper: 0.4)
+     * @param b output weight (paper: 0.6)
+     */
+    explicit WrsCalculator(const model::AdapterPool *pool,
+                           WrsForm form = WrsForm::Degree2, double a = 0.4,
+                           double b = 0.6);
+
+    /**
+     * WRS of a request. Maintains running maxima of observed input and
+     * output sizes for normalisation (floored so early requests do not
+     * destabilise the scale).
+     */
+    double compute(std::int64_t inputTokens, std::int64_t predictedOutput,
+                   std::int64_t adapterBytes);
+
+    WrsForm form() const { return form_; }
+
+  private:
+    const model::AdapterPool *pool_;
+    WrsForm form_;
+    double a_;
+    double b_;
+    double maxInput_;
+    double maxOutput_;
+};
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_WRS_H

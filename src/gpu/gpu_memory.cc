@@ -1,0 +1,96 @@
+#include "gpu/gpu_memory.h"
+
+namespace chameleon::gpu {
+
+GpuMemory::GpuMemory(std::int64_t capacity, std::int64_t weights,
+                     std::int64_t workspace)
+    : capacity_(capacity), weights_(weights), workspace_(workspace)
+{
+    CHM_CHECK(capacity > 0, "GPU capacity must be positive");
+    CHM_CHECK(weights >= 0 && workspace >= 0, "negative static reserve");
+    CHM_CHECK(weights + workspace <= capacity,
+              "model does not fit: weights=" << weights << " workspace="
+              << workspace << " capacity=" << capacity);
+}
+
+std::int64_t
+GpuMemory::freeBytes() const
+{
+    const std::int64_t used =
+        weights_ + workspace_ + kv_ + adapterInUse_ + adapterCache_;
+    CHM_CHECK(used <= capacity_, "memory accounting overflow");
+    return capacity_ - used;
+}
+
+bool
+GpuMemory::tryAllocKv(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0, "negative KV allocation");
+    if (bytes > freeBytes())
+        return false;
+    kv_ += bytes;
+    return true;
+}
+
+void
+GpuMemory::freeKv(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0 && bytes <= kv_, "KV free underflow");
+    kv_ -= bytes;
+}
+
+bool
+GpuMemory::tryAllocAdapterInUse(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0, "negative adapter allocation");
+    if (bytes > freeBytes())
+        return false;
+    adapterInUse_ += bytes;
+    return true;
+}
+
+void
+GpuMemory::freeAdapterInUse(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0 && bytes <= adapterInUse_,
+              "adapter in-use free underflow");
+    adapterInUse_ -= bytes;
+}
+
+void
+GpuMemory::moveInUseToCache(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0 && bytes <= adapterInUse_,
+              "in-use -> cache move underflow");
+    adapterInUse_ -= bytes;
+    adapterCache_ += bytes;
+}
+
+void
+GpuMemory::moveCacheToInUse(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0 && bytes <= adapterCache_,
+              "cache -> in-use move underflow");
+    adapterCache_ -= bytes;
+    adapterInUse_ += bytes;
+}
+
+bool
+GpuMemory::tryAllocAdapterCache(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0, "negative cache allocation");
+    if (bytes > freeBytes())
+        return false;
+    adapterCache_ += bytes;
+    return true;
+}
+
+void
+GpuMemory::freeAdapterCache(std::int64_t bytes)
+{
+    CHM_CHECK(bytes >= 0 && bytes <= adapterCache_,
+              "adapter cache free underflow");
+    adapterCache_ -= bytes;
+}
+
+} // namespace chameleon::gpu

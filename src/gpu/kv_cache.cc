@@ -1,0 +1,68 @@
+#include "gpu/kv_cache.h"
+
+namespace chameleon::gpu {
+
+KvCache::KvCache(GpuMemory &mem, std::int64_t bytesPerToken, int pageTokens)
+    : mem_(mem), bytesPerToken_(bytesPerToken), pageTokens_(pageTokens)
+{
+    CHM_CHECK(bytesPerToken > 0, "bytesPerToken must be positive");
+    CHM_CHECK(pageTokens > 0, "pageTokens must be positive");
+}
+
+std::int64_t
+KvCache::bytesForTokens(std::int64_t tokens) const
+{
+    CHM_CHECK(tokens >= 0, "negative token reservation");
+    const std::int64_t pages = (tokens + pageTokens_ - 1) / pageTokens_;
+    return pages * pageTokens_ * bytesPerToken_;
+}
+
+bool
+KvCache::tryReserve(std::int64_t requestId, std::int64_t tokens)
+{
+    const std::int64_t want = bytesForTokens(tokens);
+    auto it = reservations_.find(requestId);
+    const std::int64_t have = it == reservations_.end() ? 0 : it->second.bytes;
+    if (want <= have) {
+        // Page already covers the new tokens; just record the count.
+        if (it != reservations_.end())
+            it->second.tokens = std::max(it->second.tokens, tokens);
+        return true;
+    }
+    if (!mem_.tryAllocKv(want - have))
+        return false;
+    totalBytes_ += want - have;
+    auto &res = reservations_[requestId];
+    res.tokens = tokens;
+    res.bytes = want;
+    return true;
+}
+
+void
+KvCache::release(std::int64_t requestId)
+{
+    auto it = reservations_.find(requestId);
+    if (it == reservations_.end())
+        return;
+    mem_.freeKv(it->second.bytes);
+    totalBytes_ -= it->second.bytes;
+    reservations_.erase(it);
+}
+
+std::int64_t
+KvCache::reservedTokens(std::int64_t requestId) const
+{
+    auto it = reservations_.find(requestId);
+    return it == reservations_.end() ? 0 : it->second.tokens;
+}
+
+std::int64_t
+KvCache::fragmentationBytes() const
+{
+    std::int64_t frag = 0;
+    for (const auto &[id, res] : reservations_)
+        frag += res.bytes - res.tokens * bytesPerToken_;
+    return frag;
+}
+
+} // namespace chameleon::gpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Paged KV-cache allocator.
+ *
+ * Models a vLLM/S-LoRA style paged KV pool: per-request token state is
+ * stored in fixed-size pages, so allocations round up to page granularity
+ * and the pool suffers bounded internal fragmentation. Backed by the
+ * GpuMemory accounting so KV growth competes with the adapter cache for
+ * idle memory, which is exactly the interaction §4.2.1 manages.
+ */
+
+#ifndef CHAMELEON_GPU_KV_CACHE_H
+#define CHAMELEON_GPU_KV_CACHE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gpu/gpu_memory.h"
+
+namespace chameleon::gpu {
+
+/** Per-request paged KV allocation state. */
+class KvCache
+{
+  public:
+    /**
+     * @param mem backing memory accountant
+     * @param bytesPerToken KV bytes per cached token (model dependent)
+     * @param pageTokens tokens per page (vLLM default granularity 16)
+     */
+    KvCache(GpuMemory &mem, std::int64_t bytesPerToken, int pageTokens = 16);
+
+    /** Bytes a reservation of the given token count would occupy. */
+    std::int64_t bytesForTokens(std::int64_t tokens) const;
+
+    /**
+     * Reserve pages for a request's token count; false if memory is
+     * unavailable. Re-reserving with a larger count grows the
+     * reservation (used as decode emits tokens).
+     */
+    bool tryReserve(std::int64_t requestId, std::int64_t tokens);
+
+    /** Release a request's pages. */
+    void release(std::int64_t requestId);
+
+    /** Tokens currently reserved for a request (0 if none). */
+    std::int64_t reservedTokens(std::int64_t requestId) const;
+
+    /** Total bytes held by this pool. */
+    std::int64_t totalBytes() const { return totalBytes_; }
+
+    /** Bytes lost to page-rounding across live reservations. */
+    std::int64_t fragmentationBytes() const;
+
+    int pageTokens() const { return pageTokens_; }
+    std::int64_t bytesPerToken() const { return bytesPerToken_; }
+
+  private:
+    struct Reservation
+    {
+        std::int64_t tokens = 0;
+        std::int64_t bytes = 0;
+    };
+
+    GpuMemory &mem_;
+    std::int64_t bytesPerToken_;
+    int pageTokens_;
+    std::int64_t totalBytes_ = 0;
+    std::unordered_map<std::int64_t, Reservation> reservations_;
+};
+
+} // namespace chameleon::gpu
+
+#endif // CHAMELEON_GPU_KV_CACHE_H

@@ -1,0 +1,49 @@
+#include "gpu/pcie_link.h"
+
+#include <utility>
+
+#include "simkit/check.h"
+
+namespace chameleon::gpu {
+
+using sim::SimTime;
+
+PcieLink::PcieLink(sim::Simulator &simulator,
+                   std::function<sim::SimTime(std::int64_t)> serviceTimeFn)
+    : sim_(simulator), serviceTimeFn_(std::move(serviceTimeFn)),
+      bwSeries_(sim::kSec)
+{
+}
+
+SimTime
+PcieLink::earliestCompletion(std::int64_t bytes) const
+{
+    const SimTime start = std::max(busyUntil_, sim_.now());
+    return start + serviceTimeFn_(bytes);
+}
+
+SimTime
+PcieLink::enqueue(std::int64_t bytes, std::function<void()> onDone)
+{
+    CHM_CHECK(bytes > 0, "transfer must move at least one byte");
+    const SimTime start = std::max(busyUntil_, sim_.now());
+    const SimTime service = serviceTimeFn_(bytes);
+    const SimTime done = start + service;
+    busyAccum_ += service;
+    busyUntil_ = done;
+    totalBytes_ += bytes;
+    ++totalTransfers_;
+    bwSeries_.record(sim_.now(), static_cast<double>(bytes));
+    sim_.scheduleAt(done, std::move(onDone));
+    return done;
+}
+
+double
+PcieLink::utilisation() const
+{
+    const SimTime elapsed = std::max<SimTime>(sim_.now(), 1);
+    const SimTime busy = std::min(busyAccum_, elapsed);
+    return static_cast<double>(busy) / static_cast<double>(elapsed);
+}
+
+} // namespace chameleon::gpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Host->GPU PCIe link model.
+ *
+ * Transfers are serviced one at a time in FIFO order at the link's
+ * effective bandwidth (DMA engines serialise bulk copies); each transfer
+ * pays a fixed setup cost. Queueing behind earlier transfers is what
+ * creates the contention the paper measures in Fig. 4 and the up-to-30 ms
+ * critical-path loading latencies of Fig. 14.
+ */
+
+#ifndef CHAMELEON_GPU_PCIE_LINK_H
+#define CHAMELEON_GPU_PCIE_LINK_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "simkit/simulator.h"
+#include "simkit/time.h"
+#include "simkit/timeseries.h"
+
+namespace chameleon::gpu {
+
+/** FIFO transfer queue over a fixed-bandwidth host link. */
+class PcieLink
+{
+  public:
+    /**
+     * @param simulator event kernel
+     * @param serviceTimeFn maps transfer bytes to service time (the cost
+     *        model's adapterLoadTime, including setup and TP sync)
+     */
+    PcieLink(sim::Simulator &simulator,
+             std::function<sim::SimTime(std::int64_t)> serviceTimeFn);
+
+    /**
+     * Enqueue a transfer; onDone fires when it completes. Returns the
+     * predicted completion time (exact, since the queue is FIFO and
+     * non-preemptive).
+     */
+    sim::SimTime enqueue(std::int64_t bytes, std::function<void()> onDone);
+
+    /** Earliest time a transfer submitted now would complete. */
+    sim::SimTime earliestCompletion(std::int64_t bytes) const;
+
+    /** True while any transfer is queued or in flight. */
+    bool busy() const { return busyUntil_ > sim_.now(); }
+
+    /** Total bytes ever enqueued. */
+    std::int64_t totalBytes() const { return totalBytes_; }
+    /** Total transfers ever enqueued. */
+    std::int64_t totalTransfers() const { return totalTransfers_; }
+
+    /** Bytes-per-window series for bandwidth plots (1 s windows). */
+    const sim::WindowedSum &bandwidthSeries() const { return bwSeries_; }
+
+    /** Fraction of elapsed time the link was busy (utilisation). */
+    double utilisation() const;
+
+  private:
+    sim::Simulator &sim_;
+    std::function<sim::SimTime(std::int64_t)> serviceTimeFn_;
+    sim::SimTime busyUntil_ = 0;
+    std::int64_t totalBytes_ = 0;
+    std::int64_t totalTransfers_ = 0;
+    sim::SimTime busyAccum_ = 0;
+    sim::WindowedSum bwSeries_;
+};
+
+} // namespace chameleon::gpu
+
+#endif // CHAMELEON_GPU_PCIE_LINK_H

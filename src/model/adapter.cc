@@ -1,0 +1,61 @@
+#include "model/adapter.h"
+
+#include "simkit/check.h"
+
+namespace chameleon::model {
+
+std::int64_t
+adapterBytes(const ModelSpec &model, int rank)
+{
+    CHM_CHECK(rank > 0, "adapter rank must be positive");
+    // fp16: 2 bytes per parameter.
+    return model.loraDimsPerLayer() * rank * model.layers * 2;
+}
+
+const std::vector<int> &
+paperRanks()
+{
+    static const std::vector<int> ranks{8, 16, 32, 64, 128};
+    return ranks;
+}
+
+AdapterPool::AdapterPool(const ModelSpec &model, int count)
+{
+    CHM_CHECK(count > 0, "adapter pool must be non-empty");
+    const auto &ranks = paperRanks();
+    std::vector<int> assigned;
+    assigned.reserve(count);
+    // Equal number of adapters per rank (paper §5.1: Na/5 per rank),
+    // grouped so adapters [0, Na/5) are rank 8, the next block rank 16...
+    for (int i = 0; i < count; ++i) {
+        const auto bucket =
+            static_cast<std::size_t>(i) * ranks.size() /
+            static_cast<std::size_t>(count);
+        assigned.push_back(ranks[bucket]);
+    }
+    *this = AdapterPool(model, assigned);
+}
+
+AdapterPool::AdapterPool(const ModelSpec &model, const std::vector<int> &ranks)
+{
+    CHM_CHECK(!ranks.empty(), "adapter pool must be non-empty");
+    specs_.reserve(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        AdapterSpec spec;
+        spec.id = static_cast<AdapterId>(i);
+        spec.rank = ranks[i];
+        spec.bytes = adapterBytes(model, ranks[i]);
+        maxBytes_ = std::max(maxBytes_, spec.bytes);
+        maxRank_ = std::max(maxRank_, spec.rank);
+        specs_.push_back(spec);
+    }
+}
+
+const AdapterSpec &
+AdapterPool::spec(AdapterId id) const
+{
+    CHM_CHECK(id >= 0 && id < size(), "adapter id out of range: " << id);
+    return specs_[static_cast<std::size_t>(id)];
+}
+
+} // namespace chameleon::model

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GPU hardware descriptors (A40 / A100 presets per §5.1/§5.5).
+ */
+
+#ifndef CHAMELEON_MODEL_GPU_SPEC_H
+#define CHAMELEON_MODEL_GPU_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace chameleon::model {
+
+/** Static description of one GPU. */
+struct GpuSpec
+{
+    std::string name;
+    /** Dense fp16 peak throughput, FLOP/s. */
+    double fp16Flops = 0.0;
+    /** HBM bandwidth, bytes/s. */
+    double memBandwidth = 0.0;
+    /** Device memory capacity, bytes. */
+    std::int64_t memBytes = 0;
+    /** Effective host->device PCIe bandwidth, bytes/s. */
+    double pcieBandwidth = 0.0;
+    /** Fixed per-transfer setup latency, seconds (driver + pinning). */
+    double pcieSetupSeconds = 0.0;
+};
+
+/** NVIDIA A40, 48 GB (the paper's primary testbed). */
+GpuSpec a40();
+
+/** NVIDIA A100 with a configurable memory capacity in GiB (24/48/80). */
+GpuSpec a100(int memGiB = 80);
+
+} // namespace chameleon::model
+
+#endif // CHAMELEON_MODEL_GPU_SPEC_H

@@ -1,0 +1,67 @@
+#include "model/llm.h"
+
+#include "simkit/check.h"
+
+namespace chameleon::model {
+
+std::int64_t
+ModelSpec::weightsBytes() const
+{
+    return static_cast<std::int64_t>(params * 2.0);
+}
+
+std::int64_t
+ModelSpec::kvBytesPerToken() const
+{
+    // K and V, one vector of kvHidden per layer, fp16.
+    return static_cast<std::int64_t>(2) * layers * kvHidden * 2;
+}
+
+std::int64_t
+ModelSpec::loraDimsPerLayer() const
+{
+    // LoRA pairs (A: in x r, B: r x out) on q, k, v, o projections.
+    // Per unit rank: q -> hidden + hidden, k -> hidden + kvHidden,
+    // v -> hidden + kvHidden, o -> hidden + hidden.
+    return static_cast<std::int64_t>(6) * hidden + 2 * kvHidden;
+}
+
+ModelSpec
+llama7B()
+{
+    return ModelSpec{"llama-7b", 32, 4096, 4096, 6.74e9};
+}
+
+ModelSpec
+llama13B()
+{
+    return ModelSpec{"llama-13b", 40, 5120, 5120, 13.0e9};
+}
+
+ModelSpec
+llama30B()
+{
+    return ModelSpec{"llama-30b", 60, 6656, 6656, 32.5e9};
+}
+
+ModelSpec
+llama70B()
+{
+    return ModelSpec{"llama-70b", 80, 8192, 1024, 68.9e9};
+}
+
+ModelSpec
+modelByName(const std::string &name)
+{
+    if (name == "llama-7b")
+        return llama7B();
+    if (name == "llama-13b")
+        return llama13B();
+    if (name == "llama-30b")
+        return llama30B();
+    if (name == "llama-70b")
+        return llama70B();
+    CHM_FATAL("unknown model preset: " << name);
+}
+
+} // namespace chameleon::model

@@ -1,0 +1,45 @@
+#include "predict/history_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/check.h"
+
+namespace chameleon::predict {
+
+HistoryLengthPredictor::HistoryLengthPredictor(double alpha,
+                                               std::int64_t coldDefault)
+    : alpha_(alpha), coldDefault_(coldDefault)
+{
+    CHM_CHECK(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    CHM_CHECK(coldDefault > 0, "cold default must be positive");
+}
+
+std::int64_t
+HistoryLengthPredictor::predict(const workload::Request &req) const
+{
+    auto it = perAdapter_.find(req.adapter);
+    if (it != perAdapter_.end())
+        return std::max<std::int64_t>(1, std::llround(it->second));
+    if (haveGlobal_)
+        return std::max<std::int64_t>(1, std::llround(globalEwma_));
+    return coldDefault_;
+}
+
+void
+HistoryLengthPredictor::observe(const workload::Request &req)
+{
+    const auto actual = static_cast<double>(req.outputTokens);
+    if (!haveGlobal_) {
+        globalEwma_ = actual;
+        haveGlobal_ = true;
+    } else {
+        globalEwma_ = (1.0 - alpha_) * globalEwma_ + alpha_ * actual;
+    }
+    auto [it, inserted] = perAdapter_.try_emplace(req.adapter, actual);
+    if (!inserted)
+        it->second = (1.0 - alpha_) * it->second + alpha_ * actual;
+    ++observations_;
+}
+
+} // namespace chameleon::predict

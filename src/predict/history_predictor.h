@@ -1,0 +1,51 @@
+/**
+ * @file
+ * History-based output-length prediction.
+ *
+ * A practical alternative to the BERT proxy model: per-adapter
+ * exponentially-weighted moving averages of observed output lengths
+ * (requests to the same fine-tuned task tend to have similar response
+ * lengths), with a global fallback for cold adapters. Purely online:
+ * no offline model, no inference cost.
+ */
+
+#ifndef CHAMELEON_PREDICT_HISTORY_PREDICTOR_H
+#define CHAMELEON_PREDICT_HISTORY_PREDICTOR_H
+
+#include <unordered_map>
+
+#include "predict/output_predictor.h"
+
+namespace chameleon::predict {
+
+/** Per-adapter EWMA predictor with global fallback. */
+class HistoryLengthPredictor : public OutputPredictor
+{
+  public:
+    /**
+     * @param alpha EWMA weight of the newest observation
+     * @param coldDefault prediction before any observation exists
+     */
+    explicit HistoryLengthPredictor(double alpha = 0.2,
+                                    std::int64_t coldDefault = 64);
+
+    const char *name() const override { return "history-ewma"; }
+
+    std::int64_t predict(const workload::Request &req) const override;
+    void observe(const workload::Request &req) override;
+
+    /** Observations recorded so far. */
+    std::int64_t observations() const { return observations_; }
+
+  private:
+    double alpha_;
+    std::int64_t coldDefault_;
+    double globalEwma_ = 0.0;
+    bool haveGlobal_ = false;
+    std::unordered_map<model::AdapterId, double> perAdapter_;
+    std::int64_t observations_ = 0;
+};
+
+} // namespace chameleon::predict
+
+#endif // CHAMELEON_PREDICT_HISTORY_PREDICTOR_H

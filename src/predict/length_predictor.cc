@@ -1,0 +1,46 @@
+#include "predict/length_predictor.h"
+
+#include <algorithm>
+
+#include "simkit/check.h"
+#include "simkit/rng.h"
+
+namespace chameleon::predict {
+
+LengthPredictor::LengthPredictor(double accuracy, std::uint64_t seed)
+    : accuracy_(accuracy), seed_(seed)
+{
+    CHM_CHECK(accuracy >= 0.0 && accuracy <= 1.0,
+              "accuracy must be a probability, got " << accuracy);
+}
+
+std::int64_t
+LengthPredictor::bucketMidpoint(std::int64_t tokens)
+{
+    CHM_CHECK(tokens >= 0, "negative token count");
+    // Power-of-two buckets: [1,2), [2,4), [4,8), ... midpoint = 1.5*lo.
+    std::int64_t lo = 1;
+    while (lo * 2 <= tokens)
+        lo *= 2;
+    return lo + lo / 2;
+}
+
+std::int64_t
+LengthPredictor::predict(const workload::Request &req) const
+{
+    // Deterministic per-request stream: the same request always gets the
+    // same prediction, regardless of how many times it is consulted.
+    sim::Rng rng(seed_ ^ (static_cast<std::uint64_t>(req.id) * 0x9E3779B9ull));
+    if (rng.nextDouble() < accuracy_)
+        return bucketMidpoint(req.outputTokens);
+    // Mispredict: off by a factor of 2..8 in either direction, mimicking
+    // the proxy model's confusion with neighbouring buckets.
+    const int shift = 1 + static_cast<int>(rng.nextBelow(3));
+    const bool over = rng.nextBelow(2) == 0;
+    const std::int64_t wrong =
+        over ? req.outputTokens << shift
+             : std::max<std::int64_t>(1, req.outputTokens >> shift);
+    return bucketMidpoint(wrong);
+}
+
+} // namespace chameleon::predict

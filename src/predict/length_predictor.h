@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Output-length prediction.
+ *
+ * The paper uses an open-source BERT-based proxy model [46] with ~80%
+ * measured accuracy, and its §5.4.1 sensitivity study replaces it with an
+ * accuracy-parameterised oracle. We implement that oracle directly:
+ * with probability `accuracy` the predictor returns the request's true
+ * length bucket; otherwise it returns a plausible but wrong bucket.
+ * Predictions are deterministic per request id so every scheduler
+ * consults a consistent value.
+ */
+
+#ifndef CHAMELEON_PREDICT_LENGTH_PREDICTOR_H
+#define CHAMELEON_PREDICT_LENGTH_PREDICTOR_H
+
+#include <cstdint>
+
+#include "predict/output_predictor.h"
+#include "workload/request.h"
+
+namespace chameleon::predict {
+
+/** Accuracy-parameterised bucketed output-length predictor. */
+class LengthPredictor : public OutputPredictor
+{
+  public:
+    /**
+     * @param accuracy probability a prediction hits the true bucket
+     * @param seed stream seed (mixed with the request id per call)
+     */
+    explicit LengthPredictor(double accuracy = 0.8,
+                             std::uint64_t seed = 0xC0FFEE);
+
+    const char *name() const override { return "bert-proxy"; }
+
+    /** Predicted output length in tokens for the request. */
+    std::int64_t predict(const workload::Request &req) const override;
+
+    double accuracy() const { return accuracy_; }
+
+    /**
+     * Bucket a length: buckets are powers of two, mirroring the proxy
+     * model's classification head. Returns the bucket midpoint.
+     */
+    static std::int64_t bucketMidpoint(std::int64_t tokens);
+
+  private:
+    double accuracy_;
+    std::uint64_t seed_;
+};
+
+} // namespace chameleon::predict
+
+#endif // CHAMELEON_PREDICT_LENGTH_PREDICTOR_H

@@ -1,0 +1,85 @@
+#include "predict/load_predictor.h"
+
+#include <algorithm>
+
+#include "simkit/check.h"
+
+namespace chameleon::predict {
+
+using sim::SimTime;
+
+HistogramLoadPredictor::HistogramLoadPredictor(double windowSeconds)
+    : window_(sim::fromSeconds(windowSeconds))
+{
+    CHM_CHECK(window_ > 0, "window must be positive");
+}
+
+void
+HistogramLoadPredictor::expire(History &h, SimTime now) const
+{
+    auto &v = h.arrivals;
+    const SimTime cutoff = now - window_;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [cutoff](SimTime t) { return t < cutoff; }),
+            v.end());
+}
+
+void
+HistogramLoadPredictor::recordArrival(model::AdapterId id, SimTime t)
+{
+    auto &h = history_[id];
+    expire(h, t);
+    h.arrivals.push_back(t);
+    h.lastArrival = t;
+}
+
+double
+HistogramLoadPredictor::hotness(model::AdapterId id, SimTime now) const
+{
+    auto it = history_.find(id);
+    if (it == history_.end())
+        return 0.0;
+    expire(it->second, now);
+    const auto &arrivals = it->second.arrivals;
+    if (arrivals.empty())
+        return 0.0;
+    // Median inter-arrival gap inside the window.
+    SimTime median_gap = window_;
+    if (arrivals.size() >= 2) {
+        std::vector<SimTime> gaps;
+        gaps.reserve(arrivals.size() - 1);
+        for (std::size_t i = 1; i < arrivals.size(); ++i)
+            gaps.push_back(arrivals[i] - arrivals[i - 1]);
+        std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2,
+                         gaps.end());
+        median_gap = std::max<SimTime>(gaps[gaps.size() / 2], 1);
+    }
+    const SimTime since = now - arrivals.back();
+    // Count in window = base hotness; decay once the silence exceeds the
+    // typical gap (bursts have ended; cf. keep-alive windows in [48]).
+    const double decay =
+        1.0 / (1.0 + static_cast<double>(since) /
+                         static_cast<double>(median_gap));
+    return static_cast<double>(arrivals.size()) * decay;
+}
+
+std::vector<model::AdapterId>
+HistogramLoadPredictor::hottest(SimTime now, std::size_t k) const
+{
+    std::vector<std::pair<double, model::AdapterId>> scored;
+    scored.reserve(history_.size());
+    for (const auto &[id, h] : history_) {
+        const double score = hotness(id, now);
+        if (score > 0.0)
+            scored.emplace_back(score, id);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto &a, const auto &b) {
+        return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    std::vector<model::AdapterId> out;
+    for (std::size_t i = 0; i < scored.size() && i < k; ++i)
+        out.push_back(scored[i].second);
+    return out;
+}
+
+} // namespace chameleon::predict

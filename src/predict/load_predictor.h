@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Histogram-based future-load prediction for adapter prefetching.
+ *
+ * Implements the serverless keep-alive idea of Shahrad et al. [48] that
+ * §4.2.3 borrows: per adapter, track a histogram of inter-arrival times;
+ * an adapter is predicted "hot" when the elapsed time since its last use
+ * is still inside the mass of its inter-arrival distribution, i.e. more
+ * arrivals are likely soon. The Chameleon prefetcher asks for the top-K
+ * hot adapters that are not resident and prefetches them off the
+ * critical path.
+ */
+
+#ifndef CHAMELEON_PREDICT_LOAD_PREDICTOR_H
+#define CHAMELEON_PREDICT_LOAD_PREDICTOR_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "model/adapter.h"
+#include "simkit/time.h"
+
+namespace chameleon::predict {
+
+/** Per-adapter inter-arrival histogram predictor. */
+class HistogramLoadPredictor
+{
+  public:
+    /**
+     * @param windowSeconds history horizon; arrivals older than this no
+     *        longer contribute to an adapter's hotness
+     */
+    explicit HistogramLoadPredictor(double windowSeconds = 120.0);
+
+    /** Record an arrival for an adapter at time t. */
+    void recordArrival(model::AdapterId id, sim::SimTime t);
+
+    /**
+     * Probability-like hotness score at time `now`: arrival count inside
+     * the window, damped by the time since the last arrival relative to
+     * the adapter's median inter-arrival gap.
+     */
+    double hotness(model::AdapterId id, sim::SimTime now) const;
+
+    /** Adapters ranked by hotness, highest first, top `k`. */
+    std::vector<model::AdapterId> hottest(sim::SimTime now,
+                                          std::size_t k) const;
+
+  private:
+    struct History
+    {
+        std::vector<sim::SimTime> arrivals; // ring of recent arrivals
+        sim::SimTime lastArrival = sim::kTimeNever;
+    };
+
+    void expire(History &h, sim::SimTime now) const;
+
+    sim::SimTime window_;
+    mutable std::unordered_map<model::AdapterId, History> history_;
+};
+
+} // namespace chameleon::predict
+
+#endif // CHAMELEON_PREDICT_LOAD_PREDICTOR_H

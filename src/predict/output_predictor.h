@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Output-length predictor interface.
+ *
+ * The scheduler consults predict() when a request arrives; the engine
+ * calls observe() when a request completes, letting history-based
+ * predictors learn online. The BERT-proxy-style accuracy-knob
+ * predictor (length_predictor.h) ignores observations.
+ */
+
+#ifndef CHAMELEON_PREDICT_OUTPUT_PREDICTOR_H
+#define CHAMELEON_PREDICT_OUTPUT_PREDICTOR_H
+
+#include <cstdint>
+
+#include "workload/request.h"
+
+namespace chameleon::predict {
+
+/** Interface for output-length prediction. */
+class OutputPredictor
+{
+  public:
+    virtual ~OutputPredictor() = default;
+
+    /** Predictor name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Predicted output length in tokens for an arriving request. */
+    virtual std::int64_t predict(const workload::Request &req) const = 0;
+
+    /** Completion feedback (actual output length now known). */
+    virtual void observe(const workload::Request &req) { (void)req; }
+};
+
+} // namespace chameleon::predict
+
+#endif // CHAMELEON_PREDICT_OUTPUT_PREDICTOR_H

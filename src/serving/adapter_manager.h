@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Adapter residency management interface.
+ *
+ * An AdapterManager decides which LoRA adapters occupy GPU memory and
+ * when transfers happen. Two implementations exist:
+ *  - SLoraAdapterManager (this directory): the baseline — fetch on
+ *    demand, asynchronously prefetch adapters of queued requests, and
+ *    discard an adapter the moment no running or queued request uses it.
+ *  - chameleon::CacheManager: keeps idle adapters in a dynamically-sized
+ *    cache with a cost-aware eviction policy (§4.2).
+ */
+
+#ifndef CHAMELEON_SERVING_ADAPTER_MANAGER_H
+#define CHAMELEON_SERVING_ADAPTER_MANAGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/adapter.h"
+#include "simkit/time.h"
+
+namespace chameleon::serving {
+
+/** Residency/transfer policy for LoRA adapters on one engine. */
+class AdapterManager
+{
+  public:
+    virtual ~AdapterManager() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Usable right now (weights resident and transfer complete)? */
+    virtual bool isResident(model::AdapterId id) const = 0;
+
+    /**
+     * Make the adapter resident for an admitted request and take a
+     * running reference on it. Returns the time at which the adapter is
+     * usable: now if resident, the transfer completion time if loading
+     * or freshly fetched, or sim::kTimeNever if memory for it cannot be
+     * obtained even after evicting everything idle.
+     */
+    virtual sim::SimTime acquire(model::AdapterId id, sim::SimTime now) = 0;
+
+    /** Drop a running reference (request finished or was squashed). */
+    virtual void release(model::AdapterId id) = 0;
+
+    /**
+     * Could acquire() succeed right now (memory-wise)? Must not commit
+     * anything. Used by admission checks and bypass.
+     */
+    virtual bool canMakeResident(model::AdapterId id) const = 0;
+
+    /** A request targeting this adapter entered the wait queues. */
+    virtual void onRequestQueued(model::AdapterId id, sim::SimTime now) = 0;
+
+    /** The request left the queues (admitted or dropped). */
+    virtual void onRequestDequeued(model::AdapterId id) = 0;
+
+    /**
+     * Periodic hook run each scheduling cycle with the adapters of all
+     * waiting requests; the baseline retries prefetches here, Chameleon
+     * refreshes queued-adapter pinning.
+     */
+    virtual void onSchedulingCycle(
+        const std::vector<model::AdapterId> &queuedAdapters,
+        sim::SimTime now) = 0;
+
+    /**
+     * Release idle adapter memory until at least `bytes` of device
+     * memory are free; true on success. The baseline has no idle
+     * adapters, so it succeeds only if memory is already free.
+     */
+    virtual bool tryFreeMemory(std::int64_t bytes) = 0;
+
+    /** Residency checks that needed no transfer (cache/residency hits). */
+    virtual std::int64_t hits() const = 0;
+    /** Residency checks that triggered or waited on a transfer. */
+    virtual std::int64_t misses() const = 0;
+    /** Bytes currently held in the idle-adapter cache (0 for baseline). */
+    virtual std::int64_t cachedBytes() const = 0;
+};
+
+} // namespace chameleon::serving
+
+#endif // CHAMELEON_SERVING_ADAPTER_MANAGER_H

@@ -1,0 +1,72 @@
+#include "serving/cluster.h"
+
+#include "simkit/check.h"
+
+namespace chameleon::serving {
+
+DataParallelCluster::DataParallelCluster(
+    sim::Simulator &simulator,
+    const std::function<std::unique_ptr<ServingEngine>()> &engineFactory,
+    int replicas, DispatchPolicy policy)
+    : sim_(simulator), policy_(policy)
+{
+    CHM_CHECK(replicas >= 1, "cluster needs at least one engine");
+    for (int i = 0; i < replicas; ++i)
+        engines_.push_back(engineFactory());
+}
+
+ServingEngine &
+DataParallelCluster::pick()
+{
+    switch (policy_) {
+      case DispatchPolicy::RoundRobin: {
+        ServingEngine &e = *engines_[rrNext_];
+        rrNext_ = (rrNext_ + 1) % engines_.size();
+        return e;
+      }
+      case DispatchPolicy::JoinShortestQueue: {
+        ServingEngine *best = engines_.front().get();
+        for (const auto &e : engines_) {
+            if (e->outstanding() < best->outstanding())
+                best = e.get();
+        }
+        return *best;
+      }
+    }
+    CHM_PANIC("unknown dispatch policy");
+}
+
+void
+DataParallelCluster::submitTrace(const workload::Trace &trace)
+{
+    // Dispatch decisions must be made at arrival time (outstanding counts
+    // change as the simulation runs), so route via scheduled events.
+    for (const auto &r : trace.requests()) {
+        sim_.scheduleAt(r.arrival, [this, r] {
+            workload::Request copy = r;
+            // Submit with arrival == now; the engine schedules onArrival
+            // at that same timestamp, which fires immediately after.
+            pick().submit(copy);
+        });
+    }
+}
+
+std::vector<RequestRecord>
+DataParallelCluster::mergedRecords() const
+{
+    std::vector<RequestRecord> all;
+    for (const auto &e : engines_) {
+        const auto &rec = e->stats().records;
+        all.insert(all.end(), rec.begin(), rec.end());
+    }
+    return all;
+}
+
+void
+DataParallelCluster::finalize()
+{
+    for (auto &e : engines_)
+        e->finalize();
+}
+
+} // namespace chameleon::serving

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Multi-engine data-parallel serving (§4.4).
+ *
+ * Under data parallelism Chameleon uses a two-level scheduler: a global
+ * dispatcher routes each arriving request to one engine, and each engine
+ * runs its local (FIFO/SJF/Chameleon) scheduler. Adapter caches are
+ * replicated per engine. Tensor parallelism, by contrast, is modeled
+ * inside a single engine via EngineConfig::tpDegree.
+ */
+
+#ifndef CHAMELEON_SERVING_CLUSTER_H
+#define CHAMELEON_SERVING_CLUSTER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serving/engine.h"
+
+namespace chameleon::serving {
+
+/** Global dispatch policy across data-parallel engines. */
+enum class DispatchPolicy {
+    RoundRobin,      ///< Cycle through engines.
+    JoinShortestQueue, ///< Engine with the fewest outstanding requests.
+};
+
+/** A set of data-parallel engines behind a global dispatcher. */
+class DataParallelCluster
+{
+  public:
+    /**
+     * @param simulator shared event kernel
+     * @param engineFactory builds one fully-wired engine per replica
+     * @param replicas engine count
+     * @param policy dispatch policy
+     */
+    DataParallelCluster(
+        sim::Simulator &simulator,
+        const std::function<std::unique_ptr<ServingEngine>()> &engineFactory,
+        int replicas, DispatchPolicy policy);
+
+    /** Route every request of the trace at its arrival time. */
+    void submitTrace(const workload::Trace &trace);
+
+    /** Engines (for stats aggregation). */
+    const std::vector<std::unique_ptr<ServingEngine>> &engines() const
+    {
+        return engines_;
+    }
+
+    /** Merge per-engine request records into one vector. */
+    std::vector<RequestRecord> mergedRecords() const;
+
+    /** Finalise all engines. */
+    void finalize();
+
+  private:
+    ServingEngine &pick();
+
+    sim::Simulator &sim_;
+    std::vector<std::unique_ptr<ServingEngine>> engines_;
+    DispatchPolicy policy_;
+    std::size_t rrNext_ = 0;
+};
+
+} // namespace chameleon::serving
+
+#endif // CHAMELEON_SERVING_CLUSTER_H

@@ -1,0 +1,29 @@
+#include "serving/metrics.h"
+
+#include "serving/live_request.h"
+
+namespace chameleon::serving {
+
+/** Build the immutable outcome record for a finished request. */
+RequestRecord
+makeRecord(const LiveRequest &r)
+{
+    RequestRecord rec;
+    rec.id = r.req.id;
+    rec.arrival = r.arrival;
+    rec.inputTokens = r.req.inputTokens;
+    rec.outputTokens = r.req.outputTokens;
+    rec.adapter = r.req.adapter;
+    rec.rank = r.rank;
+    rec.ttft = r.firstTokenTime - r.arrival;
+    rec.e2e = r.finishTime - r.arrival;
+    rec.queueDelay = r.queueDelay();
+    rec.adapterStall = r.adapterStall;
+    rec.wrs = r.wrs;
+    rec.queueIndex = r.queueIndex;
+    rec.squashCount = r.squashCount;
+    rec.preemptCount = r.preemptCount;
+    return rec;
+}
+
+} // namespace chameleon::serving

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Request-level records and aggregate engine metrics.
+ */
+
+#ifndef CHAMELEON_SERVING_METRICS_H
+#define CHAMELEON_SERVING_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/adapter.h"
+#include "simkit/stats.h"
+#include "simkit/time.h"
+#include "simkit/timeseries.h"
+
+namespace chameleon::serving {
+
+/** Immutable per-request outcome, written when a request finishes. */
+struct RequestRecord
+{
+    std::int64_t id = 0;
+    sim::SimTime arrival = 0;
+    std::int64_t inputTokens = 0;
+    std::int64_t outputTokens = 0;
+    model::AdapterId adapter = model::kNoAdapter;
+    int rank = 0;
+    sim::SimTime ttft = 0;
+    sim::SimTime e2e = 0;
+    sim::SimTime queueDelay = 0;
+    sim::SimTime adapterStall = 0;
+    double wrs = 0.0;
+    int queueIndex = -1;
+    int squashCount = 0;
+    int preemptCount = 0;
+};
+
+/** Aggregated statistics for one simulation run of an engine/cluster. */
+struct EngineStats
+{
+    sim::PercentileTracker ttft;
+    sim::PercentileTracker tbt;
+    sim::PercentileTracker e2e;
+    sim::PercentileTracker queueDelay;
+    /** Adapter loading latency on the critical path (Fig. 14). */
+    sim::PercentileTracker loadStall;
+
+    std::int64_t submitted = 0;
+    std::int64_t finished = 0;
+    std::int64_t preemptions = 0;
+    std::int64_t squashes = 0;
+    std::int64_t bypasses = 0;
+    std::int64_t iterations = 0;
+
+    /** Adapter residency checks that hit (no transfer needed). */
+    std::int64_t adapterHits = 0;
+    /** Residency checks that required a host->GPU transfer. */
+    std::int64_t adapterMisses = 0;
+
+    /** GPU busy time spent inside iterations. */
+    sim::SimTime busyTime = 0;
+    /** Prefill tokens processed. */
+    std::int64_t prefillTokens = 0;
+    /** Decode tokens generated. */
+    std::int64_t decodeTokens = 0;
+    /** Sum of per-iteration decode batch sizes (mean = /iterations). */
+    std::int64_t batchSizeAccum = 0;
+
+    /** Windowed TTFT samples for latency-over-time figures. */
+    sim::WindowedPercentiles ttftOverTime{10 * sim::kSec};
+    /** Memory usage samples: (time, bytes) for each tracked region. */
+    sim::TimeSeries memTotalUsed;
+    sim::TimeSeries memKv;
+    sim::TimeSeries memAdapterCache;
+
+    /** Per-request outcome log (always kept; sized by trace length). */
+    std::vector<RequestRecord> records;
+
+    double
+    cacheHitRate() const
+    {
+        const auto total = adapterHits + adapterMisses;
+        return total ? static_cast<double>(adapterHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+} // namespace chameleon::serving
+
+#endif // CHAMELEON_SERVING_METRICS_H

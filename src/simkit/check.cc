@@ -1,0 +1,25 @@
+#include "simkit/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace chameleon::sim {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+} // namespace chameleon::sim

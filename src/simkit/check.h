@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Assertion and fatal-error helpers.
+ *
+ * CHM_CHECK fires on internal invariant violations (simulator bugs) and
+ * aborts; CHM_FATAL reports unrecoverable user/configuration errors.
+ * Both print file:line and a formatted message. Modeled on the
+ * panic()/fatal() split used by gem5.
+ */
+
+#ifndef CHAMELEON_SIMKIT_CHECK_H
+#define CHAMELEON_SIMKIT_CHECK_H
+
+#include <sstream>
+#include <string>
+
+namespace chameleon::sim {
+
+/** Abort with an internal-error message; never returns. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Exit with a user-error message; never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+} // namespace chameleon::sim
+
+/** Internal invariant check: aborts with a message when cond is false. */
+#define CHM_CHECK(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream chm_oss_;                                      \
+            chm_oss_ << "check failed: " #cond " — " << msg;                  \
+            ::chameleon::sim::panicImpl(__FILE__, __LINE__, chm_oss_.str());  \
+        }                                                                     \
+    } while (0)
+
+/** Unconditional internal error. */
+#define CHM_PANIC(msg)                                                        \
+    do {                                                                      \
+        std::ostringstream chm_oss_;                                          \
+        chm_oss_ << msg;                                                      \
+        ::chameleon::sim::panicImpl(__FILE__, __LINE__, chm_oss_.str());      \
+    } while (0)
+
+/** Unrecoverable configuration/user error. */
+#define CHM_FATAL(msg)                                                        \
+    do {                                                                      \
+        std::ostringstream chm_oss_;                                          \
+        chm_oss_ << msg;                                                      \
+        ::chameleon::sim::fatalImpl(__FILE__, __LINE__, chm_oss_.str());      \
+    } while (0)
+
+#endif // CHAMELEON_SIMKIT_CHECK_H

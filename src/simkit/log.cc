@@ -1,0 +1,42 @@
+#include "simkit/log.h"
+
+#include <cstdio>
+
+namespace chameleon::sim {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?";
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace chameleon::sim

@@ -1,0 +1,76 @@
+#include "simkit/rng.h"
+
+#include "simkit/check.h"
+
+namespace chameleon::sim {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitMix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t n)
+{
+    CHM_CHECK(n > 0, "nextBelow requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~0ull - n + 1) % n;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)());
+}
+
+} // namespace chameleon::sim

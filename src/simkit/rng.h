@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All simulator randomness flows from seeded xoshiro256** streams so runs
+ * are bit-for-bit reproducible across platforms (std:: distributions are
+ * not portable across standard libraries, so we implement our own in
+ * distributions.h on top of this engine).
+ */
+
+#ifndef CHAMELEON_SIMKIT_RNG_H
+#define CHAMELEON_SIMKIT_RNG_H
+
+#include <cstdint>
+
+namespace chameleon::sim {
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Satisfies the C++ UniformRandomBitGenerator concept. Seeding runs the
+ * seed through SplitMix64 so that small consecutive seeds yield
+ * uncorrelated streams.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t nextBelow(std::uint64_t n);
+
+    /**
+     * Derive an independent child stream.
+     *
+     * Each call yields a differently-seeded generator; used to give every
+     * simulator component its own stream so adding a consumer does not
+     * perturb the draws seen by others.
+     */
+    Rng split();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace chameleon::sim
+
+#endif // CHAMELEON_SIMKIT_RNG_H

@@ -1,0 +1,89 @@
+#include "simkit/simulator.h"
+
+#include <utility>
+
+#include "simkit/check.h"
+
+namespace chameleon::sim {
+
+EventId
+Simulator::scheduleAt(SimTime t, std::function<void()> fn)
+{
+    CHM_CHECK(t >= now_, "cannot schedule in the past: t=" << t
+                         << " now=" << now_);
+    EventId id;
+    if (!freeSlots_.empty()) {
+        id = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        id = slots_.size();
+        slots_.emplace_back();
+    }
+    slots_[id].fn = std::move(fn);
+    slots_[id].live = true;
+    ++pendingLive_;
+    queue_.push(Scheduled{t, nextSeq_++, id});
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(SimTime delay, std::function<void()> fn)
+{
+    CHM_CHECK(delay >= 0, "negative delay " << delay);
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    if (id >= slots_.size() || !slots_[id].live)
+        return false;
+    slots_[id].live = false;
+    slots_[id].fn = nullptr;
+    --pendingLive_;
+    // The queue entry stays and is skipped at dispatch time.
+    return true;
+}
+
+void
+Simulator::dispatchNext()
+{
+    const Scheduled top = queue_.top();
+    queue_.pop();
+    if (top.id >= slots_.size() || !slots_[top.id].live) {
+        // Cancelled entry; slot already recycled or dead.
+        if (top.id < slots_.size() && !slots_[top.id].live &&
+            !slots_[top.id].fn) {
+            freeSlots_.push_back(top.id);
+            slots_[top.id].fn = [] {}; // poison against double-free
+        }
+        return;
+    }
+    CHM_CHECK(top.time >= now_, "event queue time went backwards");
+    now_ = top.time;
+    auto fn = std::move(slots_[top.id].fn);
+    slots_[top.id].live = false;
+    slots_[top.id].fn = nullptr;
+    --pendingLive_;
+    freeSlots_.push_back(top.id);
+    ++dispatched_;
+    fn();
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty())
+        dispatchNext();
+}
+
+void
+Simulator::runUntil(SimTime deadline)
+{
+    while (!queue_.empty() && queue_.top().time <= deadline)
+        dispatchNext();
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace chameleon::sim

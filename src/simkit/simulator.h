@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The Simulator owns the virtual clock and a priority queue of scheduled
+ * callbacks. Events at the same timestamp fire in scheduling order
+ * (stable FIFO tie-break via a sequence number) so runs are deterministic.
+ */
+
+#ifndef CHAMELEON_SIMKIT_SIMULATOR_H
+#define CHAMELEON_SIMKIT_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simkit/time.h"
+
+namespace chameleon::sim {
+
+/** Handle for cancelling a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Event-driven simulation engine.
+ *
+ * Components schedule closures at absolute or relative virtual times and
+ * the kernel dispatches them in timestamp order. There is no threading:
+ * everything runs on the caller's thread inside run().
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule a callback at absolute time t (must be >= now). */
+    EventId scheduleAt(SimTime t, std::function<void()> fn);
+
+    /** Schedule a callback delay microseconds from now. */
+    EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+
+    /** Cancel a pending event; returns false if already fired/cancelled. */
+    bool cancel(EventId id);
+
+    /** Dispatch events until the queue empties. */
+    void run();
+
+    /**
+     * Dispatch events with timestamps <= deadline; the clock ends at
+     * max(now, deadline) even if the queue empties earlier.
+     */
+    void runUntil(SimTime deadline);
+
+    /** Number of events dispatched so far. */
+    std::uint64_t eventsDispatched() const { return dispatched_; }
+
+    /** Pending (non-cancelled) event count. */
+    std::size_t pendingEvents() const { return pendingLive_; }
+
+  private:
+    struct Scheduled
+    {
+        SimTime time;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Scheduled &o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    void dispatchNext();
+
+    SimTime now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::size_t pendingLive_ = 0;
+    std::priority_queue<Scheduled, std::vector<Scheduled>,
+                        std::greater<Scheduled>> queue_;
+    // Callback slots keyed by EventId; live=false marks cancellation.
+    struct Slot
+    {
+        std::function<void()> fn;
+        bool live = false;
+    };
+    std::vector<Slot> slots_;
+    std::vector<EventId> freeSlots_;
+};
+
+} // namespace chameleon::sim
+
+#endif // CHAMELEON_SIMKIT_SIMULATOR_H

@@ -1,0 +1,139 @@
+#include "simkit/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/check.h"
+
+namespace chameleon::sim {
+
+void
+OnlineStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+OnlineStats::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+OnlineStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+void
+PercentileTracker::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+const std::vector<double> &
+PercentileTracker::sorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    return samples_;
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    CHM_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    const auto &s = sorted();
+    if (s.empty())
+        return 0.0;
+    if (s.size() == 1)
+        return s[0];
+    const double rank = (p / 100.0) * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= s.size())
+        return s.back();
+    return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : samples_)
+        sum += x;
+    return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>>
+PercentileTracker::cdf() const
+{
+    const auto &s = sorted();
+    std::vector<std::pair<double, double>> out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        out.emplace_back(
+            s[i], static_cast<double>(i + 1) / static_cast<double>(s.size()));
+    }
+    return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    CHM_CHECK(hi > lo, "histogram range must be non-empty");
+    CHM_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+} // namespace chameleon::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Windowed time-series recorders.
+ *
+ * Used for figure reproductions that plot a metric over elapsed time
+ * (memory usage, windowed P99 TTFT, PCIe bandwidth per window).
+ */
+
+#ifndef CHAMELEON_SIMKIT_TIMESERIES_H
+#define CHAMELEON_SIMKIT_TIMESERIES_H
+
+#include <map>
+#include <vector>
+
+#include "simkit/stats.h"
+#include "simkit/time.h"
+
+namespace chameleon::sim {
+
+/** A (time, value) sample pair. */
+struct TimePoint
+{
+    SimTime time;
+    double value;
+};
+
+/** Plain time-series of point samples (e.g., instantaneous memory usage). */
+class TimeSeries
+{
+  public:
+    void record(SimTime t, double value) { points_.push_back({t, value}); }
+
+    const std::vector<TimePoint> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+
+    /** Downsample to at most n points by striding (for table output). */
+    std::vector<TimePoint> downsample(std::size_t n) const;
+
+  private:
+    std::vector<TimePoint> points_;
+};
+
+/**
+ * Tumbling-window percentile series.
+ *
+ * Samples falling in the same fixed window are aggregated; a window's
+ * percentile can be queried after the series is finalised. Used to plot
+ * e.g. P99 TTFT over elapsed time (paper Figs. 15 and 19).
+ */
+class WindowedPercentiles
+{
+  public:
+    explicit WindowedPercentiles(SimTime window);
+
+    /** Record a sample stamped at time t (any order). */
+    void record(SimTime t, double value);
+
+    /** One output row per non-empty window: (window start, percentile). */
+    std::vector<TimePoint> series(double percentile) const;
+
+    SimTime window() const { return window_; }
+
+  private:
+    SimTime window_;
+    std::map<std::int64_t, PercentileTracker> windows_;
+};
+
+/**
+ * Tumbling-window accumulator (sum per window).
+ *
+ * Used for rate metrics such as PCIe bytes transferred per second.
+ */
+class WindowedSum
+{
+  public:
+    explicit WindowedSum(SimTime window);
+
+    void record(SimTime t, double value);
+
+    /** One row per window: (window start, sum / window length in seconds). */
+    std::vector<TimePoint> ratePerSecond() const;
+
+    /** Mean of per-window rates; 0 when empty. */
+    double meanRate() const;
+
+    /** Max of per-window rates; 0 when empty. */
+    double maxRate() const;
+
+  private:
+    SimTime window_;
+    std::vector<std::pair<std::int64_t, double>> windows_;
+};
+
+} // namespace chameleon::sim
+
+#endif // CHAMELEON_SIMKIT_TIMESERIES_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Immutable inference request record.
+ *
+ * A request is what the frontend of Fig. 1 receives: arrival time, prompt
+ * length, (ground-truth) output length, and the adapter it targets. The
+ * output length is carried in the trace for simulation purposes but is
+ * hidden from schedulers, which must use the predictor (§4.1).
+ */
+
+#ifndef CHAMELEON_WORKLOAD_REQUEST_H
+#define CHAMELEON_WORKLOAD_REQUEST_H
+
+#include <cstdint>
+
+#include "model/adapter.h"
+#include "simkit/time.h"
+
+namespace chameleon::workload {
+
+/** Unique request identifier. */
+using RequestId = std::int64_t;
+
+/** One inference request as recorded in a trace. */
+struct Request
+{
+    RequestId id = 0;
+    /** Arrival at the serving frontend. */
+    sim::SimTime arrival = 0;
+    /** Prompt length in tokens (known on arrival). */
+    std::int64_t inputTokens = 0;
+    /** Ground-truth output length (unknown to the scheduler). */
+    std::int64_t outputTokens = 0;
+    /** Target adapter, or model::kNoAdapter for base-only requests. */
+    model::AdapterId adapter = model::kNoAdapter;
+};
+
+} // namespace chameleon::workload
+
+#endif // CHAMELEON_WORKLOAD_REQUEST_H

@@ -1,0 +1,74 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "simkit/check.h"
+
+namespace chameleon::workload {
+
+Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests))
+{
+    for (std::size_t i = 1; i < requests_.size(); ++i) {
+        CHM_CHECK(requests_[i].arrival >= requests_[i - 1].arrival,
+                  "trace must be arrival-ordered");
+    }
+}
+
+sim::SimTime
+Trace::duration() const
+{
+    return requests_.empty() ? 0 : requests_.back().arrival;
+}
+
+double
+Trace::meanRps() const
+{
+    if (requests_.size() < 2 || duration() == 0)
+        return 0.0;
+    return static_cast<double>(requests_.size()) / sim::toSeconds(duration());
+}
+
+void
+Trace::append(const Request &r)
+{
+    CHM_CHECK(requests_.empty() || r.arrival >= requests_.back().arrival,
+              "trace must be arrival-ordered");
+    requests_.push_back(r);
+}
+
+void
+Trace::saveCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    CHM_CHECK(out.good(), "cannot open " << path << " for writing");
+    out << "id,arrival_us,input_tokens,output_tokens,adapter\n";
+    for (const auto &r : requests_) {
+        out << r.id << ',' << r.arrival << ',' << r.inputTokens << ','
+            << r.outputTokens << ',' << r.adapter << '\n';
+    }
+}
+
+Trace
+Trace::loadCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    CHM_CHECK(in.good(), "cannot open " << path << " for reading");
+    std::string line;
+    std::getline(in, line); // header
+    std::vector<Request> reqs;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ss(line);
+        Request r;
+        char comma;
+        ss >> r.id >> comma >> r.arrival >> comma >> r.inputTokens >> comma >>
+            r.outputTokens >> comma >> r.adapter;
+        CHM_CHECK(!ss.fail(), "malformed trace line: " << line);
+        reqs.push_back(r);
+    }
+    return Trace(std::move(reqs));
+}
+
+} // namespace chameleon::workload

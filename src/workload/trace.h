@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Request trace container with CSV persistence.
+ */
+
+#ifndef CHAMELEON_WORKLOAD_TRACE_H
+#define CHAMELEON_WORKLOAD_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace chameleon::workload {
+
+/** An arrival-ordered sequence of requests. */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::vector<Request> requests);
+
+    const std::vector<Request> &requests() const { return requests_; }
+    std::size_t size() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+    const Request &operator[](std::size_t i) const { return requests_[i]; }
+
+    /** Trace duration (last arrival). */
+    sim::SimTime duration() const;
+
+    /** Mean offered load in requests per second. */
+    double meanRps() const;
+
+    /** Append a request; must not violate arrival ordering. */
+    void append(const Request &r);
+
+    /** Write as CSV: id,arrival_us,input,output,adapter. */
+    void saveCsv(const std::string &path) const;
+
+    /** Parse the CSV format written by saveCsv. */
+    static Trace loadCsv(const std::string &path);
+
+  private:
+    std::vector<Request> requests_;
+};
+
+} // namespace chameleon::workload
+
+#endif // CHAMELEON_WORKLOAD_TRACE_H

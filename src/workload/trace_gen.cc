@@ -1,0 +1,152 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "simkit/check.h"
+#include "simkit/distributions.h"
+
+namespace chameleon::workload {
+
+using model::AdapterId;
+using sim::Rng;
+
+double
+LengthDist::approxMean() const
+{
+    return median * std::exp(0.5 * sigma * sigma);
+}
+
+TraceGenConfig
+splitwiseLike()
+{
+    // Azure conversation trace scaled down to testbed memory, as the
+    // paper does (§3.2): heavy-tailed lengths with medians well below
+    // the clamp so a small fraction of requests dominates memory/time.
+    TraceGenConfig cfg;
+    cfg.input = LengthDist{64.0, 0.9, 4, 768};
+    cfg.output = LengthDist{48.0, 0.85, 2, 512};
+    cfg.burstMultiplier = 2.5;
+    return cfg;
+}
+
+TraceGenConfig
+wildchatLike()
+{
+    TraceGenConfig cfg;
+    cfg.input = LengthDist{40.0, 0.8, 4, 512};
+    cfg.output = LengthDist{32.0, 0.75, 2, 320};
+    cfg.burstMultiplier = 2.5;
+    return cfg;
+}
+
+TraceGenConfig
+lmsysLike()
+{
+    TraceGenConfig cfg;
+    cfg.input = LengthDist{32.0, 0.85, 4, 512};
+    cfg.output = LengthDist{36.0, 0.7, 2, 320};
+    cfg.burstMultiplier = 2.5;
+    return cfg;
+}
+
+TraceGenerator::TraceGenerator(TraceGenConfig config,
+                               const model::AdapterPool *pool)
+    : config_(std::move(config)), pool_(pool)
+{
+    if (config_.numAdapters > 0) {
+        CHM_CHECK(pool_ != nullptr, "adapter workload needs a pool");
+        CHM_CHECK(pool_->size() >= config_.numAdapters,
+                  "pool smaller than requested adapter count");
+        // Group adapter ids by rank so rank popularity and within-rank
+        // popularity can be drawn independently (§5.1).
+        std::map<int, std::vector<AdapterId>> byRank;
+        for (int id = 0; id < config_.numAdapters; ++id)
+            byRank[pool_->spec(id).rank].push_back(id);
+        for (auto &[rank, ids] : byRank)
+            rankBuckets_.push_back(std::move(ids));
+        const double rank_alpha =
+            config_.rankPopularity == Popularity::PowerLaw
+                ? config_.powerLawAlpha : 0.0;
+        const double adapter_alpha =
+            config_.adapterPopularity == Popularity::PowerLaw
+                ? config_.powerLawAlpha : 0.0;
+        rankSampler_ = std::make_unique<sim::PowerLawSampler>(
+            rankBuckets_.size(), rank_alpha);
+        for (const auto &ids : rankBuckets_)
+            withinSamplers_.emplace_back(ids.size(), adapter_alpha);
+    }
+}
+
+std::int64_t
+TraceGenerator::sampleLength(const LengthDist &dist, Rng &rng) const
+{
+    const double mu = std::log(dist.median);
+    const double x = sim::sampleLognormal(rng, mu, dist.sigma);
+    const auto tokens = static_cast<std::int64_t>(std::llround(x));
+    return std::clamp(tokens, dist.minTokens, dist.maxTokens);
+}
+
+AdapterId
+TraceGenerator::sampleAdapter(Rng &rng) const
+{
+    if (rankBuckets_.empty())
+        return model::kNoAdapter;
+    const auto bucket = rankSampler_->sample(rng);
+    const auto &ids = rankBuckets_[bucket];
+    return ids[withinSamplers_[bucket].sample(rng)];
+}
+
+Trace
+TraceGenerator::generate()
+{
+    Rng rng(config_.seed);
+    Rng arrivalRng = rng.split();
+    Rng lengthRng = rng.split();
+    Rng adapterRng = rng.split();
+
+    std::vector<Request> reqs;
+    const sim::SimTime horizon = sim::fromSeconds(config_.durationSeconds);
+    sim::SimTime t = 0;
+    RequestId next_id = 0;
+    // Normalise periodic burstiness so the mean offered load stays rps:
+    // base * ((period - dur) + dur * mult) / period == rps.
+    double base_rate = config_.rps;
+    if (config_.burstMultiplier > 1.0 && config_.burstPeriodSeconds > 0) {
+        const double p = config_.burstPeriodSeconds;
+        const double d =
+            std::min(config_.burstDurationSeconds, config_.burstPeriodSeconds);
+        const double m = config_.burstMultiplier;
+        base_rate = config_.rps * p / ((p - d) + d * m);
+    }
+    while (true) {
+        double rate = base_rate;
+        const double now_s = sim::toSeconds(t);
+        if (config_.burstMultiplier > 1.0 && config_.burstPeriodSeconds > 0) {
+            const double phase =
+                now_s - std::floor(now_s / config_.burstPeriodSeconds) *
+                            config_.burstPeriodSeconds;
+            if (phase < config_.burstDurationSeconds)
+                rate *= config_.burstMultiplier;
+        }
+        for (const auto &b : config_.bursts) {
+            if (now_s >= b.startSeconds && now_s < b.endSeconds)
+                rate *= b.rateMultiplier;
+        }
+        const double gap_s = sim::sampleExponential(arrivalRng, rate);
+        t += sim::fromSeconds(gap_s);
+        if (t > horizon)
+            break;
+        Request r;
+        r.id = next_id++;
+        r.arrival = t;
+        r.inputTokens = sampleLength(config_.input, lengthRng);
+        r.outputTokens = sampleLength(config_.output, lengthRng);
+        r.adapter = sampleAdapter(adapterRng);
+        reqs.push_back(r);
+    }
+    return Trace(std::move(reqs));
+}
+
+} // namespace chameleon::workload

@@ -1,0 +1,146 @@
+#include "workload/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "simkit/check.h"
+
+namespace chameleon::workload {
+
+namespace {
+
+std::int64_t
+scaleTokens(std::int64_t tokens, double factor)
+{
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(
+               static_cast<double>(tokens) * factor)));
+}
+
+double
+percentileOf(std::vector<double> &values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        (p / 100.0) * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+} // namespace
+
+Trace
+scaleLengths(const Trace &trace, double factor)
+{
+    CHM_CHECK(factor > 0.0, "length scale factor must be positive");
+    std::vector<Request> out = trace.requests();
+    for (auto &r : out) {
+        r.inputTokens = scaleTokens(r.inputTokens, factor);
+        r.outputTokens = scaleTokens(r.outputTokens, factor);
+    }
+    return Trace(std::move(out));
+}
+
+Trace
+scaleArrivals(const Trace &trace, double factor)
+{
+    CHM_CHECK(factor > 0.0, "arrival scale factor must be positive");
+    std::vector<Request> out = trace.requests();
+    for (auto &r : out) {
+        r.arrival = static_cast<sim::SimTime>(
+            std::llround(static_cast<double>(r.arrival) * factor));
+    }
+    return Trace(std::move(out));
+}
+
+Trace
+sliceTime(const Trace &trace, double fromSeconds, double toSeconds)
+{
+    CHM_CHECK(toSeconds > fromSeconds, "empty slice window");
+    const auto from = sim::fromSeconds(fromSeconds);
+    const auto to = sim::fromSeconds(toSeconds);
+    std::vector<Request> out;
+    for (const auto &r : trace.requests()) {
+        if (r.arrival >= from && r.arrival < to) {
+            Request shifted = r;
+            shifted.arrival -= from;
+            out.push_back(shifted);
+        }
+    }
+    // Re-number so ids stay unique and dense.
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i].id = static_cast<RequestId>(i);
+    return Trace(std::move(out));
+}
+
+Trace
+concat(const Trace &a, const Trace &b)
+{
+    std::vector<Request> out = a.requests();
+    const sim::SimTime offset = a.duration();
+    for (const auto &r : b.requests()) {
+        Request shifted = r;
+        shifted.arrival += offset;
+        out.push_back(shifted);
+    }
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i].id = static_cast<RequestId>(i);
+    return Trace(std::move(out));
+}
+
+WorkloadSummary
+summarize(const Trace &trace)
+{
+    WorkloadSummary s;
+    s.requests = trace.size();
+    s.meanRps = trace.meanRps();
+    if (trace.empty())
+        return s;
+
+    std::vector<double> inputs, outputs;
+    inputs.reserve(trace.size());
+    outputs.reserve(trace.size());
+    double in_sum = 0.0, out_sum = 0.0;
+    for (const auto &r : trace.requests()) {
+        inputs.push_back(static_cast<double>(r.inputTokens));
+        outputs.push_back(static_cast<double>(r.outputTokens));
+        in_sum += static_cast<double>(r.inputTokens);
+        out_sum += static_cast<double>(r.outputTokens);
+        if (r.adapter != model::kNoAdapter)
+            ++s.adapterCounts[r.adapter];
+    }
+    const auto n = static_cast<double>(trace.size());
+    s.meanInput = in_sum / n;
+    s.meanOutput = out_sum / n;
+    s.p50Input = percentileOf(inputs, 50.0);
+    s.p99Input = percentileOf(inputs, 99.0);
+    s.p50Output = percentileOf(outputs, 50.0);
+    s.p99Output = percentileOf(outputs, 99.0);
+    s.distinctAdapters = s.adapterCounts.size();
+
+    if (!s.adapterCounts.empty()) {
+        std::vector<std::int64_t> counts;
+        std::int64_t total = 0;
+        for (const auto &[id, c] : s.adapterCounts) {
+            counts.push_back(c);
+            total += c;
+        }
+        std::sort(counts.rbegin(), counts.rend());
+        const std::size_t top =
+            std::max<std::size_t>(1, counts.size() / 10);
+        std::int64_t top_sum = 0;
+        for (std::size_t i = 0; i < top; ++i)
+            top_sum += counts[i];
+        s.top10PercentShare =
+            static_cast<double>(top_sum) / static_cast<double>(total);
+    }
+    return s;
+}
+
+} // namespace chameleon::workload

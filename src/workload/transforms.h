@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace transformations and workload summaries.
+ *
+ * The paper scales production traces to fit testbed memory (§3.2) and
+ * slices/concatenates them for its studies; these utilities implement
+ * those operations plus a summary report used by analysis tooling.
+ */
+
+#ifndef CHAMELEON_WORKLOAD_TRANSFORMS_H
+#define CHAMELEON_WORKLOAD_TRANSFORMS_H
+
+#include <cstdint>
+#include <map>
+
+#include "model/adapter.h"
+#include "workload/trace.h"
+
+namespace chameleon::workload {
+
+/**
+ * Scale input/output token lengths by a constant factor (rounded,
+ * floored at 1 token) — the paper's §3.2 memory-fitting transform.
+ */
+Trace scaleLengths(const Trace &trace, double factor);
+
+/**
+ * Scale arrival times by a constant factor (< 1 compresses the trace
+ * and raises the offered load; > 1 stretches it).
+ */
+Trace scaleArrivals(const Trace &trace, double factor);
+
+/** Keep only the requests arriving in [fromSeconds, toSeconds). */
+Trace sliceTime(const Trace &trace, double fromSeconds, double toSeconds);
+
+/** Concatenate b after a, shifting b's arrivals past a's end. */
+Trace concat(const Trace &a, const Trace &b);
+
+/** Aggregate workload statistics. */
+struct WorkloadSummary
+{
+    std::size_t requests = 0;
+    double meanRps = 0.0;
+    double meanInput = 0.0;
+    double p50Input = 0.0;
+    double p99Input = 0.0;
+    double meanOutput = 0.0;
+    double p50Output = 0.0;
+    double p99Output = 0.0;
+    /** Distinct adapters referenced. */
+    std::size_t distinctAdapters = 0;
+    /** Requests per adapter id (popularity). */
+    std::map<model::AdapterId, std::int64_t> adapterCounts;
+    /** Share of traffic captured by the top 10% of adapters. */
+    double top10PercentShare = 0.0;
+};
+
+/** Compute the summary of a trace. */
+WorkloadSummary summarize(const Trace &trace);
+
+} // namespace chameleon::workload
+
+#endif // CHAMELEON_WORKLOAD_TRANSFORMS_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for multi-GPU serving: tensor-parallel engines and the
+ * data-parallel cluster with its two-level scheduler (§4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chameleon/system.h"
+#include "predict/length_predictor.h"
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "serving/cluster.h"
+#include "serving/fifo_scheduler.h"
+#include "serving/slora_adapter_manager.h"
+#include "workload/trace_gen.h"
+
+using namespace chameleon;
+
+TEST(TensorParallel, EngineAggregatesGpuMemory)
+{
+    core::SystemConfig cfg;
+    cfg.engine.model = model::llama70B();
+    cfg.engine.gpu = model::a100(80);
+    cfg.engine.tpDegree = 4;
+    model::AdapterPool pool(model::llama70B(), 10);
+    core::System system(core::SystemKind::Chameleon, cfg, &pool);
+    EXPECT_EQ(system.engine().memory().capacity(),
+              4ll * 80 * 1024 * 1024 * 1024);
+}
+
+TEST(TensorParallel, HigherTpShortensPrefillIterations)
+{
+    model::AdapterPool pool(model::llama70B(), 10);
+    auto wl = workload::splitwiseLike();
+    wl.rps = 2.0;
+    wl.durationSeconds = 20.0;
+    wl.numAdapters = 10;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    auto run_tp = [&](int tp) {
+        core::SystemConfig cfg;
+        cfg.engine.model = model::llama70B();
+        cfg.engine.gpu = model::a100(80);
+        cfg.engine.tpDegree = tp;
+        return core::runSystem(core::SystemKind::SLora, cfg, &pool, trace);
+    };
+    // Llama-70B does not fit a single 80 GiB GPU: compare TP2 vs TP4.
+    const auto tp2 = run_tp(2);
+    const auto tp4 = run_tp(4);
+    EXPECT_EQ(tp2.stats.finished, tp4.stats.finished);
+    // More GPUs -> faster decode iterations.
+    EXPECT_LT(tp4.stats.tbt.p50(), tp2.stats.tbt.p50());
+}
+
+namespace {
+
+std::unique_ptr<serving::ServingEngine>
+makeEngine(sim::Simulator &simulator, const model::AdapterPool &pool,
+           predict::LengthPredictor &predictor)
+{
+    serving::EngineConfig cfg;
+    cfg.model = model::llama7B();
+    cfg.gpu = model::a40();
+    auto engine = std::make_unique<serving::ServingEngine>(
+        simulator, cfg, &pool, std::make_unique<serving::FifoScheduler>(),
+        &predictor);
+    engine->setAdapterManager(
+        std::make_unique<serving::SLoraAdapterManager>(
+            pool, engine->memory(), engine->pcieLink()));
+    return engine;
+}
+
+} // namespace
+
+TEST(DataParallel, SpreadsLoadAcrossEngines)
+{
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 20);
+    predict::LengthPredictor predictor(1.0);
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&] { return makeEngine(simulator, pool, predictor); }, 4,
+        serving::DispatchPolicy::JoinShortestQueue);
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 12.0;
+    wl.durationSeconds = 30.0;
+    wl.numAdapters = 20;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+    cluster.submitTrace(trace);
+    simulator.run();
+    cluster.finalize();
+
+    std::int64_t total = 0;
+    for (const auto &engine : cluster.engines()) {
+        const auto finished = engine->stats().finished;
+        EXPECT_GT(finished, 0);
+        // JSQ keeps the shares roughly balanced.
+        EXPECT_LT(finished,
+                  static_cast<std::int64_t>(trace.size()) / 2);
+        total += finished;
+    }
+    EXPECT_EQ(total, static_cast<std::int64_t>(trace.size()));
+    EXPECT_EQ(cluster.mergedRecords().size(), trace.size());
+}
+
+TEST(DataParallel, RoundRobinAlternates)
+{
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 20);
+    predict::LengthPredictor predictor(1.0);
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&] { return makeEngine(simulator, pool, predictor); }, 2,
+        serving::DispatchPolicy::RoundRobin);
+    workload::Trace trace;
+    for (int i = 0; i < 10; ++i) {
+        trace.append(workload::Request{i, sim::fromSeconds(0.1 * i), 16, 4,
+                                       static_cast<model::AdapterId>(i % 20)});
+    }
+    cluster.submitTrace(trace);
+    simulator.run();
+    cluster.finalize();
+    EXPECT_EQ(cluster.engines()[0]->stats().finished, 5);
+    EXPECT_EQ(cluster.engines()[1]->stats().finished, 5);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the GPU device models: memory accounting, the paged KV
+ * cache, and the PCIe link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_memory.h"
+#include "gpu/kv_cache.h"
+#include "gpu/pcie_link.h"
+#include "simkit/simulator.h"
+#include "simkit/time.h"
+
+namespace gpu = chameleon::gpu;
+namespace sim = chameleon::sim;
+
+namespace {
+constexpr std::int64_t kGiB = 1024ll * 1024 * 1024;
+}
+
+// ------------------------------------------------------------ GpuMemory
+
+TEST(GpuMemory, InvariantHolds)
+{
+    gpu::GpuMemory mem(48 * kGiB, 14 * kGiB, 2 * kGiB);
+    EXPECT_EQ(mem.freeBytes(), 32 * kGiB);
+    ASSERT_TRUE(mem.tryAllocKv(10 * kGiB));
+    ASSERT_TRUE(mem.tryAllocAdapterInUse(4 * kGiB));
+    ASSERT_TRUE(mem.tryAllocAdapterCache(8 * kGiB));
+    EXPECT_EQ(mem.freeBytes(), 10 * kGiB);
+    EXPECT_EQ(mem.idleBytes(), 18 * kGiB); // free + cache
+    mem.freeKv(10 * kGiB);
+    mem.freeAdapterInUse(4 * kGiB);
+    mem.freeAdapterCache(8 * kGiB);
+    EXPECT_EQ(mem.freeBytes(), 32 * kGiB);
+}
+
+TEST(GpuMemory, AllocFailsWithoutRoomAndHasNoSideEffects)
+{
+    gpu::GpuMemory mem(10 * kGiB, 4 * kGiB, 2 * kGiB);
+    EXPECT_FALSE(mem.tryAllocKv(5 * kGiB));
+    EXPECT_EQ(mem.kvBytes(), 0);
+    EXPECT_TRUE(mem.tryAllocKv(4 * kGiB));
+    EXPECT_FALSE(mem.tryAllocAdapterCache(1));
+}
+
+TEST(GpuMemory, CacheInUseTransfers)
+{
+    gpu::GpuMemory mem(10 * kGiB, 0, 0);
+    ASSERT_TRUE(mem.tryAllocAdapterInUse(2 * kGiB));
+    mem.moveInUseToCache(2 * kGiB);
+    EXPECT_EQ(mem.adapterInUseBytes(), 0);
+    EXPECT_EQ(mem.adapterCacheBytes(), 2 * kGiB);
+    mem.moveCacheToInUse(2 * kGiB);
+    EXPECT_EQ(mem.adapterInUseBytes(), 2 * kGiB);
+    EXPECT_EQ(mem.adapterCacheBytes(), 0);
+    // Moves never change the free total.
+    EXPECT_EQ(mem.freeBytes(), 8 * kGiB);
+}
+
+TEST(GpuMemory, ModelMustFit)
+{
+    EXPECT_DEATH(gpu::GpuMemory(1 * kGiB, 2 * kGiB, 0), "does not fit");
+}
+
+// -------------------------------------------------------------- KvCache
+
+TEST(KvCache, PageRounding)
+{
+    gpu::GpuMemory mem(1 * kGiB, 0, 0);
+    gpu::KvCache kv(mem, 1024, 16);
+    EXPECT_EQ(kv.bytesForTokens(1), 16 * 1024);
+    EXPECT_EQ(kv.bytesForTokens(16), 16 * 1024);
+    EXPECT_EQ(kv.bytesForTokens(17), 32 * 1024);
+    EXPECT_EQ(kv.bytesForTokens(0), 0);
+}
+
+TEST(KvCache, GrowWithinPageIsFree)
+{
+    gpu::GpuMemory mem(1 * kGiB, 0, 0);
+    gpu::KvCache kv(mem, 1024, 16);
+    ASSERT_TRUE(kv.tryReserve(1, 10));
+    const auto bytes_before = mem.kvBytes();
+    ASSERT_TRUE(kv.tryReserve(1, 16)); // same page
+    EXPECT_EQ(mem.kvBytes(), bytes_before);
+    ASSERT_TRUE(kv.tryReserve(1, 17)); // new page
+    EXPECT_GT(mem.kvBytes(), bytes_before);
+    EXPECT_EQ(kv.reservedTokens(1), 17);
+}
+
+TEST(KvCache, ReleaseReturnsAllPages)
+{
+    gpu::GpuMemory mem(1 * kGiB, 0, 0);
+    gpu::KvCache kv(mem, 1024, 16);
+    ASSERT_TRUE(kv.tryReserve(7, 100));
+    kv.release(7);
+    EXPECT_EQ(mem.kvBytes(), 0);
+    EXPECT_EQ(kv.reservedTokens(7), 0);
+    kv.release(7); // double release is a no-op
+}
+
+TEST(KvCache, FailureLeavesReservationIntact)
+{
+    gpu::GpuMemory mem(64 * 1024, 0, 0);
+    gpu::KvCache kv(mem, 1024, 16);
+    ASSERT_TRUE(kv.tryReserve(1, 32));        // 32 KiB
+    EXPECT_FALSE(kv.tryReserve(1, 128));      // would need 128 KiB
+    EXPECT_EQ(kv.reservedTokens(1), 32);
+    EXPECT_EQ(kv.totalBytes(), 32 * 1024);
+}
+
+TEST(KvCache, FragmentationAccounting)
+{
+    gpu::GpuMemory mem(1 * kGiB, 0, 0);
+    gpu::KvCache kv(mem, 1024, 16);
+    ASSERT_TRUE(kv.tryReserve(1, 1)); // 15 tokens of slack
+    EXPECT_EQ(kv.fragmentationBytes(), 15 * 1024);
+}
+
+// ------------------------------------------------------------- PcieLink
+
+TEST(PcieLink, FifoQueueing)
+{
+    sim::Simulator s;
+    gpu::PcieLink link(s, [](std::int64_t bytes) {
+        return sim::fromMillis(static_cast<double>(bytes) / 1e6); // 1 GB/s
+    });
+    std::vector<int> done;
+    link.enqueue(10'000'000, [&] { done.push_back(1); }); // 10 ms
+    link.enqueue(5'000'000, [&] { done.push_back(2); });  // +5 ms
+    EXPECT_TRUE(link.busy());
+    s.run();
+    EXPECT_EQ(done, (std::vector<int>{1, 2}));
+    EXPECT_EQ(s.now(), sim::fromMillis(15.0));
+    EXPECT_EQ(link.totalBytes(), 15'000'000);
+    EXPECT_EQ(link.totalTransfers(), 2);
+}
+
+TEST(PcieLink, EarliestCompletionAccountsForBacklog)
+{
+    sim::Simulator s;
+    gpu::PcieLink link(s, [](std::int64_t bytes) {
+        return sim::fromMillis(static_cast<double>(bytes) / 1e6);
+    });
+    const auto t1 = link.enqueue(10'000'000, [] {});
+    EXPECT_EQ(t1, sim::fromMillis(10.0));
+    EXPECT_EQ(link.earliestCompletion(5'000'000), sim::fromMillis(15.0));
+}
+
+TEST(PcieLink, UtilisationFractionOfElapsed)
+{
+    sim::Simulator s;
+    gpu::PcieLink link(s, [](std::int64_t) { return sim::fromMillis(10.0); });
+    link.enqueue(1, [] {});
+    s.run();
+    s.runUntil(sim::fromMillis(40.0));
+    EXPECT_NEAR(link.utilisation(), 0.25, 1e-9);
+}

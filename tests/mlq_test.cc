@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Unit tests for the Chameleon scheduler building blocks (WRS, K-means,
+ * quota assignment) and the multi-level-queue scheduler itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simkit/rng.h"
+
+#include "chameleon/kmeans.h"
+#include "chameleon/mlq_scheduler.h"
+#include "chameleon/quota.h"
+#include "chameleon/wrs.h"
+#include "model/llm.h"
+#include "test_util.h"
+
+using namespace chameleon;
+using testutil::FakeAdmission;
+using testutil::liveRequest;
+
+// ------------------------------------------------------------------ WRS
+
+TEST(Wrs, Degree2MultipliesAdapterTerm)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::WrsCalculator wrs(&pool);
+    const auto small_adapter = pool.spec(0).bytes; // rank 8
+    const auto large_adapter = pool.spec(9).bytes; // rank 128
+    const double lo = wrs.compute(128, 128, small_adapter);
+    const double hi = wrs.compute(128, 128, large_adapter);
+    // Same lengths: the rank-128 adapter scales the size by 16x.
+    EXPECT_NEAR(hi / lo, 16.0, 1e-6);
+}
+
+TEST(Wrs, InputOutputWeights)
+{
+    core::WrsCalculator wrs(nullptr); // no adapter term
+    const double in_heavy = wrs.compute(256, 0, 0);
+    const double out_heavy = wrs.compute(0, 256, 0);
+    // B (0.6) outweighs A (0.4) per the paper's tuning.
+    EXPECT_NEAR(out_heavy / in_heavy, 0.6 / 0.4, 1e-9);
+}
+
+TEST(Wrs, OutputOnlyIgnoresInputAndAdapter)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::WrsCalculator wrs(&pool, core::WrsForm::OutputOnly);
+    EXPECT_DOUBLE_EQ(wrs.compute(10, 128, pool.spec(0).bytes),
+                     wrs.compute(2000, 128, pool.spec(9).bytes));
+}
+
+TEST(Wrs, RunningMaximaNormalise)
+{
+    core::WrsCalculator wrs(nullptr);
+    const double first = wrs.compute(256, 256, 0);
+    EXPECT_NEAR(first, 1.0, 1e-9); // at the floor maxima
+    wrs.compute(2560, 2560, 0);    // raises the maxima 10x
+    const double later = wrs.compute(256, 256, 0);
+    EXPECT_NEAR(later, 0.1, 1e-9);
+}
+
+// -------------------------------------------------------------- K-means
+
+TEST(KMeans, RecoversSeparatedClusters)
+{
+    std::vector<double> data;
+    for (int i = 0; i < 100; ++i) {
+        data.push_back(1.0 + 0.01 * i);
+        data.push_back(10.0 + 0.01 * i);
+        data.push_back(100.0 + 0.01 * i);
+    }
+    const auto result = core::kmeans1d(data, 3);
+    ASSERT_EQ(result.centroids.size(), 3u);
+    EXPECT_NEAR(result.centroids[0], 1.5, 0.2);
+    EXPECT_NEAR(result.centroids[1], 10.5, 0.2);
+    EXPECT_NEAR(result.centroids[2], 100.5, 0.2);
+}
+
+TEST(KMeans, WcssNonIncreasingInK)
+{
+    std::vector<double> data;
+    sim::Rng rng(5);
+    for (int i = 0; i < 500; ++i)
+        data.push_back(rng.nextDouble() * 10.0);
+    double prev = 1e18;
+    for (int k = 1; k <= 4; ++k) {
+        const auto r = core::kmeans1d(data, k);
+        EXPECT_LE(r.wcss, prev + 1e-9);
+        prev = r.wcss;
+    }
+}
+
+TEST(KMeans, ElbowStopsAtTrueClusterCount)
+{
+    std::vector<double> data;
+    for (int i = 0; i < 200; ++i) {
+        data.push_back(1.0 + 0.001 * i);
+        data.push_back(50.0 + 0.001 * i);
+    }
+    const auto chosen =
+        core::chooseClusters(data, 4, core::KSelection::Elbow, 0.10);
+    EXPECT_EQ(chosen.centroids.size(), 2u);
+}
+
+TEST(KMeans, LiteralMinWcssPicksKmax)
+{
+    std::vector<double> data;
+    sim::Rng rng(6);
+    for (int i = 0; i < 300; ++i)
+        data.push_back(rng.nextDouble());
+    const auto chosen = core::chooseClusters(
+        data, 4, core::KSelection::LiteralMinWcss, 0.10);
+    // WCSS is monotone, so the literal rule lands on Kmax (the
+    // deviation documented in kmeans.h / DESIGN.md).
+    EXPECT_EQ(chosen.centroids.size(), 4u);
+}
+
+TEST(KMeans, CutoffsAreCentroidMidpoints)
+{
+    const auto cutoffs = core::centroidCutoffs({1.0, 3.0, 9.0});
+    ASSERT_EQ(cutoffs.size(), 2u);
+    EXPECT_DOUBLE_EQ(cutoffs[0], 2.0);
+    EXPECT_DOUBLE_EQ(cutoffs[1], 6.0);
+}
+
+// ---------------------------------------------------------------- quota
+
+TEST(Quota, MinimumFollowsFormula)
+{
+    // Tok_min = S * D * (1/SLO + lambda).
+    core::QueueLoadStats q;
+    q.maxTokens = 100.0;
+    q.meanServiceSeconds = 2.0;
+    q.arrivalRate = 3.0;
+    const auto quotas = core::assignQuotas({q}, /*slo=*/5.0, 10000);
+    // Tok_min = 100 * 2 * (0.2 + 3) = 640; the rest of the pool is
+    // surplus assigned proportionally (single queue: everything).
+    EXPECT_EQ(quotas.size(), 1u);
+    EXPECT_GE(quotas[0], 640);
+    EXPECT_LE(quotas[0], 10000);
+}
+
+TEST(Quota, SurplusSplitProportionally)
+{
+    core::QueueLoadStats small{10.0, 0.5, 4.0};  // min = 10*0.5*4.2 = 21
+    core::QueueLoadStats large{100.0, 2.0, 1.0}; // min = 100*2*1.2 = 240
+    const auto quotas = core::assignQuotas({small, large}, 5.0, 5220);
+    ASSERT_EQ(quotas.size(), 2u);
+    // Proportional split preserves the minima ratio.
+    EXPECT_NEAR(static_cast<double>(quotas[1]) /
+                    static_cast<double>(quotas[0]),
+                240.0 / 21.0, 0.05 * 240.0 / 21.0);
+    EXPECT_LE(quotas[0] + quotas[1], 5220);
+}
+
+TEST(Quota, OversubscriptionScalesDown)
+{
+    core::QueueLoadStats q{1000.0, 5.0, 10.0}; // min = 1000*5*10.2 = 51000
+    const auto quotas = core::assignQuotas({q, q}, 5.0, 1000);
+    EXPECT_LE(quotas[0] + quotas[1], 1000);
+    EXPECT_NEAR(static_cast<double>(quotas[0]),
+                static_cast<double>(quotas[1]), 1.0);
+}
+
+// ------------------------------------------------------- MLQ scheduler
+
+namespace {
+
+core::MlqConfig
+testMlqConfig()
+{
+    core::MlqConfig cfg;
+    cfg.totalTokens = 100000;
+    cfg.kvBytesPerToken = model::llama7B().kvBytesPerToken();
+    cfg.warmupSamples = 10;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MlqScheduler, BootstrapsWithSingleQueue)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::MlqScheduler sched(testMlqConfig(), &pool);
+    EXPECT_EQ(sched.queueCount(), 1);
+    auto r = liveRequest(1, 64, 64, 0, pool.spec(0).bytes, 8);
+    sched.enqueue(&r);
+    FakeAdmission fake;
+    EXPECT_EQ(sched.selectAdmissions(fake.ctx).size(), 1u);
+}
+
+TEST(MlqScheduler, ReconfiguresIntoMultipleQueues)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::MlqScheduler sched(testMlqConfig(), &pool);
+    // Feed a clearly bimodal WRS population.
+    std::vector<serving::LiveRequest> reqs;
+    reqs.reserve(40);
+    for (int i = 0; i < 20; ++i) {
+        reqs.push_back(
+            liveRequest(i, 8, 8, 0, pool.spec(0).bytes, 8)); // tiny
+        reqs.push_back(liveRequest(100 + i, 500, 500, 9,
+                                   pool.spec(9).bytes, 128)); // huge
+    }
+    for (auto &r : reqs)
+        sched.enqueue(&r);
+    sched.onIterationEnd(sim::fromSeconds(1.0)); // triggers bootstrap
+    EXPECT_GE(sched.queueCount(), 2);
+    // All waiting requests survived the redistribution.
+    EXPECT_EQ(sched.waitingCount(), 40u);
+}
+
+TEST(MlqScheduler, SmallLaneIsTheExpressLane)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::MlqScheduler sched(testMlqConfig(), &pool);
+    std::vector<serving::LiveRequest> warm;
+    warm.reserve(40);
+    for (int i = 0; i < 20; ++i) {
+        warm.push_back(liveRequest(i, 8, 8, 0, pool.spec(0).bytes, 8));
+        warm.push_back(liveRequest(100 + i, 500, 500, 9,
+                                   pool.spec(9).bytes, 128));
+    }
+    for (auto &r : warm)
+        sched.enqueue(&r);
+    sched.onIterationEnd(sim::fromSeconds(1.0));
+    ASSERT_GE(sched.queueCount(), 2);
+    // Admissions must start from the small-request lane.
+    FakeAdmission fake;
+    fake.ctx.admissionSlots = 5;
+    const auto admitted = sched.selectAdmissions(fake.ctx);
+    ASSERT_FALSE(admitted.empty());
+    for (const auto *r : admitted)
+        EXPECT_LE(r->req.inputTokens, 8);
+}
+
+TEST(MlqScheduler, QuotaLimitsLaneOccupancy)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    auto cfg = testMlqConfig();
+    cfg.totalTokens = 2000; // very tight pool
+    core::MlqScheduler sched(cfg, &pool);
+    std::vector<serving::LiveRequest> reqs;
+    reqs.reserve(10);
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back(liveRequest(i, 400, 400, 0, pool.spec(0).bytes, 8));
+    for (auto &r : reqs)
+        sched.enqueue(&r);
+    FakeAdmission fake;
+    const auto admitted = sched.selectAdmissions(fake.ctx);
+    // Token cost per request is ~830 (400+400+adapter): only 2 fit the
+    // 2000-token pool; the rest wait even though resources were "free".
+    EXPECT_EQ(admitted.size(), 2u);
+    // Finishing a request returns its tokens.
+    serving::LiveRequest *done = admitted.front();
+    done->phase = serving::RequestPhase::Finished;
+    done->admitTime = 0;
+    done->finishTime = sim::fromSeconds(1.0);
+    sched.onRequestFinished(done);
+    FakeAdmission fake2;
+    EXPECT_EQ(sched.selectAdmissions(fake2.ctx).size(), 1u);
+}
+
+TEST(MlqScheduler, SpareResourcesRedistributed)
+{
+    // Two lanes; the small lane is empty, so its quota flows to the
+    // large lane in phase 2 of Algorithm 1.
+    model::AdapterPool pool(model::llama7B(), 10);
+    auto cfg = testMlqConfig();
+    cfg.totalTokens = 4000;
+    core::MlqScheduler sched(cfg, &pool);
+    std::vector<serving::LiveRequest> warm;
+    warm.reserve(40);
+    for (int i = 0; i < 20; ++i) {
+        warm.push_back(liveRequest(i, 8, 8, 0, pool.spec(0).bytes, 8));
+        warm.push_back(liveRequest(100 + i, 500, 500, 9,
+                                   pool.spec(9).bytes, 128));
+    }
+    for (auto &r : warm)
+        sched.enqueue(&r);
+    sched.onIterationEnd(sim::fromSeconds(1.0));
+    ASSERT_GE(sched.queueCount(), 2);
+    // Drain everything; the scheduler may admit from every lane.
+    FakeAdmission fake;
+    const auto first = sched.selectAdmissions(fake.ctx);
+    EXPECT_FALSE(first.empty());
+    // Now only large requests remain waiting; quotas of the (drained)
+    // small lane must be usable by the large lane.
+    std::size_t drained = first.size();
+    for (int round = 0; round < 100 && sched.hasWaiting(); ++round) {
+        for (auto *r : first) {
+            if (r->phase != serving::RequestPhase::Finished) {
+                r->phase = serving::RequestPhase::Finished;
+                r->finishTime = sim::fromSeconds(2.0 + round);
+                sched.onRequestFinished(r);
+            }
+        }
+        FakeAdmission again;
+        const auto more = sched.selectAdmissions(again.ctx);
+        drained += more.size();
+        for (auto *r : more) {
+            r->phase = serving::RequestPhase::Finished;
+            r->finishTime = sim::fromSeconds(2.0 + round);
+            sched.onRequestFinished(r);
+        }
+    }
+    EXPECT_EQ(drained, 40u);
+}
+
+TEST(MlqScheduler, BypassAdmitsYoungerOnAdapterMemoryBlock)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::MlqScheduler sched(testMlqConfig(), &pool);
+    auto blocked = liveRequest(1, 64, 64, 9, pool.spec(9).bytes, 128);
+    auto younger = liveRequest(2, 64, 64, 0, pool.spec(0).bytes, 8);
+    sched.enqueue(&blocked);
+    sched.enqueue(&younger);
+
+    FakeAdmission fake;
+    fake.refuse = &blocked;
+    fake.refuseWith = serving::ReserveResult::NoAdapterMemory;
+    // Memory for the blocked request frees far in the future; the
+    // younger request's execution is short: bypass allowed.
+    fake.ctx.estimateMemoryFree = [](std::int64_t) {
+        return sim::fromSeconds(100.0);
+    };
+    fake.ctx.estimateExecTime = [](const serving::LiveRequest *) {
+        return sim::fromSeconds(1.0);
+    };
+    int bypasses = 0;
+    fake.ctx.noteBypass = [&] { ++bypasses; };
+
+    const auto admitted = sched.selectAdmissions(fake.ctx);
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0], &younger);
+    EXPECT_EQ(bypasses, 1);
+    EXPECT_EQ(sched.waitingCount(), 1u); // blocked request still queued
+}
+
+TEST(MlqScheduler, BypassGuardBlocksLongBypasser)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::MlqScheduler sched(testMlqConfig(), &pool);
+    auto blocked = liveRequest(1, 64, 64, 9, pool.spec(9).bytes, 128);
+    auto younger = liveRequest(2, 64, 64, 0, pool.spec(0).bytes, 8);
+    sched.enqueue(&blocked);
+    sched.enqueue(&younger);
+
+    FakeAdmission fake;
+    fake.refuse = &blocked;
+    fake.refuseWith = serving::ReserveResult::NoAdapterMemory;
+    // Memory frees soon; the younger request would run longer than the
+    // blocked request's wait: bypass must NOT happen (§4.3.3).
+    fake.ctx.estimateMemoryFree = [](std::int64_t) {
+        return sim::fromSeconds(0.5);
+    };
+    fake.ctx.estimateExecTime = [](const serving::LiveRequest *) {
+        return sim::fromSeconds(10.0);
+    };
+    EXPECT_TRUE(sched.selectAdmissions(fake.ctx).empty());
+    EXPECT_EQ(sched.waitingCount(), 2u);
+}
+
+TEST(MlqScheduler, WrongBypassGetsSquashed)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    core::MlqScheduler sched(testMlqConfig(), &pool);
+    auto blocked = liveRequest(1, 64, 64, 9, pool.spec(9).bytes, 128);
+    auto younger = liveRequest(2, 64, 64, 0, pool.spec(0).bytes, 8);
+    sched.enqueue(&blocked);
+    sched.enqueue(&younger);
+
+    FakeAdmission fake;
+    fake.refuse = &blocked;
+    fake.refuseWith = serving::ReserveResult::NoAdapterMemory;
+    fake.ctx.estimateMemoryFree = [](std::int64_t) {
+        return sim::fromSeconds(100.0);
+    };
+    const auto admitted = sched.selectAdmissions(fake.ctx);
+    ASSERT_EQ(admitted.size(), 1u);
+    admitted[0]->phase = serving::RequestPhase::Running;
+
+    // Next cycle: memory including R2's holdings would now fit R1, but
+    // free memory alone would not -> squash R2.
+    FakeAdmission next;
+    next.refuse = &blocked;
+    next.refuseWith = serving::ReserveResult::NoAdapterMemory;
+    next.ctx.freeBytes = [&] { return blocked.adapterBytes - 1; };
+    next.ctx.heldBytes = [](const serving::LiveRequest *) {
+        return std::int64_t{2};
+    };
+    bool squashed = false;
+    next.ctx.squashForBypass = [&](serving::LiveRequest *r) {
+        EXPECT_EQ(r, &younger);
+        squashed = true;
+        r->phase = serving::RequestPhase::Waiting;
+        sched.requeueFront(r);
+    };
+    sched.selectAdmissions(next.ctx);
+    EXPECT_TRUE(squashed);
+}
+
+TEST(MlqScheduler, StaticVariantUsesEqualRangesAndQuotas)
+{
+    model::AdapterPool pool(model::llama7B(), 10);
+    auto cfg = testMlqConfig();
+    cfg.dynamic = false;
+    cfg.kMax = 4;
+    core::MlqScheduler sched(cfg, &pool);
+    std::vector<serving::LiveRequest> warm;
+    warm.reserve(30);
+    for (int i = 0; i < 30; ++i) {
+        warm.push_back(liveRequest(i, 8 + i * 16, 8 + i * 16, i % 10,
+                                   pool.spec(i % 10).bytes,
+                                   pool.spec(i % 10).rank));
+    }
+    for (auto &r : warm)
+        sched.enqueue(&r);
+    sched.onIterationEnd(sim::fromSeconds(1.0));
+    EXPECT_EQ(sched.queueCount(), 4);
+    const auto quotas = sched.quotas();
+    for (std::size_t i = 1; i < quotas.size(); ++i)
+        EXPECT_EQ(quotas[i], quotas[0]);
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property-based tests: system-wide invariants checked across random
+ * seeds and system kinds via parameterised suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "chameleon/system.h"
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "serving/slo.h"
+#include "workload/trace_gen.h"
+
+using namespace chameleon;
+
+namespace {
+
+struct RunOutput
+{
+    core::RunResult result;
+    workload::Trace trace;
+    model::CostModel cost{model::llama7B(), model::a40()};
+};
+
+RunOutput
+runSeeded(core::SystemKind kind, std::uint64_t seed, double rps = 8.0)
+{
+    static model::AdapterPool pool(model::llama7B(), 50);
+    core::SystemConfig cfg;
+    cfg.engine.model = model::llama7B();
+    cfg.engine.gpu = model::a40();
+    auto wl = workload::splitwiseLike();
+    wl.rps = rps;
+    wl.durationSeconds = 45.0;
+    wl.numAdapters = 50;
+    wl.seed = seed;
+    workload::TraceGenerator gen(wl, &pool);
+    RunOutput out;
+    out.trace = gen.generate();
+    out.result = core::runSystem(kind, cfg, &pool, out.trace);
+    return out;
+}
+
+model::AdapterPool &
+sharedPool()
+{
+    static model::AdapterPool pool(model::llama7B(), 50);
+    return pool;
+}
+
+} // namespace
+
+/** (kind, seed) grid. */
+class SystemInvariants
+    : public ::testing::TestWithParam<std::tuple<core::SystemKind,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(SystemInvariants, ConservationAndSanity)
+{
+    const auto [kind, seed] = GetParam();
+    const auto out = runSeeded(kind, seed);
+    const auto &s = out.result.stats;
+
+    // Every submitted request finishes once the trace drains.
+    EXPECT_EQ(s.finished, static_cast<std::int64_t>(out.trace.size()));
+    EXPECT_EQ(s.records.size(), out.trace.size());
+
+    // Latency ordering invariants per request.
+    for (const auto &rec : s.records) {
+        EXPECT_GE(rec.ttft, 0);
+        EXPECT_GE(rec.e2e, rec.ttft);
+        EXPECT_GE(rec.queueDelay, 0);
+        EXPECT_LE(rec.queueDelay, rec.ttft);
+        // TTFT can never beat the pure compute lower bound.
+        const auto lower = out.cost.prefillTime(rec.inputTokens);
+        EXPECT_GE(rec.ttft, lower)
+            << "request " << rec.id << " beat physics";
+    }
+
+    // Hit + miss counts cover every adapter-carrying arrival at least
+    // once (squash re-queues may add more).
+    std::int64_t adapter_reqs = 0;
+    for (const auto &r : out.trace.requests())
+        adapter_reqs += r.adapter != model::kNoAdapter ? 1 : 0;
+    EXPECT_GE(s.adapterHits + s.adapterMisses, adapter_reqs);
+
+    // The slowdown of every request is at least ~1 (cannot beat
+    // run-alone by more than model rounding).
+    const auto sd = serving::slowdowns(s.records, out.cost, &sharedPool());
+    EXPECT_GE(sd.percentile(0.0), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsBySeeds, SystemInvariants,
+    ::testing::Combine(
+        ::testing::Values(core::SystemKind::SLora,
+                          core::SystemKind::SLoraSjf,
+                          core::SystemKind::SLoraChunked,
+                          core::SystemKind::ChameleonNoCache,
+                          core::SystemKind::ChameleonNoSched,
+                          core::SystemKind::Chameleon,
+                          core::SystemKind::ChameleonGdsf,
+                          core::SystemKind::ChameleonStatic),
+        ::testing::Values(1u, 2u, 3u)),
+    [](const auto &info) {
+        std::string name = core::systemName(std::get<0>(info.param));
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** Load monotonicity: higher offered load never lowers tail latency
+ *  by much (allowing small non-monotonic noise). */
+class LoadMonotonicity : public ::testing::TestWithParam<core::SystemKind>
+{
+};
+
+TEST_P(LoadMonotonicity, P99GrowsWithLoad)
+{
+    const auto lo = runSeeded(GetParam(), 11, 6.0);
+    const auto hi = runSeeded(GetParam(), 11, 11.0);
+    EXPECT_GT(hi.result.stats.ttft.p99(),
+              0.8 * lo.result.stats.ttft.p99());
+    EXPECT_GT(hi.result.stats.e2e.p99(), lo.result.stats.e2e.p99());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LoadMonotonicity,
+                         ::testing::Values(core::SystemKind::SLora,
+                                           core::SystemKind::Chameleon));
+
+/** Predictor-accuracy property: Chameleon's P99 TTFT with a perfect
+ *  predictor is no worse than with a broken one (within noise). */
+TEST(PredictorProperty, BetterAccuracyNeverMuchWorse)
+{
+    model::AdapterPool pool(model::llama7B(), 50);
+    core::SystemConfig cfg;
+    cfg.engine.model = model::llama7B();
+    cfg.engine.gpu = model::a40();
+    auto wl = workload::splitwiseLike();
+    wl.rps = 9.0;
+    wl.durationSeconds = 60.0;
+    wl.numAdapters = 50;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    cfg.predictorAccuracy = 1.0;
+    const auto perfect =
+        core::runSystem(core::SystemKind::Chameleon, cfg, &pool, trace);
+    cfg.predictorAccuracy = 0.3;
+    const auto broken =
+        core::runSystem(core::SystemKind::Chameleon, cfg, &pool, trace);
+    EXPECT_LE(perfect.stats.ttft.p99(),
+              1.25 * broken.stats.ttft.p99());
+}
+
+/** Cache property: the Chameleon cache never transfers more bytes than
+ *  the cacheless baseline on the same trace. */
+TEST(CacheProperty, NeverMoreTrafficThanBaseline)
+{
+    for (std::uint64_t seed : {5u, 6u, 7u}) {
+        const auto base = runSeeded(core::SystemKind::SLora, seed);
+        const auto cham = runSeeded(core::SystemKind::Chameleon, seed);
+        EXPECT_LE(cham.result.pcieBytes, base.result.pcieBytes)
+            << "seed " << seed;
+        EXPECT_GE(cham.result.cacheHitRate, base.result.cacheHitRate - 0.02)
+            << "seed " << seed;
+    }
+}
+
+/** Determinism across all kinds. */
+TEST(DeterminismProperty, IdenticalRunsIdenticalResults)
+{
+    for (const auto kind :
+         {core::SystemKind::SLora, core::SystemKind::Chameleon,
+          core::SystemKind::ChameleonPrefetch}) {
+        const auto a = runSeeded(kind, 9);
+        const auto b = runSeeded(kind, 9);
+        EXPECT_EQ(a.result.stats.ttft.sorted(), b.result.stats.ttft.sorted());
+        EXPECT_EQ(a.result.pcieBytes, b.result.pcieBytes);
+        EXPECT_EQ(a.result.stats.iterations, b.result.stats.iterations);
+    }
+}

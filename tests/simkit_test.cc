@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: time, RNG, distributions,
+ * statistics, time series, and the event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "simkit/distributions.h"
+#include "simkit/rng.h"
+#include "simkit/simulator.h"
+#include "simkit/stats.h"
+#include "simkit/time.h"
+#include "simkit/timeseries.h"
+
+namespace sim = chameleon::sim;
+
+// ---------------------------------------------------------------- time
+
+TEST(Time, ConversionsRoundTrip)
+{
+    EXPECT_EQ(sim::fromSeconds(1.0), sim::kSec);
+    EXPECT_EQ(sim::fromMillis(1.0), sim::kMsec);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(sim::kSec), 1.0);
+    EXPECT_DOUBLE_EQ(sim::toMillis(5 * sim::kMsec), 5.0);
+    EXPECT_EQ(sim::fromSeconds(0.0000015), 2); // rounds to nearest usec
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    sim::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    sim::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    sim::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowUniformish)
+{
+    sim::Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBelow(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 50);
+        EXPECT_LT(c, n / 10 + n / 50);
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    sim::Rng parent(5);
+    sim::Rng child = parent.split();
+    // The child stream should not replay the parent stream.
+    sim::Rng parent2(5);
+    (void)parent2(); // consume the value that seeded the child
+    EXPECT_NE(child(), parent2());
+}
+
+// -------------------------------------------------------- distributions
+
+TEST(Distributions, ExponentialMeanMatchesRate)
+{
+    sim::Rng rng(42);
+    const double rate = 4.0;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += sim::sampleExponential(rng, rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Distributions, LognormalMedianIsExpMu)
+{
+    sim::Rng rng(43);
+    std::vector<double> xs;
+    const double mu = std::log(48.0);
+    for (int i = 0; i < 100001; ++i)
+        xs.push_back(sim::sampleLognormal(rng, mu, 1.0));
+    std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], 48.0, 2.0);
+}
+
+TEST(Distributions, NormalMoments)
+{
+    sim::Rng rng(44);
+    sim::OnlineStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(sim::sampleNormal(rng));
+    EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Distributions, BoundedParetoStaysInBounds)
+{
+    sim::Rng rng(45);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = sim::sampleBoundedPareto(rng, 1.5, 2.0, 100.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LE(x, 100.0);
+    }
+}
+
+TEST(PowerLawSampler, UniformWhenAlphaZero)
+{
+    sim::PowerLawSampler sampler(5, 0.0);
+    for (std::size_t k = 0; k < 5; ++k)
+        EXPECT_NEAR(sampler.probability(k), 0.2, 1e-12);
+}
+
+TEST(PowerLawSampler, SkewIncreasesWithAlpha)
+{
+    sim::PowerLawSampler flat(100, 0.5);
+    sim::PowerLawSampler steep(100, 2.0);
+    EXPECT_GT(steep.probability(0), flat.probability(0));
+    EXPECT_LT(steep.probability(99), flat.probability(99));
+}
+
+TEST(PowerLawSampler, EmpiricalMatchesPmf)
+{
+    sim::Rng rng(46);
+    sim::PowerLawSampler sampler(10, 1.2);
+    std::vector<int> counts(10, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[sampler.sample(rng)];
+    for (std::size_t k = 0; k < 10; ++k) {
+        EXPECT_NEAR(static_cast<double>(counts[k]) / n,
+                    sampler.probability(k), 0.01);
+    }
+}
+
+TEST(DiscreteSampler, RespectsWeights)
+{
+    sim::Rng rng(47);
+    sim::DiscreteSampler sampler({1.0, 3.0});
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += sampler.sample(rng) == 1 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(OnlineStats, BasicMoments)
+{
+    sim::OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(PercentileTracker, ExactOnSmallSets)
+{
+    sim::PercentileTracker t;
+    for (int i = 1; i <= 100; ++i)
+        t.add(static_cast<double>(i));
+    EXPECT_NEAR(t.p50(), 50.5, 1e-9);
+    EXPECT_NEAR(t.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(t.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(t.p99(), 99.01, 1e-9);
+}
+
+TEST(PercentileTracker, InterleavedAddAndQuery)
+{
+    sim::PercentileTracker t;
+    t.add(10.0);
+    EXPECT_DOUBLE_EQ(t.p50(), 10.0);
+    t.add(20.0);
+    EXPECT_DOUBLE_EQ(t.p50(), 15.0);
+    t.add(0.0);
+    EXPECT_DOUBLE_EQ(t.p50(), 10.0);
+}
+
+TEST(PercentileTracker, CdfMonotone)
+{
+    sim::PercentileTracker t;
+    sim::Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        t.add(rng.nextDouble());
+    const auto cdf = t.cdf();
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+        EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    sim::Histogram h(0.0, 10.0, 10);
+    h.add(-5.0); // clamps into bin 0
+    h.add(0.5);
+    h.add(9.99);
+    h.add(50.0); // clamps into last bin
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(9), 10.0);
+}
+
+// ----------------------------------------------------------- timeseries
+
+TEST(TimeSeries, DownsampleKeepsEndpointsApproximately)
+{
+    sim::TimeSeries ts;
+    for (int i = 0; i < 1000; ++i)
+        ts.record(i * sim::kMsec, static_cast<double>(i));
+    const auto down = ts.downsample(10);
+    EXPECT_EQ(down.size(), 10u);
+    EXPECT_EQ(down.front().time, 0);
+}
+
+TEST(WindowedPercentiles, OutOfOrderSamples)
+{
+    sim::WindowedPercentiles wp(sim::kSec);
+    wp.record(2 * sim::kSec, 5.0);
+    wp.record(0, 1.0);
+    wp.record(0, 3.0);
+    const auto series = wp.series(50.0);
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_EQ(series[0].time, 0);
+    EXPECT_DOUBLE_EQ(series[0].value, 2.0);
+    EXPECT_EQ(series[1].time, 2 * sim::kSec);
+    EXPECT_DOUBLE_EQ(series[1].value, 5.0);
+}
+
+TEST(WindowedSum, RatesPerSecond)
+{
+    sim::WindowedSum ws(sim::kSec);
+    ws.record(0, 100.0);
+    ws.record(sim::kSec / 2, 100.0);
+    ws.record(3 * sim::kSec, 300.0);
+    EXPECT_DOUBLE_EQ(ws.maxRate(), 300.0);
+    const auto rates = ws.ratePerSecond();
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0].value, 200.0);
+}
+
+// ------------------------------------------------------------ simulator
+
+TEST(Simulator, FiresInTimestampOrder)
+{
+    sim::Simulator s;
+    std::vector<int> order;
+    s.scheduleAt(30, [&] { order.push_back(3); });
+    s.scheduleAt(10, [&] { order.push_back(1); });
+    s.scheduleAt(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, SameTimestampFifo)
+{
+    sim::Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        s.scheduleAt(7, [&order, i] { order.push_back(i); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    sim::Simulator s;
+    int fired = 0;
+    s.scheduleAt(10, [&] {
+        s.scheduleAfter(5, [&] {
+            EXPECT_EQ(s.now(), 15);
+            ++fired;
+        });
+    });
+    s.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.eventsDispatched(), 2u);
+}
+
+TEST(Simulator, CancelPreventsDispatch)
+{
+    sim::Simulator s;
+    bool fired = false;
+    const auto id = s.scheduleAt(10, [&] { fired = true; });
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id)); // double-cancel is a no-op
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents)
+{
+    sim::Simulator s;
+    s.runUntil(100);
+    EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents)
+{
+    sim::Simulator s;
+    bool late = false;
+    s.scheduleAt(200, [&] { late = true; });
+    s.runUntil(100);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(s.pendingEvents(), 1u);
+    s.run();
+    EXPECT_TRUE(late);
+}
+
+TEST(Simulator, SlotReuseAfterCancel)
+{
+    sim::Simulator s;
+    int count = 0;
+    for (int round = 0; round < 100; ++round) {
+        const auto id = s.scheduleAt(s.now() + 1, [&] { ++count; });
+        if (round % 2 == 0)
+            s.cancel(id);
+        s.run();
+    }
+    EXPECT_EQ(count, 50);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for trace transformations, workload summaries, and the
+ * history-based output-length predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/llm.h"
+#include "predict/history_predictor.h"
+#include "workload/trace_gen.h"
+#include "workload/transforms.h"
+
+using namespace chameleon;
+
+namespace {
+
+workload::Trace
+sample(double rps = 10.0, double seconds = 60.0)
+{
+    static model::AdapterPool pool(model::llama7B(), 20);
+    auto cfg = workload::splitwiseLike();
+    cfg.rps = rps;
+    cfg.durationSeconds = seconds;
+    cfg.numAdapters = 20;
+    workload::TraceGenerator gen(cfg, &pool);
+    return gen.generate();
+}
+
+} // namespace
+
+TEST(Transforms, ScaleLengthsHalves)
+{
+    const auto trace = sample();
+    const auto scaled = workload::scaleLengths(trace, 0.5);
+    ASSERT_EQ(scaled.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_NEAR(static_cast<double>(scaled[i].inputTokens),
+                    static_cast<double>(trace[i].inputTokens) / 2.0, 0.51);
+        EXPECT_GE(scaled[i].inputTokens, 1);
+        EXPECT_GE(scaled[i].outputTokens, 1);
+        EXPECT_EQ(scaled[i].arrival, trace[i].arrival);
+    }
+}
+
+TEST(Transforms, ScaleArrivalsCompressesLoad)
+{
+    const auto trace = sample();
+    const auto fast = workload::scaleArrivals(trace, 0.5);
+    EXPECT_NEAR(fast.meanRps(), 2.0 * trace.meanRps(), 0.2);
+}
+
+TEST(Transforms, SliceKeepsWindowAndRebases)
+{
+    const auto trace = sample(10.0, 120.0);
+    const auto slice = workload::sliceTime(trace, 30.0, 60.0);
+    EXPECT_GT(slice.size(), 0u);
+    EXPECT_LT(slice.size(), trace.size());
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+        EXPECT_GE(slice[i].arrival, 0);
+        EXPECT_LT(slice[i].arrival, sim::fromSeconds(30.0));
+        EXPECT_EQ(slice[i].id, static_cast<std::int64_t>(i));
+    }
+}
+
+TEST(Transforms, ConcatShiftsSecondTrace)
+{
+    const auto a = sample(10.0, 30.0);
+    const auto b = sample(10.0, 30.0);
+    const auto joined = workload::concat(a, b);
+    EXPECT_EQ(joined.size(), a.size() + b.size());
+    EXPECT_GE(joined[a.size()].arrival, a.duration());
+    // Ids stay dense and ordered.
+    for (std::size_t i = 1; i < joined.size(); ++i)
+        EXPECT_EQ(joined[i].id, joined[i - 1].id + 1);
+}
+
+TEST(Transforms, SummaryReflectsDistributions)
+{
+    const auto trace = sample(20.0, 120.0);
+    const auto s = workload::summarize(trace);
+    EXPECT_EQ(s.requests, trace.size());
+    EXPECT_NEAR(s.meanRps, 20.0, 2.0);
+    EXPECT_GT(s.p99Input, s.p50Input);
+    EXPECT_GT(s.p99Output, s.p50Output);
+    EXPECT_GT(s.meanInput, 0.0);
+    EXPECT_EQ(s.distinctAdapters, 20u);
+    // Power-law adapter popularity concentrates traffic.
+    EXPECT_GT(s.top10PercentShare, 0.15);
+}
+
+TEST(Transforms, SummaryOfEmptyTrace)
+{
+    const auto s = workload::summarize(workload::Trace{});
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.distinctAdapters, 0u);
+}
+
+// ------------------------------------------------- history predictor
+
+TEST(HistoryPredictor, ColdStartUsesDefault)
+{
+    predict::HistoryLengthPredictor p(0.2, 64);
+    workload::Request r;
+    r.adapter = 3;
+    EXPECT_EQ(p.predict(r), 64);
+}
+
+TEST(HistoryPredictor, LearnsPerAdapterMeans)
+{
+    predict::HistoryLengthPredictor p(0.5);
+    workload::Request short_req;
+    short_req.adapter = 1;
+    short_req.outputTokens = 10;
+    workload::Request long_req;
+    long_req.adapter = 2;
+    long_req.outputTokens = 400;
+    for (int i = 0; i < 20; ++i) {
+        p.observe(short_req);
+        p.observe(long_req);
+    }
+    EXPECT_NEAR(static_cast<double>(p.predict(short_req)), 10.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(p.predict(long_req)), 400.0, 20.0);
+    EXPECT_EQ(p.observations(), 40);
+}
+
+TEST(HistoryPredictor, GlobalFallbackForUnseenAdapter)
+{
+    predict::HistoryLengthPredictor p(0.5, 64);
+    workload::Request seen;
+    seen.adapter = 1;
+    seen.outputTokens = 100;
+    p.observe(seen);
+    workload::Request unseen;
+    unseen.adapter = 9;
+    // Falls back to the global EWMA (100), not the cold default (64).
+    EXPECT_EQ(p.predict(unseen), 100);
+}
+
+TEST(HistoryPredictor, TracksDrift)
+{
+    predict::HistoryLengthPredictor p(0.3);
+    workload::Request r;
+    r.adapter = 5;
+    r.outputTokens = 50;
+    for (int i = 0; i < 10; ++i)
+        p.observe(r);
+    r.outputTokens = 300;
+    for (int i = 0; i < 20; ++i)
+        p.observe(r);
+    EXPECT_NEAR(static_cast<double>(p.predict(r)), 300.0, 30.0);
+}

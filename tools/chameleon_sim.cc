@@ -1,0 +1,214 @@
+/**
+ * @file
+ * chameleon_sim — the command-line driver for the simulator.
+ *
+ * Builds a serving system from flags, generates (or loads) a trace,
+ * runs it, and prints a full report: latency percentiles, throughput,
+ * cache/PCIe statistics, and GPU utilisation. Optionally exports
+ * per-request records and the trace itself as CSV for offline
+ * analysis.
+ *
+ * Examples:
+ *   chameleon_sim --system chameleon --rps 9 --duration 300
+ *   chameleon_sim --system slora --model llama-13b --gpu a100 \
+ *       --mem-gib 80 --adapters 200 --records-csv out.csv
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "chameleon/system.h"
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "serving/slo.h"
+#include "simkit/flags.h"
+#include "workload/trace_gen.h"
+
+using namespace chameleon;
+
+namespace {
+
+core::SystemKind
+kindByName(const std::string &name)
+{
+    if (name == "slora") return core::SystemKind::SLora;
+    if (name == "slora-sjf") return core::SystemKind::SLoraSjf;
+    if (name == "slora-chunked") return core::SystemKind::SLoraChunked;
+    if (name == "chameleon") return core::SystemKind::Chameleon;
+    if (name == "chameleon-nocache") return core::SystemKind::ChameleonNoCache;
+    if (name == "chameleon-nosched") return core::SystemKind::ChameleonNoSched;
+    if (name == "chameleon-lru") return core::SystemKind::ChameleonLru;
+    if (name == "chameleon-fairshare")
+        return core::SystemKind::ChameleonFairShare;
+    if (name == "chameleon-gdsf") return core::SystemKind::ChameleonGdsf;
+    if (name == "chameleon-prefetch")
+        return core::SystemKind::ChameleonPrefetch;
+    if (name == "chameleon-static") return core::SystemKind::ChameleonStatic;
+    CHM_FATAL("unknown --system: " << name
+              << " (try slora, slora-sjf, slora-chunked, chameleon, "
+                 "chameleon-nocache, chameleon-nosched, chameleon-lru, "
+                 "chameleon-fairshare, chameleon-gdsf, chameleon-prefetch, "
+                 "chameleon-static)");
+}
+
+void
+writeRecordsCsv(const std::string &path,
+                const std::vector<serving::RequestRecord> &records)
+{
+    std::ofstream out(path);
+    CHM_CHECK(out.good(), "cannot open " << path);
+    out << "id,arrival_s,input,output,adapter,rank,ttft_s,e2e_s,"
+           "queue_delay_s,adapter_stall_ms,wrs,queue,squashes,preempts\n";
+    for (const auto &r : records) {
+        out << r.id << ',' << sim::toSeconds(r.arrival) << ','
+            << r.inputTokens << ',' << r.outputTokens << ',' << r.adapter
+            << ',' << r.rank << ',' << sim::toSeconds(r.ttft) << ','
+            << sim::toSeconds(r.e2e) << ',' << sim::toSeconds(r.queueDelay)
+            << ',' << sim::toMillis(r.adapterStall) << ',' << r.wrs << ','
+            << r.queueIndex << ',' << r.squashCount << ','
+            << r.preemptCount << '\n';
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::FlagSet flags("chameleon_sim");
+    auto *system = flags.addString("system", "chameleon",
+                                   "serving system to simulate");
+    auto *model_name = flags.addString("model", "llama-7b",
+                                       "base model preset");
+    auto *gpu_name = flags.addString("gpu", "a40", "gpu preset: a40|a100");
+    auto *mem_gib = flags.addInt("mem-gib", 0,
+                                 "a100 memory GiB (24/48/80; 0 = default)");
+    auto *tp = flags.addInt("tp", 1, "tensor-parallel degree");
+    auto *adapters = flags.addInt("adapters", 100,
+                                  "number of LoRA adapters (0 = base only)");
+    auto *rps = flags.addDouble("rps", 8.0, "offered load, requests/s");
+    auto *duration = flags.addDouble("duration", 300.0,
+                                     "trace duration, seconds");
+    auto *seed = flags.addInt("seed", 42, "workload seed");
+    auto *workload_name = flags.addString(
+        "workload", "splitwise", "trace preset: splitwise|wildchat|lmsys");
+    auto *acc = flags.addDouble("predictor-acc", 0.8,
+                                "output-length predictor accuracy");
+    auto *trace_in = flags.addString("trace", "",
+                                     "load trace from CSV instead");
+    auto *trace_out = flags.addString("save-trace", "",
+                                      "write the generated trace as CSV");
+    auto *records_csv = flags.addString("records-csv", "",
+                                        "write per-request records as CSV");
+    if (!flags.parse(argc, argv))
+        return 2;
+
+    core::SystemConfig cfg;
+    cfg.engine.model = model::modelByName(*model_name);
+    if (*gpu_name == "a40") {
+        cfg.engine.gpu = model::a40();
+        CHM_CHECK(*mem_gib == 0, "--mem-gib applies to --gpu a100 only");
+    } else if (*gpu_name == "a100") {
+        cfg.engine.gpu = model::a100(*mem_gib == 0 ? 80
+                                                   : static_cast<int>(*mem_gib));
+    } else {
+        CHM_FATAL("unknown --gpu: " << *gpu_name);
+    }
+    cfg.engine.tpDegree = static_cast<int>(*tp);
+    cfg.predictorAccuracy = *acc;
+
+    std::unique_ptr<model::AdapterPool> pool;
+    if (*adapters > 0) {
+        pool = std::make_unique<model::AdapterPool>(
+            cfg.engine.model, static_cast<int>(*adapters));
+    }
+
+    workload::Trace trace;
+    if (!trace_in->empty()) {
+        trace = workload::Trace::loadCsv(*trace_in);
+    } else {
+        workload::TraceGenConfig wl;
+        if (*workload_name == "splitwise")
+            wl = workload::splitwiseLike();
+        else if (*workload_name == "wildchat")
+            wl = workload::wildchatLike();
+        else if (*workload_name == "lmsys")
+            wl = workload::lmsysLike();
+        else
+            CHM_FATAL("unknown --workload: " << *workload_name);
+        wl.rps = *rps;
+        wl.durationSeconds = *duration;
+        wl.numAdapters = static_cast<int>(*adapters);
+        wl.seed = static_cast<std::uint64_t>(*seed);
+        workload::TraceGenerator gen(wl, pool.get());
+        trace = gen.generate();
+    }
+    if (!trace_out->empty())
+        trace.saveCsv(*trace_out);
+
+    const auto kind = kindByName(*system);
+    model::CostModel cost(cfg.engine.model, cfg.engine.gpu,
+                          cfg.engine.tpDegree);
+    const double slo =
+        sim::toSeconds(serving::computeSlo(trace, cost, pool.get()));
+
+    std::printf("system      : %s\n", core::systemName(kind));
+    std::printf("deployment  : %s on %s x%d, %lld adapters\n",
+                cfg.engine.model.name.c_str(), cfg.engine.gpu.name.c_str(),
+                cfg.engine.tpDegree, static_cast<long long>(*adapters));
+    std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",
+                trace.size(), trace.meanRps(),
+                sim::toSeconds(trace.duration()));
+    std::printf("TTFT SLO    : %.2f s (5x mean isolated latency)\n\n", slo);
+
+    const auto result = core::runSystem(kind, cfg, pool.get(), trace);
+    const auto &s = result.stats;
+
+    std::printf("finished    : %lld / %lld (%lld preempts, %lld squashes, "
+                "%lld bypasses)\n",
+                static_cast<long long>(s.finished),
+                static_cast<long long>(s.submitted),
+                static_cast<long long>(s.preemptions),
+                static_cast<long long>(s.squashes),
+                static_cast<long long>(s.bypasses));
+    std::printf("TTFT        : p50 %.3f s, p90 %.3f s, p99 %.3f s  %s\n",
+                s.ttft.p50(), s.ttft.p90(), s.ttft.p99(),
+                s.ttft.p99() <= slo ? "(meets SLO)" : "(VIOLATES SLO)");
+    std::printf("TBT         : p50 %.1f ms, p99 %.1f ms\n", s.tbt.p50(),
+                s.tbt.p99());
+    std::printf("E2E         : p50 %.2f s, p99 %.2f s\n", s.e2e.p50(),
+                s.e2e.p99());
+    std::printf("queue delay : p50 %.3f s, p99 %.3f s\n", s.queueDelay.p50(),
+                s.queueDelay.p99());
+    std::printf("load stall  : mean %.2f ms, p99 %.2f ms\n",
+                s.loadStall.mean(), s.loadStall.p99());
+    std::printf("adapters    : hit rate %.1f%%, %lld evictions\n",
+                100.0 * result.cacheHitRate,
+                static_cast<long long>(result.cacheEvictions));
+    std::printf("PCIe        : %.2f GB total, %.1f MB/s mean, "
+                "utilisation %.1f%%\n",
+                static_cast<double>(result.pcieBytes) / 1e9,
+                result.pcieMeanBytesPerSec / 1e6,
+                100.0 * result.pcieUtilisation);
+    const double elapsed =
+        std::max(1e-9, sim::toSeconds(trace.duration()));
+    std::printf("engine      : %lld iterations, busy %.1f s, mean batch "
+                "%.1f, %.0f prefill tok/s, %.0f decode tok/s\n",
+                static_cast<long long>(s.iterations),
+                sim::toSeconds(s.busyTime),
+                s.iterations ? static_cast<double>(s.batchSizeAccum) /
+                                   static_cast<double>(s.iterations)
+                             : 0.0,
+                static_cast<double>(s.prefillTokens) / elapsed,
+                static_cast<double>(s.decodeTokens) / elapsed);
+    if (result.mlqQueues > 0)
+        std::printf("scheduler   : %d MLQ queues\n", result.mlqQueues);
+
+    if (!records_csv->empty()) {
+        writeRecordsCsv(*records_csv, s.records);
+        std::printf("\nper-request records written to %s\n",
+                    records_csv->c_str());
+    }
+    return 0;
+}
