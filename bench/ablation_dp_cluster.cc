@@ -81,7 +81,7 @@ main()
                     return makeReplica(simulator, *tb.pool, predictor,
                                        chameleon);
                 },
-                replicas, serving::DispatchPolicy::JoinShortestQueue);
+                replicas, routing::RouterPolicy::JoinShortestQueue);
             cluster.submitTrace(trace);
             simulator.run();
             cluster.finalize();

@@ -72,6 +72,37 @@ std::vector<std::pair<double, double>> sweepLoads(
     const std::vector<double> &rpsList, const std::string &metric,
     double traceSeconds = 240.0);
 
+/**
+ * Machine-readable benchmark output: accumulates flat rows of fields
+ * and writes {"benchmark": ..., "rows": [...]} so the perf trajectory
+ * of a bench can be tracked across commits (BENCH_<name>.json).
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string benchmarkName);
+
+    /** Start a new row; subsequent field() calls fill it. */
+    BenchJson &row();
+
+    BenchJson &field(const std::string &key, double value);
+    BenchJson &field(const std::string &key, std::int64_t value);
+    BenchJson &field(const std::string &key, const std::string &value);
+
+    /** Write the document; fails hard if the path cannot be opened. */
+    void write(const std::string &path) const;
+
+  private:
+    struct Field
+    {
+        std::string key;
+        std::string literal; // already JSON-encoded
+    };
+
+    std::string name_;
+    std::vector<std::vector<Field>> rows_;
+};
+
 } // namespace chameleon::bench
 
 #endif // CHAMELEON_BENCH_BENCH_UTIL_H

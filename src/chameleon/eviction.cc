@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simkit/check.h"
+#include "simkit/rng.h"
 
 namespace chameleon::core {
 
@@ -121,11 +122,8 @@ RandomEviction::pickVictim(const std::vector<EvictionCandidate> &candidates,
 {
     CHM_CHECK(!candidates.empty(), "no eviction candidates");
     // SplitMix64 step: deterministic per seed, independent of sim state.
+    const std::uint64_t z = sim::mix64(state_);
     state_ += 0x9E3779B97F4A7C15ull;
-    std::uint64_t z = state_;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    z ^= z >> 31;
     return static_cast<std::size_t>(z % candidates.size());
 }
 

@@ -88,26 +88,33 @@ placeholderPool()
     return pool;
 }
 
-} // namespace
-
-System::System(SystemKind kind, SystemConfig config,
-               const model::AdapterPool *pool)
-    : kind_(kind), config_(std::move(config)), pool_(pool)
+std::unique_ptr<predict::OutputPredictor>
+buildPredictor(const SystemConfig &config)
 {
-    EngineConfig ecfg = config_.engine;
+    if (config.predictor == "history")
+        return std::make_unique<predict::HistoryLengthPredictor>();
+    CHM_CHECK(config.predictor == "bert",
+              "unknown predictor: " << config.predictor);
+    return std::make_unique<predict::LengthPredictor>(
+        config.predictorAccuracy, config.predictorSeed);
+}
+
+/**
+ * Build one fully wired engine of `kind` (scheduler + adapter manager)
+ * on the given simulator. Shared by the single-engine System and every
+ * replica of a ClusterSystem. `mlqOut`, when non-null, receives the
+ * borrowed MLQ scheduler pointer for kinds that use it.
+ */
+std::unique_ptr<ServingEngine>
+buildEngine(SystemKind kind, const SystemConfig &config,
+            const model::AdapterPool *pool, sim::Simulator &simulator,
+            predict::OutputPredictor *predictor, MlqScheduler **mlqOut)
+{
+    EngineConfig ecfg = config.engine;
     ecfg.predictedReservation = usesMlq(kind);
     if (kind == SystemKind::SLoraChunked) {
         ecfg.prefillChunkTokens =
-            std::max<std::int64_t>(config_.chunkedPrefillTokens, 1);
-    }
-
-    if (config_.predictor == "history") {
-        predictor_ = std::make_unique<predict::HistoryLengthPredictor>();
-    } else {
-        CHM_CHECK(config_.predictor == "bert",
-                  "unknown predictor: " << config_.predictor);
-        predictor_ = std::make_unique<predict::LengthPredictor>(
-            config_.predictorAccuracy, config_.predictorSeed);
+            std::max<std::int64_t>(config.chunkedPrefillTokens, 1);
     }
 
     // Scheduler.
@@ -119,8 +126,8 @@ System::System(SystemKind kind, SystemConfig config,
             scheduler = std::make_unique<serving::FifoScheduler>();
     } else {
         MlqConfig mcfg;
-        mcfg.sloSeconds = config_.sloSeconds;
-        mcfg.refreshPeriod = config_.refreshPeriod;
+        mcfg.sloSeconds = config.sloSeconds;
+        mcfg.refreshPeriod = config.refreshPeriod;
         mcfg.kvBytesPerToken = ecfg.model.kvBytesPerToken();
         const std::int64_t pool_bytes =
             static_cast<std::int64_t>(ecfg.tpDegree) * ecfg.gpu.memBytes -
@@ -128,57 +135,84 @@ System::System(SystemKind kind, SystemConfig config,
             static_cast<std::int64_t>(ecfg.tpDegree) * ecfg.workspacePerGpu;
         CHM_CHECK(pool_bytes > 0, "model does not leave room for requests");
         mcfg.totalTokens = pool_bytes / mcfg.kvBytesPerToken;
-        mcfg.bypassEnabled = config_.mlqBypass;
+        mcfg.bypassEnabled = config.mlqBypass;
         if (kind == SystemKind::ChameleonStatic)
             mcfg.dynamic = false;
         if (kind == SystemKind::ChameleonOutputOnly)
             mcfg.wrsForm = WrsForm::OutputOnly;
         if (kind == SystemKind::ChameleonDegree1)
             mcfg.wrsForm = WrsForm::Degree1;
-        auto mlq = std::make_unique<MlqScheduler>(mcfg, pool_);
-        mlq_ = mlq.get();
+        auto mlq = std::make_unique<MlqScheduler>(mcfg, pool);
+        if (mlqOut != nullptr)
+            *mlqOut = mlq.get();
         scheduler = std::move(mlq);
     }
 
-    engine_ = std::make_unique<ServingEngine>(
-        sim_, ecfg, pool_, std::move(scheduler), predictor_.get());
+    auto engine = std::make_unique<ServingEngine>(
+        simulator, ecfg, pool, std::move(scheduler), predictor);
 
     // Adapter manager (needs the engine's memory and link objects).
     std::unique_ptr<serving::AdapterManager> mgr;
-    if (pool_ == nullptr || !usesCache(kind)) {
+    if (pool == nullptr || !usesCache(kind)) {
         // Base-only workloads still need a manager object; the baseline
         // one degenerates gracefully when no adapters are referenced.
         mgr = std::make_unique<serving::SLoraAdapterManager>(
-            pool_ ? *pool_ : placeholderPool(), engine_->memory(),
-            engine_->pcieLink(), /*prefetchEnabled=*/true);
+            pool ? *pool : placeholderPool(), engine->memory(),
+            engine->pcieLink(), /*prefetchEnabled=*/true);
     } else {
         CacheConfig ccfg;
         ccfg.evictionPolicy = evictionPolicyFor(kind);
         ccfg.predictivePrefetch = kind == SystemKind::ChameleonPrefetch;
-        ccfg.predictiveTopK = config_.prefetchTopK;
+        ccfg.predictiveTopK = config.prefetchTopK;
         mgr = std::make_unique<CacheManager>(
-            *pool_, engine_->memory(), engine_->pcieLink(),
-            engine_->costModel(), ccfg);
+            *pool, engine->memory(), engine->pcieLink(),
+            engine->costModel(), ccfg);
     }
-    engine_->setAdapterManager(std::move(mgr));
+    engine->setAdapterManager(std::move(mgr));
+    return engine;
+}
+
+} // namespace
+
+System::System(SystemKind kind, SystemConfig config,
+               const model::AdapterPool *pool)
+    : kind_(kind), config_(std::move(config)), pool_(pool)
+{
+    predictor_ = buildPredictor(config_);
+    engine_ = buildEngine(kind, config_, pool_, sim_, predictor_.get(),
+                          &mlq_);
 }
 
 System::~System() = default;
+
+namespace {
+
+/**
+ * Run the trace span, then drain remaining events; the event graph is
+ * finite, so the drain window only bounds the clock when the system
+ * ends up idle-stalled.
+ */
+void
+drainSimulation(sim::Simulator &simulator, const workload::Trace &trace,
+                sim::SimTime drainWindow)
+{
+    simulator.runUntil(trace.duration());
+    std::int64_t guard = 1ll << 40;
+    while (simulator.pendingEvents() > 0 && guard-- > 0 &&
+           simulator.now() < trace.duration() + drainWindow) {
+        simulator.runUntil(simulator.now() + sim::kSec);
+        if (simulator.pendingEvents() == 0)
+            break;
+    }
+}
+
+} // namespace
 
 RunResult
 System::run(const workload::Trace &trace, sim::SimTime drainWindow)
 {
     engine_->submitTrace(trace);
-    // Drain everything; the engine's event graph is finite. The drain
-    // window only bounds the clock when the engine ends up idle-stalled.
-    sim_.runUntil(trace.duration());
-    std::int64_t guard = 1ll << 40;
-    while (sim_.pendingEvents() > 0 && guard-- > 0 &&
-           sim_.now() < trace.duration() + drainWindow) {
-        sim_.runUntil(sim_.now() + sim::kSec);
-        if (sim_.pendingEvents() == 0)
-            break;
-    }
+    drainSimulation(sim_, trace, drainWindow);
     engine_->finalize();
 
     RunResult result;
@@ -205,6 +239,63 @@ runSystem(SystemKind kind, const SystemConfig &config,
           const model::AdapterPool *pool, const workload::Trace &trace)
 {
     System system(kind, config, pool);
+    return system.run(trace);
+}
+
+ClusterSystem::ClusterSystem(SystemKind kind, SystemConfig config,
+                             const model::AdapterPool *pool)
+    : kind_(kind), config_(std::move(config)), pool_(pool)
+{
+    const ClusterConfig &ccfg = config_.cluster;
+    CHM_CHECK(ccfg.replicas >= 1, "cluster needs at least one replica");
+    // One predictor shared by all replicas (it is a per-request oracle,
+    // not per-engine state).
+    predictor_ = buildPredictor(config_);
+    cluster_ = std::make_unique<serving::DataParallelCluster>(
+        sim_,
+        [this] {
+            return buildEngine(kind_, config_, pool_, sim_,
+                               predictor_.get(), nullptr);
+        },
+        ccfg.replicas, routing::makeRouter(ccfg.router, ccfg.routerConfig));
+    if (ccfg.autoscale)
+        cluster_->enableAutoscaler(ccfg.autoscaler);
+}
+
+ClusterSystem::~ClusterSystem() = default;
+
+ClusterRunResult
+ClusterSystem::run(const workload::Trace &trace, sim::SimTime drainWindow)
+{
+    cluster_->submitTrace(trace);
+    drainSimulation(sim_, trace, drainWindow);
+    cluster_->finalize();
+
+    ClusterRunResult result;
+    result.stats = cluster_->mergedStats();
+    result.pcieBytes = cluster_->totalPcieBytes();
+    result.pcieTransfers = cluster_->totalPcieTransfers();
+    result.cacheHitRate = result.stats.cacheHitRate();
+    for (const auto &engine : cluster_->engines()) {
+        if (auto *cache = dynamic_cast<CacheManager *>(
+                &engine->adapterManager())) {
+            result.cacheEvictions += cache->evictions();
+        }
+    }
+    result.perReplicaFinished = cluster_->perReplicaFinished();
+    result.peakReplicas = cluster_->engines().size();
+    result.finalActiveReplicas = cluster_->activeReplicas();
+    result.scaleUps = cluster_->scaleUps();
+    result.scaleDowns = cluster_->scaleDowns();
+    return result;
+}
+
+ClusterRunResult
+runClusterSystem(SystemKind kind, const SystemConfig &config,
+                 const model::AdapterPool *pool,
+                 const workload::Trace &trace)
+{
+    ClusterSystem system(kind, config, pool);
     return system.run(trace);
 }
 

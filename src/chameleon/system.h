@@ -17,6 +17,9 @@
 #include "chameleon/cache_manager.h"
 #include "chameleon/mlq_scheduler.h"
 #include "predict/output_predictor.h"
+#include "routing/autoscaler.h"
+#include "routing/router.h"
+#include "serving/cluster.h"
 #include "serving/engine.h"
 #include "simkit/simulator.h"
 #include "workload/trace.h"
@@ -43,10 +46,29 @@ enum class SystemKind {
 /** Human-readable system name. */
 const char *systemName(SystemKind kind);
 
+/**
+ * Cluster-level deployment: data-parallel replica count, global
+ * dispatch policy, and optional predictor-driven autoscaling. Every
+ * SystemKind can run multi-replica — each replica gets the full
+ * scheduler/adapter-manager wiring of its kind.
+ */
+struct ClusterConfig
+{
+    /** Data-parallel replicas (1 = single engine). */
+    int replicas = 1;
+    routing::RouterPolicy router =
+        routing::RouterPolicy::JoinShortestQueue;
+    routing::RouterConfig routerConfig{};
+    /** Scale the active replica set at simulation time. */
+    bool autoscale = false;
+    routing::AutoscalerConfig autoscaler{};
+};
+
 /** Configuration shared by all system kinds. */
 struct SystemConfig
 {
     serving::EngineConfig engine;
+    ClusterConfig cluster{};
     /** Output-length predictor: "bert" (accuracy knob) or "history". */
     std::string predictor = "bert";
     /** Output-length predictor accuracy (paper's predictor: ~0.8). */
@@ -120,6 +142,66 @@ class System
 RunResult runSystem(SystemKind kind, const SystemConfig &config,
                     const model::AdapterPool *pool,
                     const workload::Trace &trace);
+
+/** Aggregate outcome of one cluster run. */
+struct ClusterRunResult
+{
+    /**
+     * Cluster-wide statistics (trackers rebuilt over all replicas).
+     * Time-series fields are empty — see
+     * DataParallelCluster::mergedStats.
+     */
+    serving::EngineStats stats;
+    /** Host->GPU adapter traffic summed over replicas. */
+    std::int64_t pcieBytes = 0;
+    std::int64_t pcieTransfers = 0;
+    double cacheHitRate = 0.0;
+    std::int64_t cacheEvictions = 0;
+    /** Requests finished per replica (drained replicas included). */
+    std::vector<std::int64_t> perReplicaFinished;
+    /** Replicas ever built and active count at the end of the run. */
+    std::size_t peakReplicas = 0;
+    std::size_t finalActiveReplicas = 0;
+    /** Autoscaling events applied. */
+    std::int64_t scaleUps = 0;
+    std::int64_t scaleDowns = 0;
+};
+
+/**
+ * A fully wired multi-replica serving system: SystemConfig::cluster
+ * replicas of the given kind behind a routing::Router, with optional
+ * autoscaling. The single-engine System above is the replicas == 1
+ * special case kept for the existing benchmarks.
+ */
+class ClusterSystem
+{
+  public:
+    ClusterSystem(SystemKind kind, SystemConfig config,
+                  const model::AdapterPool *pool);
+    ~ClusterSystem();
+
+    sim::Simulator &simulator() { return sim_; }
+    serving::DataParallelCluster &cluster() { return *cluster_; }
+    SystemKind kind() const { return kind_; }
+
+    /** Run a trace to completion and collect cluster-wide results. */
+    ClusterRunResult run(const workload::Trace &trace,
+                         sim::SimTime drainWindow = 3600 * sim::kSec);
+
+  private:
+    SystemKind kind_;
+    SystemConfig config_;
+    const model::AdapterPool *pool_;
+    sim::Simulator sim_;
+    std::unique_ptr<predict::OutputPredictor> predictor_;
+    std::unique_ptr<serving::DataParallelCluster> cluster_;
+};
+
+/** One-shot convenience wrapper for cluster runs. */
+ClusterRunResult runClusterSystem(SystemKind kind,
+                                  const SystemConfig &config,
+                                  const model::AdapterPool *pool,
+                                  const workload::Trace &trace);
 
 } // namespace chameleon::core
 

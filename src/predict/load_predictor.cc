@@ -63,6 +63,82 @@ HistogramLoadPredictor::hotness(model::AdapterId id, SimTime now) const
     return static_cast<double>(arrivals.size()) * decay;
 }
 
+LoadForecaster::LoadForecaster(double windowSeconds)
+    : window_(sim::fromSeconds(windowSeconds))
+{
+    CHM_CHECK(window_ > 0, "window must be positive");
+}
+
+void
+LoadForecaster::expire(SimTime now) const
+{
+    const SimTime cutoff = now - window_;
+    while (!arrivals_.empty() && arrivals_.front() < cutoff)
+        arrivals_.pop_front();
+}
+
+void
+LoadForecaster::recordArrival(SimTime t)
+{
+    CHM_CHECK(arrivals_.empty() || t >= arrivals_.back(),
+              "arrivals must be recorded in time order");
+    if (firstArrival_ == sim::kTimeNever)
+        firstArrival_ = t;
+    expire(t);
+    arrivals_.push_back(t);
+}
+
+sim::SimTime
+LoadForecaster::observedSpan(SimTime now) const
+{
+    // Until one full window has elapsed, rates must be normalised by
+    // the observed span, not the window — otherwise a fresh forecaster
+    // underestimates a burst by elapsed/window exactly when the
+    // proactive scale-up signal matters most.
+    if (firstArrival_ == sim::kTimeNever)
+        return window_;
+    const SimTime elapsed = std::max<SimTime>(now - firstArrival_, sim::kSec);
+    return std::min(window_, elapsed);
+}
+
+double
+LoadForecaster::currentRps(SimTime now) const
+{
+    expire(now);
+    return static_cast<double>(arrivals_.size()) /
+           sim::toSeconds(observedSpan(now));
+}
+
+double
+LoadForecaster::forecastRps(SimTime now, double horizonSeconds) const
+{
+    const double rate = currentRps(now); // expires the window
+
+    if (arrivals_.size() < 4)
+        return rate;
+    // Split the observed span into halves and difference their rates
+    // to get a slope in (requests/s) per second.
+    const SimTime span = observedSpan(now);
+    const double halfSeconds = sim::toSeconds(span) / 2.0;
+    if (halfSeconds < 1.0)
+        return rate;
+    const SimTime mid = now - span / 2;
+    std::size_t recent = 0;
+    for (auto it = arrivals_.rbegin();
+         it != arrivals_.rend() && *it >= mid; ++it)
+        ++recent;
+    const double recentRate = static_cast<double>(recent) / halfSeconds;
+    const double olderRate =
+        static_cast<double>(arrivals_.size() - recent) / halfSeconds;
+    const double slope = (recentRate - olderRate) / halfSeconds;
+    // `rate` is the span average, i.e. the instantaneous rate at the
+    // span midpoint under a linear ramp — extrapolate from there, not
+    // from `now`, or a building burst is underestimated by slope*span/2.
+    const double fromMidpoint =
+        sim::toSeconds(span) / 2.0 + horizonSeconds;
+    return std::max(0.0, rate + slope * fromMidpoint);
+}
+
 std::vector<model::AdapterId>
 HistogramLoadPredictor::hottest(SimTime now, std::size_t k) const
 {

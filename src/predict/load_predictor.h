@@ -14,6 +14,7 @@
 #ifndef CHAMELEON_PREDICT_LOAD_PREDICTOR_H
 #define CHAMELEON_PREDICT_LOAD_PREDICTOR_H
 
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,48 @@ class HistogramLoadPredictor
 
     sim::SimTime window_;
     mutable std::unordered_map<model::AdapterId, History> history_;
+};
+
+/**
+ * Aggregate arrival-rate forecaster for cluster autoscaling.
+ *
+ * Tracks all arrivals (regardless of adapter) in a sliding window and
+ * estimates the current request rate plus a linear trend by comparing
+ * the recent half of the window against the older half. The forecast
+ * extrapolates that trend over a horizon, so a building burst raises
+ * the predicted rate before queues have fully formed — the signal the
+ * routing autoscaler combines with queue-depth watermarks.
+ */
+class LoadForecaster
+{
+  public:
+    /** @param windowSeconds sliding estimation window */
+    explicit LoadForecaster(double windowSeconds = 60.0);
+
+    /** Record one request arrival at time t (non-decreasing). */
+    void recordArrival(sim::SimTime t);
+
+    /** Smoothed arrival rate over the window at `now`, requests/s. */
+    double currentRps(sim::SimTime now) const;
+
+    /**
+     * Rate extrapolated `horizonSeconds` ahead using the window trend.
+     * Never negative; equals currentRps when the trend is flat or the
+     * window holds too few arrivals to estimate a slope.
+     */
+    double forecastRps(sim::SimTime now, double horizonSeconds) const;
+
+    /** Arrivals currently inside the window. */
+    std::size_t windowCount() const { return arrivals_.size(); }
+
+  private:
+    void expire(sim::SimTime now) const;
+    /** min(window, time since first arrival): rate normalisation. */
+    sim::SimTime observedSpan(sim::SimTime now) const;
+
+    sim::SimTime window_;
+    sim::SimTime firstArrival_ = sim::kTimeNever;
+    mutable std::deque<sim::SimTime> arrivals_;
 };
 
 } // namespace chameleon::predict

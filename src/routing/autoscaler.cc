@@ -1,0 +1,79 @@
+#include "routing/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/check.h"
+
+namespace chameleon::routing {
+
+Autoscaler::Autoscaler(AutoscalerConfig config)
+    : config_(config),
+      forecast_(config.forecastWindowSeconds)
+{
+    CHM_CHECK(config_.minReplicas >= 1, "need at least one replica");
+    CHM_CHECK(config_.maxReplicas >= config_.minReplicas,
+              "maxReplicas < minReplicas");
+    CHM_CHECK(config_.lowWatermark < config_.highWatermark,
+              "watermarks must satisfy low < high");
+}
+
+void
+Autoscaler::onArrival(sim::SimTime now)
+{
+    forecast_.recordArrival(now);
+}
+
+std::size_t
+Autoscaler::evaluate(std::size_t activeReplicas,
+                     std::int64_t totalOutstanding, sim::SimTime now)
+{
+    activeReplicas = std::clamp(activeReplicas, config_.minReplicas,
+                                config_.maxReplicas);
+    ++sinceUp_;
+
+    const double perReplica =
+        static_cast<double>(totalOutstanding) /
+        static_cast<double>(activeReplicas);
+
+    // Forecast signal: replicas demanded by the predicted arrival rate.
+    std::size_t demand = 0;
+    if (config_.replicaServiceRps > 0.0) {
+        const double rps = forecast_.forecastRps(
+            now, config_.forecastHorizonSeconds);
+        demand = static_cast<std::size_t>(
+            std::ceil(rps / config_.replicaServiceRps));
+    }
+
+    const bool queueHigh = perReplica > config_.highWatermark;
+    const bool demandHigh = demand > activeReplicas;
+    if ((queueHigh || demandHigh) && sinceUp_ >= config_.upCooldownPeriods &&
+        activeReplicas < config_.maxReplicas) {
+        std::size_t target = activeReplicas + 1;
+        if (demandHigh)
+            target = std::max(target, demand);
+        target = std::min(target, config_.maxReplicas);
+        sinceUp_ = 0;
+        lowStreak_ = 0;
+        ++scaleUps_;
+        return target;
+    }
+
+    // Scale down only when both signals agree the cluster is oversized
+    // and the condition persists.
+    const bool queueLow = perReplica < config_.lowWatermark;
+    const bool demandLow =
+        config_.replicaServiceRps <= 0.0 || demand < activeReplicas;
+    if (queueLow && demandLow && activeReplicas > config_.minReplicas) {
+        if (++lowStreak_ >= config_.downCooldownPeriods) {
+            lowStreak_ = 0;
+            ++scaleDowns_;
+            return activeReplicas - 1;
+        }
+    } else {
+        lowStreak_ = 0;
+    }
+    return activeReplicas;
+}
+
+} // namespace chameleon::routing

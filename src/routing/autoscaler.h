@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Predictor-driven replica autoscaling.
+ *
+ * Pure decision logic for scaling a data-parallel cluster at simulation
+ * time: the owning dispatcher reports arrivals and periodically asks for
+ * the target active-replica count. Two signals are combined:
+ *
+ *  - queue-depth watermarks — the mean outstanding requests per active
+ *    replica crossing the high (low) watermark votes to scale up
+ *    (down); this reacts to load that has already queued;
+ *  - a predict::LoadForecaster arrival-rate forecast — the predicted
+ *    rate over the horizon, divided by the per-replica service
+ *    capacity, gives a demand in replicas; this reacts to a building
+ *    burst *before* the queues form (the same idea as §4.2.3's
+ *    predictive prefetch, applied to capacity instead of adapters).
+ *
+ * Scale-up follows max(demand, +1 step) immediately after the up
+ * cooldown; scale-down requires the low signal to persist for
+ * `downCooldownPeriods` consecutive evaluations, then drains one
+ * replica at a time so a lull does not collapse the cluster.
+ */
+
+#ifndef CHAMELEON_ROUTING_AUTOSCALER_H
+#define CHAMELEON_ROUTING_AUTOSCALER_H
+
+#include <cstdint>
+
+#include "predict/load_predictor.h"
+#include "simkit/time.h"
+
+namespace chameleon::routing {
+
+/** Watermarks, bounds and cadence of the autoscaler. */
+struct AutoscalerConfig
+{
+    std::size_t minReplicas = 1;
+    std::size_t maxReplicas = 8;
+    /** Evaluation cadence, seconds of simulation time. */
+    double evalPeriodSeconds = 5.0;
+    /** Scale up when mean outstanding per replica exceeds this. */
+    double highWatermark = 24.0;
+    /** Eligible to scale down when it drops below this. */
+    double lowWatermark = 4.0;
+    /** Forecast horizon handed to the LoadForecaster. */
+    double forecastHorizonSeconds = 15.0;
+    /** Sliding window of the arrival-rate forecaster, seconds. */
+    double forecastWindowSeconds = 60.0;
+    /**
+     * Sustainable request rate of one replica, requests/s; converts the
+     * forecasted arrival rate into a replica demand. 0 disables the
+     * forecast signal and leaves only the watermarks.
+     */
+    double replicaServiceRps = 0.0;
+    /** Evaluations that must pass between consecutive scale-ups. */
+    int upCooldownPeriods = 1;
+    /** Consecutive low evaluations required before draining one. */
+    int downCooldownPeriods = 3;
+};
+
+/** Decides the target active-replica count; owns the forecaster. */
+class Autoscaler
+{
+  public:
+    explicit Autoscaler(AutoscalerConfig config);
+
+    /** Report one request arrival (feeds the forecaster). */
+    void onArrival(sim::SimTime now);
+
+    /**
+     * One evaluation: given the current active count and the total
+     * outstanding requests across active replicas, return the new
+     * target count in [minReplicas, maxReplicas].
+     */
+    std::size_t evaluate(std::size_t activeReplicas,
+                         std::int64_t totalOutstanding, sim::SimTime now);
+
+    const AutoscalerConfig &config() const { return config_; }
+    const predict::LoadForecaster &forecaster() const { return forecast_; }
+    std::int64_t scaleUps() const { return scaleUps_; }
+    std::int64_t scaleDowns() const { return scaleDowns_; }
+
+  private:
+    AutoscalerConfig config_;
+    predict::LoadForecaster forecast_;
+    int sinceUp_ = 1 << 20;   // evaluations since the last scale-up
+    int lowStreak_ = 0;       // consecutive below-low evaluations
+    std::int64_t scaleUps_ = 0;
+    std::int64_t scaleDowns_ = 0;
+};
+
+} // namespace chameleon::routing
+
+#endif // CHAMELEON_ROUTING_AUTOSCALER_H

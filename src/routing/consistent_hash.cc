@@ -1,0 +1,104 @@
+#include "routing/consistent_hash.h"
+
+#include <algorithm>
+
+#include "simkit/check.h"
+#include "simkit/rng.h"
+
+namespace chameleon::routing {
+
+ConsistentHashRing::ConsistentHashRing(int virtualNodes)
+    : virtualNodes_(virtualNodes)
+{
+    CHM_CHECK(virtualNodes >= 1, "ring needs at least one virtual node");
+}
+
+void
+ConsistentHashRing::addReplica(std::size_t replica)
+{
+    if (contains(replica))
+        return;
+    members_.insert(
+        std::lower_bound(members_.begin(), members_.end(), replica),
+        replica);
+    ring_.reserve(ring_.size() + static_cast<std::size_t>(virtualNodes_));
+    for (int v = 0; v < virtualNodes_; ++v) {
+        // Point hashes depend only on (replica, vnode), so a replica's
+        // points are identical no matter when it joins the ring. The
+        // double mix with a salt domain-separates ring points from key
+        // hashes — without it, small integer keys (adapter ids) can
+        // land exactly on a replica's points and all collapse onto it.
+        const std::uint64_t h = sim::mix64(
+            sim::mix64((static_cast<std::uint64_t>(replica) << 32) |
+                      static_cast<std::uint64_t>(v)) ^
+            0x5851F42D4C957F2Dull);
+        ring_.push_back(Point{h, replica});
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+void
+ConsistentHashRing::removeReplica(std::size_t replica)
+{
+    auto it = std::lower_bound(members_.begin(), members_.end(), replica);
+    if (it == members_.end() || *it != replica)
+        return;
+    members_.erase(it);
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [replica](const Point &p) {
+                                   return p.replica == replica;
+                               }),
+                ring_.end());
+}
+
+void
+ConsistentHashRing::resize(std::size_t count)
+{
+    while (!members_.empty() && members_.back() >= count)
+        removeReplica(members_.back());
+    for (std::size_t i = 0; i < count; ++i)
+        addReplica(i);
+}
+
+bool
+ConsistentHashRing::contains(std::size_t replica) const
+{
+    return std::binary_search(members_.begin(), members_.end(), replica);
+}
+
+std::size_t
+ConsistentHashRing::owner(std::uint64_t key) const
+{
+    CHM_CHECK(!ring_.empty(), "lookup on an empty ring");
+    const std::uint64_t h = sim::mix64(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point &p, std::uint64_t v) { return p.hash < v; });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap around
+    return it->replica;
+}
+
+std::vector<std::size_t>
+ConsistentHashRing::preferenceList(std::uint64_t key,
+                                   std::size_t count) const
+{
+    CHM_CHECK(!ring_.empty(), "lookup on an empty ring");
+    count = std::min(count, members_.size());
+    std::vector<std::size_t> out;
+    out.reserve(count);
+    const std::uint64_t h = sim::mix64(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point &p, std::uint64_t v) { return p.hash < v; });
+    for (std::size_t step = 0; step < ring_.size() && out.size() < count;
+         ++step, ++it) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        if (std::find(out.begin(), out.end(), it->replica) == out.end())
+            out.push_back(it->replica);
+    }
+    return out;
+}
+
+} // namespace chameleon::routing

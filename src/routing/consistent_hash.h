@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Consistent hashing over replica indices.
+ *
+ * The AdapterAffinity router maps each adapter id onto a hash ring so
+ * that (a) the same adapter is always dispatched to the same replica,
+ * turning N replicated adapter caches into an effectively partitioned
+ * cache, and (b) adding or draining a replica remaps only the ~1/N of
+ * adapters adjacent to the moved ring points — the rest of the cluster
+ * keeps its warm caches. Virtual nodes smooth the per-replica share.
+ */
+
+#ifndef CHAMELEON_ROUTING_CONSISTENT_HASH_H
+#define CHAMELEON_ROUTING_CONSISTENT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chameleon::routing {
+
+/** A hash ring of replica indices with virtual nodes. */
+class ConsistentHashRing
+{
+  public:
+    /**
+     * @param virtualNodes ring points per replica; more points smooth
+     *        the load split at the cost of lookup-table size
+     */
+    explicit ConsistentHashRing(int virtualNodes = 64);
+
+    /** Add a replica's virtual nodes; no-op if already present. */
+    void addReplica(std::size_t replica);
+
+    /** Remove a replica's virtual nodes; no-op if absent. */
+    void removeReplica(std::size_t replica);
+
+    /** Replace the member set with exactly {0, .., count-1}. */
+    void resize(std::size_t count);
+
+    bool contains(std::size_t replica) const;
+    std::size_t replicaCount() const { return members_.size(); }
+    bool empty() const { return ring_.empty(); }
+
+    /** Replica owning `key` (first ring point clockwise of its hash). */
+    std::size_t owner(std::uint64_t key) const;
+
+    /**
+     * The first `count` *distinct* replicas clockwise of `key`'s hash:
+     * the owner followed by its successors. Used for load-aware
+     * spillover — requests that cannot go to the owner walk this list
+     * so spilled load lands deterministically.
+     */
+    std::vector<std::size_t> preferenceList(std::uint64_t key,
+                                            std::size_t count) const;
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        std::size_t replica;
+
+        bool
+        operator<(const Point &o) const
+        {
+            // Tie-break on replica so the ring order is total and
+            // identical across add/remove histories.
+            return hash != o.hash ? hash < o.hash : replica < o.replica;
+        }
+    };
+
+    int virtualNodes_;
+    std::vector<Point> ring_;      // sorted by (hash, replica)
+    std::vector<std::size_t> members_; // sorted replica indices
+};
+
+} // namespace chameleon::routing
+
+#endif // CHAMELEON_ROUTING_CONSISTENT_HASH_H

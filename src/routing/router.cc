@@ -1,0 +1,242 @@
+#include "routing/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "routing/consistent_hash.h"
+#include "simkit/check.h"
+#include "simkit/rng.h"
+
+namespace chameleon::routing {
+
+const char *
+routerPolicyName(RouterPolicy policy)
+{
+    switch (policy) {
+      case RouterPolicy::RoundRobin: return "rr";
+      case RouterPolicy::JoinShortestQueue: return "jsq";
+      case RouterPolicy::PowerOfTwoChoices: return "p2c";
+      case RouterPolicy::AdapterAffinity: return "affinity";
+      case RouterPolicy::AdapterAffinityCacheAware: return "affinity-cache";
+    }
+    return "?";
+}
+
+bool
+routerPolicyByName(const std::string &name, RouterPolicy *out)
+{
+    if (name == "rr" || name == "round-robin")
+        *out = RouterPolicy::RoundRobin;
+    else if (name == "jsq")
+        *out = RouterPolicy::JoinShortestQueue;
+    else if (name == "p2c")
+        *out = RouterPolicy::PowerOfTwoChoices;
+    else if (name == "affinity")
+        *out = RouterPolicy::AdapterAffinity;
+    else if (name == "affinity-cache")
+        *out = RouterPolicy::AdapterAffinityCacheAware;
+    else
+        return false;
+    return true;
+}
+
+namespace {
+
+/** Least-loaded replica; ties go to the lowest index (deterministic). */
+std::size_t
+leastLoaded(const ClusterView &view)
+{
+    const std::size_t n = view.replicaCount();
+    std::size_t best = 0;
+    std::int64_t bestLoad = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t load = view.outstanding(i);
+        if (load < bestLoad) {
+            best = i;
+            bestLoad = load;
+        }
+    }
+    return best;
+}
+
+class RoundRobinRouter final : public Router
+{
+  public:
+    const char *name() const override { return "rr"; }
+
+    std::size_t
+    route(const workload::Request &, const ClusterView &view) override
+    {
+        const std::size_t n = view.replicaCount();
+        CHM_CHECK(n > 0, "routing with no active replicas");
+        const std::size_t pick = next_ % n;
+        next_ = (pick + 1) % n;
+        return pick;
+    }
+
+    void
+    onReplicaCountChanged(std::size_t active) override
+    {
+        if (active > 0)
+            next_ %= active;
+    }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+class JoinShortestQueueRouter final : public Router
+{
+  public:
+    const char *name() const override { return "jsq"; }
+
+    std::size_t
+    route(const workload::Request &, const ClusterView &view) override
+    {
+        CHM_CHECK(view.replicaCount() > 0, "routing with no active replicas");
+        return leastLoaded(view);
+    }
+};
+
+class PowerOfTwoChoicesRouter final : public Router
+{
+  public:
+    // The seed is remixed so the sampling stream is decorrelated from
+    // other components seeded with the same user-facing value (the
+    // trace generator feeds sim::Rng the raw seed).
+    explicit PowerOfTwoChoicesRouter(std::uint64_t seed)
+        : rng_(sim::mix64(seed ^ 0x726F757465720000ull)) // "router"
+    {
+    }
+
+    const char *name() const override { return "p2c"; }
+
+    std::size_t
+    route(const workload::Request &, const ClusterView &view) override
+    {
+        const std::size_t n = view.replicaCount();
+        CHM_CHECK(n > 0, "routing with no active replicas");
+        if (n == 1)
+            return 0;
+        std::size_t a = rng_.nextBelow(n);
+        std::size_t b = rng_.nextBelow(n - 1);
+        if (b >= a)
+            ++b; // second draw over the remaining n-1 replicas
+        if (view.outstanding(a) == view.outstanding(b))
+            return std::min(a, b);
+        return view.outstanding(a) < view.outstanding(b) ? a : b;
+    }
+
+  private:
+    sim::Rng rng_;
+};
+
+class AdapterAffinityRouter final : public Router
+{
+  public:
+    AdapterAffinityRouter(const RouterConfig &config, bool cacheAware)
+        : config_(config), cacheAware_(cacheAware),
+          ring_(config.virtualNodes)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return cacheAware_ ? "affinity-cache" : "affinity";
+    }
+
+    std::size_t
+    route(const workload::Request &request,
+          const ClusterView &view) override
+    {
+        const std::size_t n = view.replicaCount();
+        CHM_CHECK(n > 0, "routing with no active replicas");
+        if (ring_.replicaCount() != n)
+            ring_.resize(n);
+        // Base-model requests have no affinity; balance them.
+        if (request.adapter == model::kNoAdapter)
+            return leastLoaded(view);
+
+        const std::int64_t limit = spillLimit(view, n);
+        if (cacheAware_) {
+            // A replica that already holds the adapter serves it with
+            // zero loading cost even if the hash owner differs (e.g.
+            // residency left over from spillover or a ring resize).
+            std::size_t best = n;
+            std::int64_t bestLoad =
+                std::numeric_limits<std::int64_t>::max();
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!view.adapterResident(i, request.adapter))
+                    continue;
+                const std::int64_t load = view.outstanding(i);
+                if (load < bestLoad) {
+                    best = i;
+                    bestLoad = load;
+                }
+            }
+            if (best < n && bestLoad <= limit)
+                return best;
+        }
+        // Hash path: the owner serves unless overloaded (the common
+        // case — avoid materialising the preference list for it).
+        const auto key = static_cast<std::uint64_t>(request.adapter);
+        const std::size_t owner = ring_.owner(key);
+        if (view.outstanding(owner) <= limit)
+            return owner;
+        // Spillover: walk the owner's ring successors.
+        const auto prefs = ring_.preferenceList(key, n);
+        for (const std::size_t replica : prefs) {
+            if (view.outstanding(replica) <= limit)
+                return replica;
+        }
+        // Everything is overloaded; degrade to least-loaded.
+        return leastLoaded(view);
+    }
+
+    void
+    onReplicaCountChanged(std::size_t active) override
+    {
+        if (active > 0)
+            ring_.resize(active);
+    }
+
+  private:
+    std::int64_t
+    spillLimit(const ClusterView &view, std::size_t n) const
+    {
+        std::int64_t total = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            total += view.outstanding(i);
+        const double mean =
+            static_cast<double>(total) / static_cast<double>(n);
+        return static_cast<std::int64_t>(config_.spillLoadFactor * mean) +
+               config_.spillMargin;
+    }
+
+    RouterConfig config_;
+    bool cacheAware_;
+    ConsistentHashRing ring_;
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+makeRouter(RouterPolicy policy, const RouterConfig &config)
+{
+    switch (policy) {
+      case RouterPolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>();
+      case RouterPolicy::JoinShortestQueue:
+        return std::make_unique<JoinShortestQueueRouter>();
+      case RouterPolicy::PowerOfTwoChoices:
+        return std::make_unique<PowerOfTwoChoicesRouter>(config.seed);
+      case RouterPolicy::AdapterAffinity:
+        return std::make_unique<AdapterAffinityRouter>(config, false);
+      case RouterPolicy::AdapterAffinityCacheAware:
+        return std::make_unique<AdapterAffinityRouter>(config, true);
+    }
+    CHM_PANIC("unknown router policy");
+}
+
+} // namespace chameleon::routing

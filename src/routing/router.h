@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cluster routing: pluggable global dispatch policies (§4.4 extended).
+ *
+ * The paper's data-parallel evaluation uses a global round-robin/JSQ
+ * dispatcher over replicas with fully replicated adapter caches. This
+ * subsystem generalises that into a `Router` interface consulted once
+ * per arriving request. Policies only observe the cluster through the
+ * read-only `ClusterView`, so they are testable without engines and
+ * reusable by any dispatcher.
+ *
+ * Policies:
+ *  - RoundRobin: cycle through active replicas.
+ *  - JoinShortestQueue: fewest outstanding requests; ties broken
+ *    deterministically by lowest replica index.
+ *  - PowerOfTwoChoices: sample two distinct replicas from a seeded
+ *    stream, take the less loaded one (Mitzenmacher); near-JSQ balance
+ *    at O(1) cost and without herd behaviour.
+ *  - AdapterAffinity: consistent hashing over adapter ids with
+ *    load-aware spillover, optionally cache-aware (prefer replicas
+ *    whose adapter cache already holds the request's adapter). Turns N
+ *    replicated caches into an effectively partitioned cache and
+ *    eliminates repeated PCIe loads of the same hot adapter on every
+ *    replica.
+ */
+
+#ifndef CHAMELEON_ROUTING_ROUTER_H
+#define CHAMELEON_ROUTING_ROUTER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/adapter.h"
+#include "workload/request.h"
+
+namespace chameleon::routing {
+
+/** Read-only view of the dispatchable replicas, indexed [0, count). */
+class ClusterView
+{
+  public:
+    virtual ~ClusterView() = default;
+
+    /** Number of replicas eligible for dispatch (the active set). */
+    virtual std::size_t replicaCount() const = 0;
+
+    /** Outstanding (submitted - finished) requests on replica i. */
+    virtual std::int64_t outstanding(std::size_t i) const = 0;
+
+    /** Is the adapter resident in replica i's cache right now? */
+    virtual bool adapterResident(std::size_t i,
+                                 model::AdapterId id) const = 0;
+};
+
+/** Selectable dispatch policies. */
+enum class RouterPolicy {
+    RoundRobin,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
+    AdapterAffinity,
+    AdapterAffinityCacheAware,
+};
+
+/** Canonical short name (also accepted by routerPolicyByName). */
+const char *routerPolicyName(RouterPolicy policy);
+
+/** Parse a policy name; returns false on unknown names. */
+bool routerPolicyByName(const std::string &name, RouterPolicy *out);
+
+/** Knobs shared by the stochastic and affinity policies. */
+struct RouterConfig
+{
+    /** Seed for the PowerOfTwoChoices sampling stream. */
+    std::uint64_t seed = 42;
+    /** Virtual nodes per replica on the affinity hash ring. */
+    int virtualNodes = 64;
+    /**
+     * Load-aware spillover: the affinity owner is rejected when its
+     * queue exceeds spillLoadFactor x the cluster-mean queue plus
+     * spillMargin, and the request walks the ring's preference list
+     * instead (bounded-load consistent hashing, cf. Mirrokni et al.).
+     * The bound trades cache locality against queue imbalance: loose
+     * bounds approach pure hashing (max locality, worst tail), tight
+     * bounds approach JSQ (min locality).
+     */
+    double spillLoadFactor = 1.0;
+    std::int64_t spillMargin = 3;
+};
+
+/** A global dispatch policy: picks one replica per arriving request. */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick the replica for `request` among `view.replicaCount()`
+     * active replicas. Must return an index in [0, count).
+     */
+    virtual std::size_t route(const workload::Request &request,
+                              const ClusterView &view) = 0;
+
+    /**
+     * The active replica set changed (autoscaling); the active set is
+     * always the prefix [0, activeReplicas). Stateful policies resync
+     * internal structures (hash ring, cursors) here.
+     */
+    virtual void
+    onReplicaCountChanged(std::size_t activeReplicas)
+    {
+        (void)activeReplicas;
+    }
+};
+
+/** Build a router for the policy. */
+std::unique_ptr<Router> makeRouter(RouterPolicy policy,
+                                   const RouterConfig &config = {});
+
+} // namespace chameleon::routing
+
+#endif // CHAMELEON_ROUTING_ROUTER_H

@@ -1,53 +1,130 @@
 #include "serving/cluster.h"
 
+#include <algorithm>
+
 #include "simkit/check.h"
 
 namespace chameleon::serving {
 
 DataParallelCluster::DataParallelCluster(
-    sim::Simulator &simulator,
-    const std::function<std::unique_ptr<ServingEngine>()> &engineFactory,
-    int replicas, DispatchPolicy policy)
-    : sim_(simulator), policy_(policy)
+    sim::Simulator &simulator, EngineFactory engineFactory, int replicas,
+    std::unique_ptr<routing::Router> router)
+    : sim_(simulator), factory_(std::move(engineFactory)),
+      router_(std::move(router))
 {
     CHM_CHECK(replicas >= 1, "cluster needs at least one engine");
+    CHM_CHECK(router_ != nullptr, "cluster needs a router");
     for (int i = 0; i < replicas; ++i)
-        engines_.push_back(engineFactory());
+        engines_.push_back(factory_());
+    active_ = engines_.size();
+    router_->onReplicaCountChanged(active_);
 }
 
-ServingEngine &
-DataParallelCluster::pick()
+DataParallelCluster::DataParallelCluster(
+    sim::Simulator &simulator, EngineFactory engineFactory, int replicas,
+    routing::RouterPolicy policy, const routing::RouterConfig &config)
+    : DataParallelCluster(simulator, std::move(engineFactory), replicas,
+                          routing::makeRouter(policy, config))
 {
-    switch (policy_) {
-      case DispatchPolicy::RoundRobin: {
-        ServingEngine &e = *engines_[rrNext_];
-        rrNext_ = (rrNext_ + 1) % engines_.size();
-        return e;
-      }
-      case DispatchPolicy::JoinShortestQueue: {
-        ServingEngine *best = engines_.front().get();
-        for (const auto &e : engines_) {
-            if (e->outstanding() < best->outstanding())
-                best = e.get();
-        }
-        return *best;
-      }
+}
+
+void
+DataParallelCluster::enableAutoscaler(
+    const routing::AutoscalerConfig &config)
+{
+    CHM_CHECK(!traceSubmitted_,
+              "enableAutoscaler must precede submitTrace");
+    autoscaler_ = std::make_unique<routing::Autoscaler>(config);
+    applyTarget(std::clamp(active_, config.minReplicas,
+                           config.maxReplicas));
+}
+
+std::int64_t
+DataParallelCluster::outstanding(std::size_t i) const
+{
+    return engines_[i]->outstanding();
+}
+
+bool
+DataParallelCluster::adapterResident(std::size_t i,
+                                     model::AdapterId id) const
+{
+    if (id == model::kNoAdapter)
+        return true;
+    const ServingEngine &engine = *engines_[i];
+    return engine.adapterManager().isResident(id);
+}
+
+void
+DataParallelCluster::dispatch(const workload::Request &request)
+{
+    if (autoscaler_ != nullptr)
+        autoscaler_->onArrival(sim_.now());
+    const std::size_t pick = router_->route(request, *this);
+    CHM_CHECK(pick < active_, "router returned an inactive replica");
+    engines_[pick]->submit(request);
+}
+
+void
+DataParallelCluster::applyTarget(std::size_t target)
+{
+    if (target == active_)
+        return;
+    if (target > active_) {
+        // Reactivate drained replicas first (their adapter caches are
+        // still warm), then build new engines from the factory.
+        while (engines_.size() < target)
+            engines_.push_back(factory_());
     }
-    CHM_PANIC("unknown dispatch policy");
+    active_ = target;
+    router_->onReplicaCountChanged(active_);
+}
+
+void
+DataParallelCluster::autoscaleTick(sim::SimTime until)
+{
+    // Count all engines, not just the active prefix: a drained replica
+    // keeps burning its queue, and hiding that backlog from the
+    // watermark test would cascade scale-downs while the cluster is
+    // still working off a burst.
+    std::int64_t total = 0;
+    for (const auto &engine : engines_)
+        total += engine->outstanding();
+    applyTarget(autoscaler_->evaluate(active_, total, sim_.now()));
+    const sim::SimTime period =
+        sim::fromSeconds(autoscaler_->config().evalPeriodSeconds);
+    if (sim_.now() + period <= until) {
+        sim_.scheduleAfter(period, [this, until] {
+            autoscaleTick(until);
+        });
+    }
 }
 
 void
 DataParallelCluster::submitTrace(const workload::Trace &trace)
 {
-    // Dispatch decisions must be made at arrival time (outstanding counts
-    // change as the simulation runs), so route via scheduled events.
+    // A second trace would start a second autoscale tick chain and
+    // double the evaluation cadence; autoscaled clusters take one.
+    CHM_CHECK(autoscaler_ == nullptr || !traceSubmitted_,
+              "an autoscaled cluster takes a single trace");
+    traceSubmitted_ = true;
+    // Dispatch decisions must be made at arrival time (outstanding
+    // counts and cache residency change as the simulation runs), so
+    // route via scheduled events.
     for (const auto &r : trace.requests()) {
         sim_.scheduleAt(r.arrival, [this, r] {
-            workload::Request copy = r;
-            // Submit with arrival == now; the engine schedules onArrival
-            // at that same timestamp, which fires immediately after.
-            pick().submit(copy);
+            // Submit with arrival == now; the engine schedules
+            // onArrival at that same timestamp, which fires immediately
+            // after.
+            dispatch(r);
         });
+    }
+    if (autoscaler_ != nullptr && !trace.empty()) {
+        const sim::SimTime period = sim::fromSeconds(
+            autoscaler_->config().evalPeriodSeconds);
+        const sim::SimTime until = trace.duration();
+        sim_.scheduleAt(trace.requests().front().arrival + period,
+                        [this, until] { autoscaleTick(until); });
     }
 }
 
@@ -60,6 +137,67 @@ DataParallelCluster::mergedRecords() const
         all.insert(all.end(), rec.begin(), rec.end());
     }
     return all;
+}
+
+EngineStats
+DataParallelCluster::mergedStats() const
+{
+    EngineStats out;
+    for (const auto &e : engines_) {
+        const EngineStats &s = e->stats();
+        for (double v : s.ttft.sorted())
+            out.ttft.add(v);
+        for (double v : s.tbt.sorted())
+            out.tbt.add(v);
+        for (double v : s.e2e.sorted())
+            out.e2e.add(v);
+        for (double v : s.queueDelay.sorted())
+            out.queueDelay.add(v);
+        for (double v : s.loadStall.sorted())
+            out.loadStall.add(v);
+        out.submitted += s.submitted;
+        out.finished += s.finished;
+        out.preemptions += s.preemptions;
+        out.squashes += s.squashes;
+        out.bypasses += s.bypasses;
+        out.iterations += s.iterations;
+        out.adapterHits += s.adapterHits;
+        out.adapterMisses += s.adapterMisses;
+        out.busyTime += s.busyTime;
+        out.prefillTokens += s.prefillTokens;
+        out.decodeTokens += s.decodeTokens;
+        out.batchSizeAccum += s.batchSizeAccum;
+    }
+    out.records = mergedRecords();
+    return out;
+}
+
+std::vector<std::int64_t>
+DataParallelCluster::perReplicaFinished() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(engines_.size());
+    for (const auto &e : engines_)
+        out.push_back(e->stats().finished);
+    return out;
+}
+
+std::int64_t
+DataParallelCluster::totalPcieBytes()
+{
+    std::int64_t total = 0;
+    for (auto &e : engines_)
+        total += e->pcieLink().totalBytes();
+    return total;
+}
+
+std::int64_t
+DataParallelCluster::totalPcieTransfers()
+{
+    std::int64_t total = 0;
+    for (auto &e : engines_)
+        total += e->pcieLink().totalTransfers();
+    return total;
 }
 
 void

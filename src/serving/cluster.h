@@ -4,9 +4,19 @@
  *
  * Under data parallelism Chameleon uses a two-level scheduler: a global
  * dispatcher routes each arriving request to one engine, and each engine
- * runs its local (FIFO/SJF/Chameleon) scheduler. Adapter caches are
- * replicated per engine. Tensor parallelism, by contrast, is modeled
- * inside a single engine via EngineConfig::tpDegree.
+ * runs its local (FIFO/SJF/Chameleon) scheduler. Dispatch is delegated
+ * to a pluggable routing::Router (round-robin, JSQ, power-of-two
+ * choices, adapter affinity); the cluster exposes itself to the router
+ * as a routing::ClusterView. Adapter caches are per engine — with
+ * affinity routing they behave as one partitioned cache instead of N
+ * replicated ones. Tensor parallelism, by contrast, is modeled inside a
+ * single engine via EngineConfig::tpDegree.
+ *
+ * An optional routing::Autoscaler grows and drains the active replica
+ * set at simulation time: new replicas are built on demand from the
+ * engine factory, drained replicas stop receiving dispatches but finish
+ * their outstanding work (and keep their warm adapter cache for a later
+ * scale-up).
  */
 
 #ifndef CHAMELEON_SERVING_CLUSTER_H
@@ -16,53 +26,108 @@
 #include <memory>
 #include <vector>
 
+#include "routing/autoscaler.h"
+#include "routing/router.h"
 #include "serving/engine.h"
 
 namespace chameleon::serving {
 
-/** Global dispatch policy across data-parallel engines. */
-enum class DispatchPolicy {
-    RoundRobin,      ///< Cycle through engines.
-    JoinShortestQueue, ///< Engine with the fewest outstanding requests.
-};
-
 /** A set of data-parallel engines behind a global dispatcher. */
-class DataParallelCluster
+class DataParallelCluster : public routing::ClusterView
 {
   public:
+    using EngineFactory = std::function<std::unique_ptr<ServingEngine>()>;
+
     /**
      * @param simulator shared event kernel
      * @param engineFactory builds one fully-wired engine per replica
-     * @param replicas engine count
-     * @param policy dispatch policy
+     *        (kept for autoscaling scale-ups)
+     * @param replicas initial engine count
+     * @param router global dispatch policy (cluster takes ownership)
      */
-    DataParallelCluster(
-        sim::Simulator &simulator,
-        const std::function<std::unique_ptr<ServingEngine>()> &engineFactory,
-        int replicas, DispatchPolicy policy);
+    DataParallelCluster(sim::Simulator &simulator,
+                        EngineFactory engineFactory, int replicas,
+                        std::unique_ptr<routing::Router> router);
+
+    /** Convenience: build the router from a policy name. */
+    DataParallelCluster(sim::Simulator &simulator,
+                        EngineFactory engineFactory, int replicas,
+                        routing::RouterPolicy policy,
+                        const routing::RouterConfig &config = {});
+
+    /**
+     * Enable predictor-driven autoscaling. Must be called before
+     * submitTrace; evaluation events are scheduled over the trace span.
+     * The initial replica count is clamped into the autoscaler bounds.
+     */
+    void enableAutoscaler(const routing::AutoscalerConfig &config);
 
     /** Route every request of the trace at its arrival time. */
     void submitTrace(const workload::Trace &trace);
 
-    /** Engines (for stats aggregation). */
+    // --- routing::ClusterView (the active replica set) ---
+    std::size_t replicaCount() const override { return active_; }
+    std::int64_t outstanding(std::size_t i) const override;
+    bool adapterResident(std::size_t i,
+                         model::AdapterId id) const override;
+
+    /** All engines ever created, active or drained (for stats). */
     const std::vector<std::unique_ptr<ServingEngine>> &engines() const
     {
         return engines_;
     }
 
+    /** Currently dispatchable replicas (prefix of engines()). */
+    std::size_t activeReplicas() const { return active_; }
+
+    const routing::Router &router() const { return *router_; }
+    routing::Autoscaler *autoscaler() { return autoscaler_.get(); }
+
+    /** Autoscaling events so far (0 when autoscaling is disabled). */
+    std::int64_t scaleUps() const
+    {
+        return autoscaler_ ? autoscaler_->scaleUps() : 0;
+    }
+    std::int64_t scaleDowns() const
+    {
+        return autoscaler_ ? autoscaler_->scaleDowns() : 0;
+    }
+
     /** Merge per-engine request records into one vector. */
     std::vector<RequestRecord> mergedRecords() const;
+
+    /**
+     * Merge per-engine statistics: counters are summed and the latency
+     * trackers are rebuilt from every engine's samples, so percentiles
+     * are over the whole cluster, not averaged per replica. The
+     * time-series fields (ttftOverTime, mem* series) are NOT merged —
+     * they stay empty; per-replica timelines remain available through
+     * engines()[i]->stats().
+     */
+    EngineStats mergedStats() const;
+
+    /** Requests finished per replica, indexed like engines(). */
+    std::vector<std::int64_t> perReplicaFinished() const;
+
+    /** Total host->GPU adapter traffic across replicas. */
+    std::int64_t totalPcieBytes();
+    std::int64_t totalPcieTransfers();
 
     /** Finalise all engines. */
     void finalize();
 
   private:
-    ServingEngine &pick();
+    void dispatch(const workload::Request &request);
+    void applyTarget(std::size_t target);
+    void autoscaleTick(sim::SimTime until);
 
     sim::Simulator &sim_;
+    EngineFactory factory_;
+    std::unique_ptr<routing::Router> router_;
+    std::unique_ptr<routing::Autoscaler> autoscaler_;
     std::vector<std::unique_ptr<ServingEngine>> engines_;
-    DispatchPolicy policy_;
-    std::size_t rrNext_ = 0;
+    std::size_t active_ = 0;
+    bool traceSubmitted_ = false;
 };
 
 } // namespace chameleon::serving

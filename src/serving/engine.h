@@ -139,6 +139,7 @@ class ServingEngine
     const model::CostModel &costModel() const { return cost_; }
     const model::AdapterPool *adapterPool() const { return pool_; }
     AdapterManager &adapterManager() { return *adapterMgr_; }
+    const AdapterManager &adapterManager() const { return *adapterMgr_; }
     Scheduler &scheduler() { return *scheduler_; }
     const EngineConfig &config() const { return config_; }
 

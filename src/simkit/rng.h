@@ -16,6 +16,13 @@
 namespace chameleon::sim {
 
 /**
+ * One-shot SplitMix64 mix: advance x by the golden-gamma increment and
+ * finalise. The shared stateless mixer behind Rng seeding, hash rings,
+ * and seeded sampling — keep every user on this single copy.
+ */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
  * xoshiro256** pseudo-random generator (Blackman & Vigna).
  *
  * Satisfies the C++ UniformRandomBitGenerator concept. Seeding runs the

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "chameleon/system.h"
+#include "routing/router.h"
 #include "predict/length_predictor.h"
 #include "model/gpu_spec.h"
 #include "model/llm.h"
@@ -82,7 +86,7 @@ TEST(DataParallel, SpreadsLoadAcrossEngines)
     serving::DataParallelCluster cluster(
         simulator,
         [&] { return makeEngine(simulator, pool, predictor); }, 4,
-        serving::DispatchPolicy::JoinShortestQueue);
+        routing::RouterPolicy::JoinShortestQueue);
 
     auto wl = workload::splitwiseLike();
     wl.rps = 12.0;
@@ -115,7 +119,7 @@ TEST(DataParallel, RoundRobinAlternates)
     serving::DataParallelCluster cluster(
         simulator,
         [&] { return makeEngine(simulator, pool, predictor); }, 2,
-        serving::DispatchPolicy::RoundRobin);
+        routing::RouterPolicy::RoundRobin);
     workload::Trace trace;
     for (int i = 0; i < 10; ++i) {
         trace.append(workload::Request{i, sim::fromSeconds(0.1 * i), 16, 4,
@@ -126,4 +130,111 @@ TEST(DataParallel, RoundRobinAlternates)
     cluster.finalize();
     EXPECT_EQ(cluster.engines()[0]->stats().finished, 5);
     EXPECT_EQ(cluster.engines()[1]->stats().finished, 5);
+}
+
+TEST(DataParallel, AffinityPartitionsAdaptersAcrossReplicas)
+{
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 40);
+    predict::LengthPredictor predictor(1.0);
+    routing::RouterConfig rcfg;
+    rcfg.spillMargin = 1 << 20; // no spillover: pure hashing
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&] { return makeEngine(simulator, pool, predictor); }, 4,
+        routing::RouterPolicy::AdapterAffinity, rcfg);
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 8.0;
+    wl.durationSeconds = 40.0;
+    wl.numAdapters = 40;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+    cluster.submitTrace(trace);
+    simulator.run();
+    cluster.finalize();
+
+    // Without spillover every adapter is served by exactly one replica.
+    std::map<model::AdapterId, std::set<std::size_t>> replicasOf;
+    for (std::size_t i = 0; i < cluster.engines().size(); ++i) {
+        for (const auto &rec : cluster.engines()[i]->stats().records) {
+            if (rec.adapter != model::kNoAdapter)
+                replicasOf[rec.adapter].insert(i);
+        }
+    }
+    EXPECT_GT(replicasOf.size(), 0u);
+    for (const auto &[adapter, replicas] : replicasOf)
+        EXPECT_EQ(replicas.size(), 1u) << "adapter " << adapter;
+    EXPECT_EQ(cluster.mergedRecords().size(), trace.size());
+    EXPECT_EQ(cluster.mergedStats().finished,
+              static_cast<std::int64_t>(trace.size()));
+}
+
+TEST(DataParallel, AffinityRoutingReducesAdapterPcieTraffic)
+{
+    // Chameleon replicas via the core facade: identical skewed trace,
+    // affinity vs round-robin dispatch.
+    model::AdapterPool pool(model::llama7B(), 100);
+    core::SystemConfig cfg;
+    cfg.engine.model = model::llama7B();
+    cfg.engine.gpu = model::a40();
+    cfg.cluster.replicas = 4;
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 24.0;
+    wl.durationSeconds = 60.0;
+    wl.numAdapters = 100;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    cfg.cluster.router = routing::RouterPolicy::RoundRobin;
+    const auto rr = core::runClusterSystem(core::SystemKind::Chameleon,
+                                           cfg, &pool, trace);
+    cfg.cluster.router = routing::RouterPolicy::AdapterAffinity;
+    const auto affinity = core::runClusterSystem(
+        core::SystemKind::Chameleon, cfg, &pool, trace);
+
+    EXPECT_EQ(rr.stats.finished, affinity.stats.finished);
+    EXPECT_LT(affinity.pcieTransfers, rr.pcieTransfers);
+    EXPECT_GT(affinity.cacheHitRate, rr.cacheHitRate);
+}
+
+TEST(DataParallel, AutoscalerGrowsAndDrainsTheCluster)
+{
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 20);
+    predict::LengthPredictor predictor(1.0);
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&] { return makeEngine(simulator, pool, predictor); }, 1,
+        routing::RouterPolicy::JoinShortestQueue);
+
+    routing::AutoscalerConfig acfg;
+    acfg.minReplicas = 1;
+    acfg.maxReplicas = 4;
+    acfg.evalPeriodSeconds = 5.0;
+    acfg.replicaServiceRps = 8.0;
+    acfg.downCooldownPeriods = 2;
+    cluster.enableAutoscaler(acfg);
+
+    // 30 s burst at 4x the sustainable single-replica rate, then quiet.
+    auto wl = workload::splitwiseLike();
+    wl.rps = 8.0;
+    wl.durationSeconds = 120.0;
+    wl.numAdapters = 20;
+    wl.bursts.push_back(workload::Burst{10.0, 40.0, 4.0});
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+    cluster.submitTrace(trace);
+    simulator.run();
+    cluster.finalize();
+
+    // The burst forces scale-ups; the quiet tail drains some again.
+    EXPECT_GT(cluster.scaleUps(), 0);
+    EXPECT_GT(cluster.engines().size(), 1u);
+    EXPECT_LE(cluster.engines().size(), 4u);
+    EXPECT_GT(cluster.scaleDowns(), 0);
+    EXPECT_LT(cluster.activeReplicas(), cluster.engines().size());
+    EXPECT_EQ(cluster.mergedStats().finished,
+              static_cast<std::int64_t>(trace.size()));
 }

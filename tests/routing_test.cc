@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the cluster routing subsystem: policy selection, the
+ * consistent-hash ring, each dispatch policy against a scripted
+ * ClusterView, the arrival-rate forecaster, and autoscaler up/down
+ * transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "routing/autoscaler.h"
+#include "routing/consistent_hash.h"
+#include "routing/router.h"
+#include "simkit/time.h"
+
+using namespace chameleon;
+
+namespace {
+
+/** Scripted cluster state for standalone router tests. */
+struct FakeView : routing::ClusterView
+{
+    std::vector<std::int64_t> loads;
+    std::set<std::pair<std::size_t, model::AdapterId>> resident;
+
+    std::size_t replicaCount() const override { return loads.size(); }
+
+    std::int64_t
+    outstanding(std::size_t i) const override
+    {
+        return loads[i];
+    }
+
+    bool
+    adapterResident(std::size_t i, model::AdapterId id) const override
+    {
+        return resident.count({i, id}) > 0;
+    }
+};
+
+workload::Request
+requestFor(model::AdapterId adapter)
+{
+    workload::Request r;
+    r.id = adapter;
+    r.adapter = adapter;
+    return r;
+}
+
+} // namespace
+
+TEST(RouterPolicy, NamesRoundTrip)
+{
+    using routing::RouterPolicy;
+    for (const auto policy :
+         {RouterPolicy::RoundRobin, RouterPolicy::JoinShortestQueue,
+          RouterPolicy::PowerOfTwoChoices, RouterPolicy::AdapterAffinity,
+          RouterPolicy::AdapterAffinityCacheAware}) {
+        RouterPolicy parsed;
+        ASSERT_TRUE(routing::routerPolicyByName(
+            routing::routerPolicyName(policy), &parsed));
+        EXPECT_EQ(parsed, policy);
+        // The factory-built router reports the canonical name.
+        EXPECT_STREQ(routing::makeRouter(policy)->name(),
+                     routing::routerPolicyName(policy));
+    }
+    RouterPolicy parsed;
+    EXPECT_FALSE(routing::routerPolicyByName("nope", &parsed));
+    EXPECT_TRUE(routing::routerPolicyByName("round-robin", &parsed));
+    EXPECT_EQ(parsed, RouterPolicy::RoundRobin);
+}
+
+TEST(ConsistentHash, OwnerIsStableAndBalanced)
+{
+    routing::ConsistentHashRing ring(64);
+    ring.resize(4);
+    std::map<std::size_t, int> share;
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+        const auto owner = ring.owner(key);
+        EXPECT_LT(owner, 4u);
+        EXPECT_EQ(owner, ring.owner(key)); // deterministic
+        ++share[owner];
+    }
+    // Virtual nodes keep every replica's share within loose bounds.
+    for (const auto &[replica, count] : share) {
+        EXPECT_GT(count, 100) << "replica " << replica;
+        EXPECT_LT(count, 500) << "replica " << replica;
+    }
+}
+
+TEST(ConsistentHash, RemovalOnlyMovesTheRemovedReplicasKeys)
+{
+    routing::ConsistentHashRing ring(64);
+    ring.resize(4);
+    std::map<std::uint64_t, std::size_t> before;
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        before[key] = ring.owner(key);
+
+    ring.removeReplica(2);
+    int moved = 0;
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+        const auto owner = ring.owner(key);
+        EXPECT_NE(owner, 2u);
+        if (before[key] != 2u) {
+            // Keys not owned by the removed replica must not move.
+            EXPECT_EQ(owner, before[key]) << "key " << key;
+        } else {
+            ++moved;
+        }
+    }
+    EXPECT_GT(moved, 0);
+
+    // Re-adding restores the original mapping exactly.
+    ring.addReplica(2);
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        EXPECT_EQ(ring.owner(key), before[key]);
+}
+
+TEST(ConsistentHash, PreferenceListStartsAtOwnerAndIsDistinct)
+{
+    routing::ConsistentHashRing ring(32);
+    ring.resize(5);
+    for (std::uint64_t key = 0; key < 50; ++key) {
+        const auto prefs = ring.preferenceList(key, 5);
+        ASSERT_EQ(prefs.size(), 5u);
+        EXPECT_EQ(prefs.front(), ring.owner(key));
+        EXPECT_EQ(std::set<std::size_t>(prefs.begin(), prefs.end()).size(),
+                  5u);
+    }
+}
+
+TEST(RoundRobinRouter, CyclesAndSurvivesReplicaChanges)
+{
+    auto router = routing::makeRouter(routing::RouterPolicy::RoundRobin);
+    FakeView view;
+    view.loads = {0, 0, 0};
+    const auto r = requestFor(model::kNoAdapter);
+    EXPECT_EQ(router->route(r, view), 0u);
+    EXPECT_EQ(router->route(r, view), 1u);
+    EXPECT_EQ(router->route(r, view), 2u);
+    EXPECT_EQ(router->route(r, view), 0u);
+    // Shrink the active set mid-cycle; the cursor wraps into range.
+    view.loads = {0, 0};
+    router->onReplicaCountChanged(2);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_LT(router->route(r, view), 2u);
+}
+
+TEST(JsqRouter, PicksLeastLoadedWithLowestIndexTieBreak)
+{
+    auto router =
+        routing::makeRouter(routing::RouterPolicy::JoinShortestQueue);
+    FakeView view;
+    const auto r = requestFor(model::kNoAdapter);
+    view.loads = {3, 1, 1, 2};
+    // Ties break deterministically toward the lowest index.
+    EXPECT_EQ(router->route(r, view), 1u);
+    view.loads = {0, 0, 0, 0};
+    EXPECT_EQ(router->route(r, view), 0u);
+    view.loads = {5, 4, 3, 2};
+    EXPECT_EQ(router->route(r, view), 3u);
+}
+
+TEST(P2cRouter, PrefersTheLessLoadedSampleAndIsSeedDeterministic)
+{
+    routing::RouterConfig config;
+    config.seed = 7;
+    auto a = routing::makeRouter(routing::RouterPolicy::PowerOfTwoChoices,
+                                 config);
+    auto b = routing::makeRouter(routing::RouterPolicy::PowerOfTwoChoices,
+                                 config);
+    FakeView view;
+    const auto r = requestFor(model::kNoAdapter);
+    // Same seed, same sampling stream (routers advanced in lockstep).
+    view.loads = {4, 1, 0, 3, 2, 6};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a->route(r, view), b->route(r, view));
+    // The heaviest replica is never chosen over its alternative.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NE(a->route(r, view), 5u);
+    // With two replicas both samples are {0, 1}: always the lighter one.
+    view.loads = {9, 2};
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a->route(r, view), 1u);
+}
+
+TEST(AffinityRouter, SameAdapterSameReplicaAndSpreadAcrossReplicas)
+{
+    auto router =
+        routing::makeRouter(routing::RouterPolicy::AdapterAffinity);
+    FakeView view;
+    view.loads = {0, 0, 0, 0};
+    std::set<std::size_t> used;
+    for (model::AdapterId id = 0; id < 64; ++id) {
+        const auto first = router->route(requestFor(id), view);
+        EXPECT_EQ(router->route(requestFor(id), view), first);
+        used.insert(first);
+    }
+    // 64 adapters over 4 replicas must hit more than one replica.
+    EXPECT_GT(used.size(), 1u);
+}
+
+TEST(AffinityRouter, SpillsOverWhenTheOwnerIsOverloaded)
+{
+    routing::RouterConfig config;
+    config.spillLoadFactor = 1.0;
+    config.spillMargin = 2;
+    auto router = routing::makeRouter(
+        routing::RouterPolicy::AdapterAffinity, config);
+    FakeView view;
+    view.loads = {0, 0, 0, 0};
+    const model::AdapterId adapter = 13;
+    const auto owner = router->route(requestFor(adapter), view);
+    // Pile load onto the owner until the bounded-load test rejects it.
+    view.loads[owner] = 100;
+    const auto spilled = router->route(requestFor(adapter), view);
+    EXPECT_NE(spilled, owner);
+    // Spillover is deterministic (ring successor), not random.
+    EXPECT_EQ(router->route(requestFor(adapter), view), spilled);
+    // Once the owner drains, affinity resumes.
+    view.loads[owner] = 0;
+    EXPECT_EQ(router->route(requestFor(adapter), view), owner);
+}
+
+TEST(AffinityRouter, BaseOnlyRequestsBalanceByLoad)
+{
+    auto router =
+        routing::makeRouter(routing::RouterPolicy::AdapterAffinity);
+    FakeView view;
+    view.loads = {4, 0, 2};
+    EXPECT_EQ(router->route(requestFor(model::kNoAdapter), view), 1u);
+}
+
+TEST(AffinityRouter, CacheAwareVariantPrefersResidentReplica)
+{
+    auto plain =
+        routing::makeRouter(routing::RouterPolicy::AdapterAffinity);
+    auto aware = routing::makeRouter(
+        routing::RouterPolicy::AdapterAffinityCacheAware);
+    FakeView view;
+    view.loads = {0, 0, 0, 0};
+    const model::AdapterId adapter = 21;
+    const auto owner = plain->route(requestFor(adapter), view);
+    // Make the adapter resident somewhere other than the hash owner.
+    const std::size_t holder = (owner + 1) % 4;
+    view.resident.insert({holder, adapter});
+    EXPECT_EQ(aware->route(requestFor(adapter), view), holder);
+    // An overloaded holder loses its preference and the hash owner wins.
+    view.loads[holder] = 100;
+    EXPECT_EQ(aware->route(requestFor(adapter), view), owner);
+}
+
+TEST(AffinityRouter, RingTracksAutoscaledReplicaSet)
+{
+    auto router =
+        routing::makeRouter(routing::RouterPolicy::AdapterAffinity);
+    FakeView view;
+    view.loads = {0, 0, 0, 0};
+    std::map<model::AdapterId, std::size_t> before;
+    for (model::AdapterId id = 0; id < 64; ++id)
+        before[id] = router->route(requestFor(id), view);
+    // Drain one replica: its adapters move, everyone else stays put.
+    view.loads = {0, 0, 0};
+    router->onReplicaCountChanged(3);
+    for (model::AdapterId id = 0; id < 64; ++id) {
+        const auto now = router->route(requestFor(id), view);
+        EXPECT_LT(now, 3u);
+        if (before[id] != 3u) {
+            EXPECT_EQ(now, before[id]) << "adapter " << id;
+        }
+    }
+}
+
+TEST(LoadForecaster, TracksSteadyRate)
+{
+    predict::LoadForecaster forecaster(10.0);
+    // 10 arrivals/s for 10 s.
+    for (int i = 0; i < 100; ++i)
+        forecaster.recordArrival(i * sim::kSec / 10);
+    const sim::SimTime now = 10 * sim::kSec;
+    EXPECT_NEAR(forecaster.currentRps(now), 10.0, 1.5);
+    // Flat load: forecast stays near the current rate.
+    EXPECT_NEAR(forecaster.forecastRps(now, 5.0),
+                forecaster.currentRps(now), 2.0);
+}
+
+TEST(LoadForecaster, RisingRateRaisesForecastAboveCurrent)
+{
+    predict::LoadForecaster forecaster(10.0);
+    sim::SimTime t = 0;
+    // 2/s over the older half-window, then 20/s over the recent half.
+    for (int i = 0; i < 10; ++i)
+        forecaster.recordArrival(t += sim::kSec / 2);
+    for (int i = 0; i < 100; ++i)
+        forecaster.recordArrival(t += sim::kSec / 20);
+    const double current = forecaster.currentRps(t);
+    EXPECT_GT(forecaster.forecastRps(t, 5.0), current);
+}
+
+TEST(Autoscaler, ScalesUpOnHighQueueAndDownAfterSustainedLow)
+{
+    routing::AutoscalerConfig config;
+    config.minReplicas = 1;
+    config.maxReplicas = 4;
+    config.highWatermark = 10.0;
+    config.lowWatermark = 2.0;
+    config.downCooldownPeriods = 2;
+    config.upCooldownPeriods = 0;
+    routing::Autoscaler scaler(config);
+
+    sim::SimTime now = sim::kSec;
+    // 30 outstanding over 2 replicas = 15/replica > high watermark.
+    EXPECT_EQ(scaler.evaluate(2, 30, now), 3u);
+    EXPECT_EQ(scaler.scaleUps(), 1);
+    // At the ceiling the target saturates.
+    EXPECT_EQ(scaler.evaluate(4, 400, now += sim::kSec), 4u);
+    // Low queue must persist downCooldownPeriods evaluations.
+    EXPECT_EQ(scaler.evaluate(3, 0, now += sim::kSec), 3u);
+    EXPECT_EQ(scaler.evaluate(3, 0, now += sim::kSec), 2u);
+    EXPECT_EQ(scaler.scaleDowns(), 1);
+    // A busy evaluation resets the streak.
+    EXPECT_EQ(scaler.evaluate(2, 0, now += sim::kSec), 2u);
+    EXPECT_EQ(scaler.evaluate(2, 10, now += sim::kSec), 2u);
+    EXPECT_EQ(scaler.evaluate(2, 0, now += sim::kSec), 2u);
+    EXPECT_EQ(scaler.evaluate(2, 0, now += sim::kSec), 1u);
+    // Never below the floor.
+    EXPECT_EQ(scaler.evaluate(1, 0, now += sim::kSec), 1u);
+    EXPECT_EQ(scaler.evaluate(1, 0, now += sim::kSec), 1u);
+}
+
+TEST(Autoscaler, ForecastDemandJumpsDirectlyToTheNeededReplicas)
+{
+    routing::AutoscalerConfig config;
+    config.minReplicas = 1;
+    config.maxReplicas = 8;
+    config.replicaServiceRps = 5.0;
+    config.forecastWindowSeconds = 10.0;
+    config.forecastHorizonSeconds = 0.0;
+    config.upCooldownPeriods = 0;
+    routing::Autoscaler scaler(config);
+
+    // 40 rps of arrivals: demand = ceil(40 / 5) = 8 replicas, reached
+    // in one evaluation even though queues are still empty.
+    sim::SimTime t = 0;
+    for (int i = 0; i < 400; ++i)
+        scaler.onArrival(t += sim::kSec / 40);
+    EXPECT_EQ(scaler.evaluate(1, 0, t), 8u);
+    EXPECT_EQ(scaler.scaleUps(), 1);
+}

@@ -12,6 +12,12 @@
  *   chameleon_sim --system chameleon --rps 9 --duration 300
  *   chameleon_sim --system slora --model llama-13b --gpu a100 \
  *       --mem-gib 80 --adapters 200 --records-csv out.csv
+ *   chameleon_sim --system chameleon --replicas 4 --router affinity \
+ *       --rps 34 --autoscale
+ *
+ * --seed drives the trace generator, the output-length predictor, and
+ * the router's sampling stream, so a cluster run is reproducible from
+ * its command line alone.
  */
 
 #include <cstdio>
@@ -21,6 +27,7 @@
 #include "chameleon/system.h"
 #include "model/gpu_spec.h"
 #include "model/llm.h"
+#include "routing/router.h"
 #include "serving/slo.h"
 #include "simkit/flags.h"
 #include "workload/trace_gen.h"
@@ -95,6 +102,20 @@ main(int argc, char **argv)
         "workload", "splitwise", "trace preset: splitwise|wildchat|lmsys");
     auto *acc = flags.addDouble("predictor-acc", 0.8,
                                 "output-length predictor accuracy");
+    auto *replicas = flags.addInt("replicas", 1,
+                                  "data-parallel engine replicas");
+    auto *router = flags.addString(
+        "router", "jsq",
+        "cluster dispatch policy: rr|jsq|p2c|affinity|affinity-cache");
+    auto *autoscale = flags.addBool(
+        "autoscale", false, "enable predictor-driven replica autoscaling");
+    auto *min_replicas = flags.addInt("min-replicas", 1,
+                                      "autoscaler lower bound");
+    auto *max_replicas = flags.addInt("max-replicas", 8,
+                                      "autoscaler upper bound");
+    auto *replica_rps = flags.addDouble(
+        "replica-rps", 8.0,
+        "per-replica service capacity for the autoscaler forecast");
     auto *trace_in = flags.addString("trace", "",
                                      "load trace from CSV instead");
     auto *trace_out = flags.addString("save-trace", "",
@@ -117,6 +138,30 @@ main(int argc, char **argv)
     }
     cfg.engine.tpDegree = static_cast<int>(*tp);
     cfg.predictorAccuracy = *acc;
+    cfg.predictorSeed = static_cast<std::uint64_t>(*seed);
+
+    CHM_CHECK(*replicas >= 1, "--replicas must be >= 1");
+    cfg.cluster.replicas = static_cast<int>(*replicas);
+    CHM_CHECK(routing::routerPolicyByName(*router, &cfg.cluster.router),
+              "unknown --router: " << *router
+              << " (try rr, jsq, p2c, affinity, affinity-cache)");
+    cfg.cluster.routerConfig.seed = static_cast<std::uint64_t>(*seed);
+    cfg.cluster.autoscale = *autoscale;
+    cfg.cluster.autoscaler.minReplicas =
+        static_cast<std::size_t>(*min_replicas);
+    cfg.cluster.autoscaler.maxReplicas =
+        static_cast<std::size_t>(*max_replicas);
+    cfg.cluster.autoscaler.replicaServiceRps = *replica_rps;
+    const bool clusterRun = cfg.cluster.replicas > 1 || cfg.cluster.autoscale;
+    // Cluster-only flags silently doing nothing would misread as a
+    // valid run of the requested policy.
+    CHM_CHECK(clusterRun || *router == "jsq",
+              "--router requires --replicas > 1 or --autoscale");
+    CHM_CHECK(cfg.cluster.autoscale ||
+                  (*min_replicas == 1 && *max_replicas == 8 &&
+                   *replica_rps == 8.0),
+              "--min-replicas/--max-replicas/--replica-rps require "
+              "--autoscale");
 
     std::unique_ptr<model::AdapterPool> pool;
     if (*adapters > 0) {
@@ -157,12 +202,28 @@ main(int argc, char **argv)
     std::printf("deployment  : %s on %s x%d, %lld adapters\n",
                 cfg.engine.model.name.c_str(), cfg.engine.gpu.name.c_str(),
                 cfg.engine.tpDegree, static_cast<long long>(*adapters));
+    if (clusterRun) {
+        std::printf("cluster     : %d replicas, %s routing%s\n",
+                    cfg.cluster.replicas, router->c_str(),
+                    cfg.cluster.autoscale ? ", autoscaling" : "");
+    }
     std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",
                 trace.size(), trace.meanRps(),
                 sim::toSeconds(trace.duration()));
     std::printf("TTFT SLO    : %.2f s (5x mean isolated latency)\n\n", slo);
 
-    const auto result = core::runSystem(kind, cfg, pool.get(), trace);
+    core::RunResult result;
+    core::ClusterRunResult clusterResult;
+    if (clusterRun) {
+        clusterResult = core::runClusterSystem(kind, cfg, pool.get(), trace);
+        result.stats = clusterResult.stats;
+        result.pcieBytes = clusterResult.pcieBytes;
+        result.pcieTransfers = clusterResult.pcieTransfers;
+        result.cacheHitRate = clusterResult.cacheHitRate;
+        result.cacheEvictions = clusterResult.cacheEvictions;
+    } else {
+        result = core::runSystem(kind, cfg, pool.get(), trace);
+    }
     const auto &s = result.stats;
 
     std::printf("finished    : %lld / %lld (%lld preempts, %lld squashes, "
@@ -186,11 +247,19 @@ main(int argc, char **argv)
     std::printf("adapters    : hit rate %.1f%%, %lld evictions\n",
                 100.0 * result.cacheHitRate,
                 static_cast<long long>(result.cacheEvictions));
-    std::printf("PCIe        : %.2f GB total, %.1f MB/s mean, "
-                "utilisation %.1f%%\n",
-                static_cast<double>(result.pcieBytes) / 1e9,
-                result.pcieMeanBytesPerSec / 1e6,
-                100.0 * result.pcieUtilisation);
+    if (clusterRun) {
+        // Per-link rate/utilisation is not meaningful summed over
+        // replicas; report totals only.
+        std::printf("PCIe        : %.2f GB, %lld transfers across replicas\n",
+                    static_cast<double>(result.pcieBytes) / 1e9,
+                    static_cast<long long>(result.pcieTransfers));
+    } else {
+        std::printf("PCIe        : %.2f GB total, %.1f MB/s mean, "
+                    "utilisation %.1f%%\n",
+                    static_cast<double>(result.pcieBytes) / 1e9,
+                    result.pcieMeanBytesPerSec / 1e6,
+                    100.0 * result.pcieUtilisation);
+    }
     const double elapsed =
         std::max(1e-9, sim::toSeconds(trace.duration()));
     std::printf("engine      : %lld iterations, busy %.1f s, mean batch "
@@ -204,6 +273,18 @@ main(int argc, char **argv)
                 static_cast<double>(s.decodeTokens) / elapsed);
     if (result.mlqQueues > 0)
         std::printf("scheduler   : %d MLQ queues\n", result.mlqQueues);
+    if (clusterRun) {
+        std::printf("replicas    : %zu built, %zu active at end, "
+                    "%lld scale-ups, %lld scale-downs\n",
+                    clusterResult.peakReplicas,
+                    clusterResult.finalActiveReplicas,
+                    static_cast<long long>(clusterResult.scaleUps),
+                    static_cast<long long>(clusterResult.scaleDowns));
+        std::printf("per-replica :");
+        for (const auto finished : clusterResult.perReplicaFinished)
+            std::printf(" %lld", static_cast<long long>(finished));
+        std::printf(" finished\n");
+    }
 
     if (!records_csv->empty()) {
         writeRecordsCsv(*records_csv, s.records);
