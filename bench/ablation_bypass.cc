@@ -22,7 +22,7 @@ main()
     // where in-use adapters + KV fill the ~8.5 GB of request memory.
     auto tb = bench::makeA100Testbed(model::llama7B(), 24, 0);
     tb.pool = std::make_unique<model::AdapterPool>(
-        tb.cfg.engine.model, std::vector<int>(60, 128));
+        tb.engine.model, std::vector<int>(60, 128));
     tb.wl.numAdapters = 60;
     tb.wl.adapterPopularity = workload::Popularity::Uniform;
     const auto trace = tb.trace(13.0, 240.0);
@@ -31,10 +31,9 @@ main()
                 "p99ttft(s)", "p50ttft(s)", "bypasses", "squashes",
                 "squash%");
     for (bool bypass : {true, false}) {
-        auto cfg = tb.cfg;
-        cfg.mlqBypass = bypass;
-        const auto result = core::runSystem(core::SystemKind::Chameleon,
-                                            cfg, tb.pool.get(), trace);
+        auto spec = tb.spec("chameleon");
+        spec.scheduler.bypass = bypass;
+        const auto result = bench::run(tb, spec, trace);
         const double squash_pct =
             100.0 * static_cast<double>(result.stats.squashes) /
             static_cast<double>(std::max<std::int64_t>(

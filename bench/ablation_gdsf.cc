@@ -19,16 +19,16 @@ main()
 
     // Memory-tight configuration so the eviction policy is exercised.
     auto tb = bench::makeTestbed(200);
-    tb.cfg.engine.workspacePerGpu = 24ll << 30;
+    tb.engine.workspacePerGpu = 24ll << 30;
     tb.wl.adapterPopularity = workload::Popularity::PowerLaw;
     const auto trace = tb.trace(bench::kMediumRps, 300.0);
 
     std::printf("%-14s %12s %12s %10s %12s\n", "policy", "p99ttft(s)",
                 "p50ttft(s)", "hit rate", "evictions");
     for (const auto &[name, kind] :
-         std::vector<std::pair<const char *, core::SystemKind>>{
-             {"GDSF", core::SystemKind::ChameleonGdsf},
-             {"Chameleon", core::SystemKind::Chameleon}}) {
+         std::vector<std::pair<const char *, const char *>>{
+             {"GDSF", "chameleon-gdsf"},
+             {"Chameleon", "chameleon"}}) {
         const auto result = bench::run(tb, kind, trace);
         std::printf("%-14s %12.2f %12.2f %9.1f%% %12lld\n", name,
                     result.stats.ttft.p99(), result.stats.ttft.p50(),

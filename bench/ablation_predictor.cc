@@ -38,11 +38,10 @@ main()
     std::printf("%-18s %12s %12s %12s\n", "predictor", "p99ttft(s)",
                 "p50ttft(s)", "preempts");
     for (const auto &entry : entries) {
-        auto cfg = tb.cfg;
-        cfg.predictor = entry.predictor;
-        cfg.predictorAccuracy = entry.accuracy;
-        const auto result = core::runSystem(core::SystemKind::Chameleon,
-                                            cfg, tb.pool.get(), trace);
+        auto spec = tb.spec("chameleon");
+        spec.predictor.kind = entry.predictor;
+        spec.predictor.accuracy = entry.accuracy;
+        const auto result = bench::run(tb, spec, trace);
         std::printf("%-18s %12.2f %12.2f %12lld\n", entry.label,
                     result.stats.ttft.p99(), result.stats.ttft.p50(),
                     static_cast<long long>(result.stats.preemptions));

@@ -23,17 +23,17 @@ main()
                 "p50ttft(s)");
     double degree2 = 0.0;
     double degree1 = 0.0;
-    for (const auto &[name, kind] :
-         std::vector<std::pair<const char *, core::SystemKind>>{
-             {"degree-2 (paper)", core::SystemKind::Chameleon},
-             {"degree-1 linear", core::SystemKind::ChameleonDegree1},
-             {"output-only", core::SystemKind::ChameleonOutputOnly}}) {
-        const auto result = bench::run(tb, kind, trace);
+    for (const auto &[name, system] :
+         std::vector<std::pair<const char *, std::string>>{
+             {"degree-2 (paper)", "chameleon"},
+             {"degree-1 linear", "chameleon-degree1"},
+             {"output-only", "chameleon-output-only"}}) {
+        const auto result = bench::run(tb, system, trace);
         std::printf("%-22s %12.2f %12.2f\n", name,
                     result.stats.ttft.p99(), result.stats.ttft.p50());
-        if (kind == core::SystemKind::Chameleon)
+        if (system == "chameleon")
             degree2 = result.stats.ttft.p99();
-        if (kind == core::SystemKind::ChameleonDegree1)
+        if (system == "chameleon-degree1")
             degree1 = result.stats.ttft.p99();
     }
     std::printf("\ndegree-2 vs degree-1: %.1f%% better P99 TTFT\n",

@@ -21,11 +21,20 @@ Testbed::trace(double rps, double seconds, std::uint64_t seed) const
     return gen.generate();
 }
 
+core::SystemSpec
+Testbed::spec(const std::string &system) const
+{
+    core::SystemSpec spec = core::SystemRegistry::global().lookup(system);
+    spec.engine = engine;
+    spec.predictor = predictor;
+    return spec;
+}
+
 model::CostModel
 Testbed::costModel() const
 {
-    return model::CostModel(cfg.engine.model, cfg.engine.gpu,
-                            cfg.engine.tpDegree, cfg.engine.cost);
+    return model::CostModel(engine.model, engine.gpu, engine.tpDegree,
+                            engine.cost);
 }
 
 double
@@ -39,12 +48,12 @@ Testbed
 makeTestbed(int numAdapters)
 {
     Testbed tb;
-    tb.cfg.engine.model = model::llama7B();
-    tb.cfg.engine.gpu = model::a40();
+    tb.engine.model = model::llama7B();
+    tb.engine.gpu = model::a40();
     tb.wl = workload::splitwiseLike();
     tb.wl.numAdapters = numAdapters;
     if (numAdapters > 0)
-        tb.pool = std::make_unique<model::AdapterPool>(tb.cfg.engine.model,
+        tb.pool = std::make_unique<model::AdapterPool>(tb.engine.model,
                                                        numAdapters);
     return tb;
 }
@@ -54,9 +63,9 @@ makeA100Testbed(const model::ModelSpec &model, int memGiB, int numAdapters,
                 int tpDegree)
 {
     Testbed tb;
-    tb.cfg.engine.model = model;
-    tb.cfg.engine.gpu = model::a100(memGiB);
-    tb.cfg.engine.tpDegree = tpDegree;
+    tb.engine.model = model;
+    tb.engine.gpu = model::a100(memGiB);
+    tb.engine.tpDegree = tpDegree;
     tb.wl = workload::splitwiseLike();
     tb.wl.numAdapters = numAdapters;
     if (numAdapters > 0)
@@ -64,10 +73,18 @@ makeA100Testbed(const model::ModelSpec &model, int memGiB, int numAdapters,
     return tb;
 }
 
-core::RunResult
-run(const Testbed &tb, core::SystemKind kind, const workload::Trace &trace)
+core::RunReport
+run(const Testbed &tb, const core::SystemSpec &spec,
+    const workload::Trace &trace)
 {
-    return core::runSystem(kind, tb.cfg, tb.pool.get(), trace);
+    return core::runSpec(spec, tb.pool.get(), trace);
+}
+
+core::RunReport
+run(const Testbed &tb, const std::string &system,
+    const workload::Trace &trace)
+{
+    return run(tb, tb.spec(system), trace);
 }
 
 void
@@ -80,14 +97,15 @@ banner(const std::string &figure, const std::string &paperClaim)
 }
 
 std::vector<std::pair<double, double>>
-sweepLoads(const Testbed &tb, core::SystemKind kind,
+sweepLoads(const Testbed &tb, const std::string &system,
            const std::vector<double> &rpsList, const std::string &metric,
            double traceSeconds)
 {
     std::vector<std::pair<double, double>> out;
+    const auto spec = tb.spec(system);
     for (double rps : rpsList) {
         const auto trace = tb.trace(rps, traceSeconds);
-        const auto result = run(tb, kind, trace);
+        const auto result = run(tb, spec, trace);
         double value = 0.0;
         if (metric == "p99ttft") {
             value = result.stats.ttft.p99();

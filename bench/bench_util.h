@@ -31,12 +31,21 @@ constexpr double kLowRps = 6.0;
 constexpr double kMediumRps = 8.0;
 constexpr double kHighRps = 9.5;
 
-/** Standard single-GPU testbed: pool + config + workload template. */
+/** Standard single-GPU testbed: pool + hardware + workload template. */
 struct Testbed
 {
     std::unique_ptr<model::AdapterPool> pool;
-    core::SystemConfig cfg;
+    /** Hardware + base model shared by every system run here. */
+    serving::EngineConfig engine;
+    /** Output-length predictor shared by every system run here. */
+    core::PredictorSpec predictor;
     workload::TraceGenConfig wl;
+
+    /**
+     * Resolve a registry system name ("chameleon", "chameleon+gdsf",
+     * ...) and stamp it with this testbed's hardware and predictor.
+     */
+    core::SystemSpec spec(const std::string &system) const;
 
     /** Generate the trace for a given load. */
     workload::Trace trace(double rps, double seconds,
@@ -56,8 +65,12 @@ Testbed makeTestbed(int numAdapters = 100);
 Testbed makeA100Testbed(const model::ModelSpec &model, int memGiB,
                         int numAdapters, int tpDegree = 1);
 
-/** Run one system over a trace. */
-core::RunResult run(const Testbed &tb, core::SystemKind kind,
+/** Run a fully configured spec over a trace (pool from the testbed). */
+core::RunReport run(const Testbed &tb, const core::SystemSpec &spec,
+                    const workload::Trace &trace);
+
+/** Run a registry system name over a trace on this testbed. */
+core::RunReport run(const Testbed &tb, const std::string &system,
                     const workload::Trace &trace);
 
 /** Print a figure banner with the paper's headline expectation. */
@@ -68,7 +81,7 @@ void banner(const std::string &figure, const std::string &paperClaim);
  * metric: "p99ttft" | "p50ttft" | "p99tbt".
  */
 std::vector<std::pair<double, double>> sweepLoads(
-    const Testbed &tb, core::SystemKind kind,
+    const Testbed &tb, const std::string &system,
     const std::vector<double> &rpsList, const std::string &metric,
     double traceSeconds = 240.0);
 

@@ -21,7 +21,7 @@ rank32Testbed(int n)
 {
     bench::Testbed tb = bench::makeTestbed(0);
     tb.pool = std::make_unique<model::AdapterPool>(
-        tb.cfg.engine.model, std::vector<int>(n, 32));
+        tb.engine.model, std::vector<int>(n, 32));
     tb.wl.numAdapters = n;
     tb.wl.rankPopularity = workload::Popularity::Uniform;
     tb.wl.adapterPopularity = workload::Popularity::Uniform;
@@ -50,7 +50,7 @@ main()
         for (double rps : loads) {
             const auto trace = tb.trace(rps, 240.0);
             const auto result =
-                bench::run(tb, core::SystemKind::SLora, trace);
+                bench::run(tb, "slora", trace);
             const double rate = result.pcieMeanBytesPerSec;
             if (baseline == 0.0)
                 baseline = std::max(rate, 1.0);

@@ -19,13 +19,13 @@ main()
 
     auto tb = bench::makeTestbed(100);
     const auto trace = tb.trace(bench::kMediumRps, 360.0);
-    core::System system(core::SystemKind::Chameleon, tb.cfg, tb.pool.get());
-    const auto result = system.run(trace);
+    core::Runner runner(tb.spec("chameleon"), tb.pool.get());
+    const auto result = runner.run(trace);
 
     const double base_gb =
-        static_cast<double>(tb.cfg.engine.model.weightsBytes()) / 1e9;
+        static_cast<double>(tb.engine.model.weightsBytes()) / 1e9;
     const double capacity_gb =
-        static_cast<double>(tb.cfg.engine.gpu.memBytes) / 1e9;
+        static_cast<double>(tb.engine.gpu.memBytes) / 1e9;
 
     std::printf("capacity %.1f GB, base LLM %.1f GB\n\n", capacity_gb,
                 base_gb);

@@ -20,11 +20,11 @@ main()
 
     auto tb = bench::makeTestbed(100);
     const auto cost = tb.costModel();
-    const std::vector<std::pair<const char *, core::SystemKind>> systems{
-        {"FIFO", core::SystemKind::SLora},
-        {"Chunk-Prefill", core::SystemKind::SLoraChunked},
-        {"SJF", core::SystemKind::SLoraSjf},
-        {"Optimized(Ch)", core::SystemKind::ChameleonNoCache},
+    const std::vector<std::pair<const char *, const char *>> systems{
+        {"FIFO", "slora"},
+        {"Chunk-Prefill", "slora-chunked"},
+        {"SJF", "slora-sjf"},
+        {"Optimized(Ch)", "chameleon-nocache"},
     };
 
     for (const auto &[label, rps] :

@@ -25,11 +25,11 @@ main()
     const auto slo_trace = tb.trace(bench::kMediumRps, 240.0);
     const double slo = tb.sloSeconds(slo_trace);
 
-    const std::vector<std::pair<const char *, core::SystemKind>> systems{
-        {"S-LoRA", core::SystemKind::SLora},
-        {"ChNoCache", core::SystemKind::ChameleonNoCache},
-        {"ChNoSched", core::SystemKind::ChameleonNoSched},
-        {"Chameleon", core::SystemKind::Chameleon},
+    const std::vector<std::pair<const char *, const char *>> systems{
+        {"S-LoRA", "slora"},
+        {"ChNoCache", "chameleon-nocache"},
+        {"ChNoSched", "chameleon-nosched"},
+        {"Chameleon", "chameleon"},
     };
 
     std::map<const char *, std::vector<std::pair<double, double>>> curves;
@@ -65,9 +65,9 @@ main()
     std::printf("\nP99 TTFT reduction of Chameleon over S-LoRA:\n");
     for (double rps : {6.0, 8.0, 9.0}) {
         const auto trace = tb.trace(rps, 240.0);
-        const auto base = bench::run(tb, core::SystemKind::SLora, trace);
+        const auto base = bench::run(tb, "slora", trace);
         const auto cham =
-            bench::run(tb, core::SystemKind::Chameleon, trace);
+            bench::run(tb, "chameleon", trace);
         std::printf("  %4.1f RPS: %5.1f%%  (paper: %s)\n", rps,
                     100.0 * (1.0 - cham.stats.ttft.p99() /
                                        base.stats.ttft.p99()),

@@ -19,8 +19,8 @@ main()
     auto tb = bench::makeTestbed(100);
     const std::vector<double> loads{5, 6, 7, 8, 9, 10, 11, 12, 13};
     const auto slora =
-        bench::sweepLoads(tb, core::SystemKind::SLora, loads, "p99tbt");
-    const auto cham = bench::sweepLoads(tb, core::SystemKind::Chameleon,
+        bench::sweepLoads(tb, "slora", loads, "p99tbt");
+    const auto cham = bench::sweepLoads(tb, "chameleon",
                                         loads, "p99tbt");
     std::printf("%8s %14s %14s\n", "rps", "S-LoRA(ms)", "Chameleon(ms)");
     for (std::size_t i = 0; i < loads.size(); ++i) {

@@ -19,8 +19,8 @@ main()
     auto tb = bench::makeTestbed(100);
     const std::vector<double> loads{5, 6, 7, 8, 9, 10, 11, 12, 13};
     const auto slora =
-        bench::sweepLoads(tb, core::SystemKind::SLora, loads, "p50ttft");
-    const auto cham = bench::sweepLoads(tb, core::SystemKind::Chameleon,
+        bench::sweepLoads(tb, "slora", loads, "p50ttft");
+    const auto cham = bench::sweepLoads(tb, "chameleon",
                                         loads, "p50ttft");
     std::printf("%8s %13s %13s %12s\n", "rps", "S-LoRA(s)", "Chameleon(s)",
                 "reduction");

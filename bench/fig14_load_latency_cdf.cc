@@ -20,8 +20,8 @@ main()
 
     auto tb = bench::makeTestbed(100);
     const auto trace = tb.trace(bench::kMediumRps, 300.0);
-    const auto slora = bench::run(tb, core::SystemKind::SLora, trace);
-    const auto cham = bench::run(tb, core::SystemKind::Chameleon, trace);
+    const auto slora = bench::run(tb, "slora", trace);
+    const auto cham = bench::run(tb, "chameleon", trace);
 
     std::printf("%6s %14s %16s\n", "pct", "S-LoRA(ms)", "Chameleon(ms)");
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {

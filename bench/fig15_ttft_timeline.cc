@@ -23,11 +23,11 @@ main()
     auto tb = bench::makeTestbed(100);
     const auto trace = tb.trace(9.0, 2000.0);
 
-    const std::vector<std::pair<const char *, core::SystemKind>> systems{
-        {"S-LoRA", core::SystemKind::SLora},
-        {"S-LoRA+SJF", core::SystemKind::SLoraSjf},
-        {"ChNoCache", core::SystemKind::ChameleonNoCache},
-        {"Chameleon", core::SystemKind::Chameleon},
+    const std::vector<std::pair<const char *, const char *>> systems{
+        {"S-LoRA", "slora"},
+        {"S-LoRA+SJF", "slora-sjf"},
+        {"ChNoCache", "chameleon-nocache"},
+        {"Chameleon", "chameleon"},
     };
 
     std::map<std::string, std::map<std::int64_t, double>> series;

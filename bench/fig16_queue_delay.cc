@@ -27,10 +27,10 @@ main()
     auto tb = bench::makeTestbed(100);
     const auto trace = tb.trace(bench::kHighRps, 300.0);
 
-    const std::vector<std::pair<const char *, core::SystemKind>> systems{
-        {"FIFO", core::SystemKind::SLora},
-        {"SJF", core::SystemKind::SLoraSjf},
-        {"ChameleonSched", core::SystemKind::ChameleonNoCache},
+    const std::vector<std::pair<const char *, const char *>> systems{
+        {"FIFO", "slora"},
+        {"SJF", "slora-sjf"},
+        {"ChameleonSched", "chameleon-nocache"},
     };
 
     std::printf("%-16s %10s %10s %10s   %s\n", "policy", "small", "medium",

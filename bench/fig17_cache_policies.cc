@@ -44,27 +44,37 @@ main()
     // idle memory than our 48 GB model, so we reserve extra workspace to
     // put the cache under real eviction pressure (~11 GB for KV+cache).
     auto tb = bench::makeTestbed(200);
-    tb.cfg.engine.workspacePerGpu = 24ll << 30;
+    tb.engine.workspacePerGpu = 24ll << 30;
     const auto trace = tb.trace(bench::kMediumRps, 300.0);
 
-    const std::vector<std::pair<const char *, core::SystemKind>> systems{
-        {"S-LoRA", core::SystemKind::SLora},
-        {"Ch-LRU", core::SystemKind::ChameleonLru},
-        {"Ch-FairShare", core::SystemKind::ChameleonFairShare},
-        {"Chameleon", core::SystemKind::Chameleon},
-    };
+    // Enumerate the cache-policy axis from the registry: the S-LoRA
+    // baseline plus every registered full system that differs from
+    // "chameleon" only in its eviction score. A newly registered
+    // eviction preset shows up here without touching this bench.
+    const auto &registry = core::SystemRegistry::global();
+    std::vector<std::string> systems{"slora"};
+    for (const auto &name : registry.names()) {
+        const auto spec = registry.lookup(name);
+        if (spec.scheduler.policy == core::SchedulerPolicy::Mlq &&
+            spec.adapters.policy == core::AdapterPolicy::ChameleonCache &&
+            spec.scheduler.wrsForm == core::WrsForm::Degree2 &&
+            spec.scheduler.dynamicQueues && spec.scheduler.bypass &&
+            !spec.adapters.predictivePrefetch) {
+            systems.push_back(name);
+        }
+    }
 
     std::map<std::string, std::map<int, double>> rows;
-    for (const auto &[name, kind] : systems)
-        rows[name] = p99ByRank(bench::run(tb, kind, trace).stats);
+    for (const auto &name : systems)
+        rows[name] = p99ByRank(bench::run(tb, name, trace).stats);
 
-    const auto &base = rows["S-LoRA"];
-    std::printf("%-14s", "system");
+    const auto &base = rows["slora"];
+    std::printf("%-22s", "system");
     for (int rank : model::paperRanks())
         std::printf(" %8s%d", "r", rank);
     std::printf(" %9s\n", "total");
-    for (const auto &[name, kind] : systems) {
-        std::printf("%-14s", name);
+    for (const auto &name : systems) {
+        std::printf("%-22s", name.c_str());
         for (int rank : model::paperRanks()) {
             std::printf(" %9.2f",
                         rows[name].at(rank) / base.at(rank));

@@ -22,13 +22,13 @@ main()
     // Same memory-tight configuration as the Fig. 17 bench so that the
     // cache actually misses and prefetching has latency to hide.
     auto tb = bench::makeTestbed(200);
-    tb.cfg.engine.workspacePerGpu = 24ll << 30;
+    tb.engine.workspacePerGpu = 24ll << 30;
     const auto trace = tb.trace(bench::kMediumRps, 300.0);
 
-    const std::vector<std::pair<const char *, core::SystemKind>> systems{
-        {"S-LoRA", core::SystemKind::SLora},
-        {"Chameleon", core::SystemKind::Chameleon},
-        {"Ch+Prefetch", core::SystemKind::ChameleonPrefetch},
+    const std::vector<std::pair<const char *, const char *>> systems{
+        {"S-LoRA", "slora"},
+        {"Chameleon", "chameleon"},
+        {"Ch+Prefetch", "chameleon-prefetch"},
     };
 
     std::map<std::string, std::map<int, sim::PercentileTracker>> by_rank;

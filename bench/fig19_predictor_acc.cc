@@ -26,15 +26,14 @@ main()
 
     std::printf("%-12s %6s %12s %12s %16s\n", "wrs", "acc", "p99ttft(s)",
                 "p50ttft(s)", "burst p99 (s)");
-    for (const auto &[label, kind] :
-         std::vector<std::pair<const char *, core::SystemKind>>{
-             {"OutputOnly", core::SystemKind::ChameleonOutputOnly},
-             {"Chameleon", core::SystemKind::Chameleon}}) {
+    for (const auto &[label, system] :
+         std::vector<std::pair<const char *, const char *>>{
+             {"OutputOnly", "chameleon-output-only"},
+             {"Chameleon", "chameleon"}}) {
         for (double acc : {1.0, 0.8, 0.6}) {
-            auto cfg = tb.cfg;
-            cfg.predictorAccuracy = acc;
-            const auto result =
-                core::runSystem(kind, cfg, tb.pool.get(), trace);
+            auto spec = tb.spec(system);
+            spec.predictor.accuracy = acc;
+            const auto result = bench::run(tb, spec, trace);
             // Peak windowed P99 within the burst region (250..400 s).
             double burst_p99 = 0.0;
             for (const auto &pt : result.stats.ttftOverTime.series(99.0)) {

@@ -31,10 +31,10 @@ main()
             tb.wl.rankPopularity = rank_pop;
             const auto trace = tb.trace(bench::kHighRps, 240.0);
             vals[i++] =
-                bench::run(tb, core::SystemKind::SLora, trace).stats
+                bench::run(tb, "slora", trace).stats
                     .ttft.p99();
             vals[i++] =
-                bench::run(tb, core::SystemKind::Chameleon, trace).stats
+                bench::run(tb, "chameleon", trace).stats
                     .ttft.p99();
         }
         std::printf("%6d %10s %14.2f %14.2f %14.2f %14.2f\n", na,
@@ -63,8 +63,8 @@ main()
         tb.wl.adapterPopularity = combo.adapter;
         const auto trace = tb.trace(bench::kHighRps, 240.0);
         const double s =
-            bench::run(tb, core::SystemKind::SLora, trace).stats.ttft.p99();
-        const double c = bench::run(tb, core::SystemKind::Chameleon, trace)
+            bench::run(tb, "slora", trace).stats.ttft.p99();
+        const double c = bench::run(tb, "chameleon", trace)
                              .stats.ttft.p99();
         if (s_uu == 0.0)
             s_uu = s;

@@ -37,8 +37,8 @@ main()
         tb.wl.numAdapters = 100;
         const auto trace = tb.trace(bench::kHighRps, 240.0);
         const double slo = tb.sloSeconds(trace);
-        const auto s = bench::run(tb, core::SystemKind::SLora, trace);
-        const auto c = bench::run(tb, core::SystemKind::Chameleon, trace);
+        const auto s = bench::run(tb, "slora", trace);
+        const auto c = bench::run(tb, "chameleon", trace);
         std::printf("%-10s %8.2f %12.2f %14.2f %9.1fx%s\n", entry.name,
                     slo, s.stats.ttft.p99(), c.stats.ttft.p99(),
                     s.stats.ttft.p99() / c.stats.ttft.p99(),

@@ -28,8 +28,8 @@ main()
              {"High", bench::kHighRps}}) {
         const auto trace = tb.trace(rps, 300.0);
         const auto fixed =
-            bench::run(tb, core::SystemKind::ChameleonStatic, trace);
-        const auto dyn = bench::run(tb, core::SystemKind::Chameleon, trace);
+            bench::run(tb, "chameleon-static", trace);
+        const auto dyn = bench::run(tb, "chameleon", trace);
         std::printf("%-8s %12.2f %14.2f %12.2f\n", label,
                     fixed.stats.ttft.p99(), dyn.stats.ttft.p99(),
                     dyn.stats.ttft.p99() / fixed.stats.ttft.p99());

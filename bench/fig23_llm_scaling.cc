@@ -41,9 +41,9 @@ main()
         const char *labels[3] = {"Low", "Med", "High"};
         for (int i = 0; i < 3; ++i) {
             const auto trace = tb.trace(entry.loads[i], 200.0);
-            const auto s = bench::run(tb, core::SystemKind::SLora, trace);
+            const auto s = bench::run(tb, "slora", trace);
             const auto c =
-                bench::run(tb, core::SystemKind::Chameleon, trace);
+                bench::run(tb, "chameleon", trace);
             const double norm =
                 c.stats.ttft.p99() / s.stats.ttft.p99();
             reductions += 1.0 - norm;

@@ -50,10 +50,10 @@ main()
             for (double rps : entry.loads) {
                 const auto trace = tb.trace(rps, 180.0);
                 s_curve.emplace_back(
-                    rps, bench::run(tb, core::SystemKind::SLora, trace)
+                    rps, bench::run(tb, "slora", trace)
                              .stats.ttft.p99());
                 c_curve.emplace_back(
-                    rps, bench::run(tb, core::SystemKind::Chameleon, trace)
+                    rps, bench::run(tb, "chameleon", trace)
                              .stats.ttft.p99());
             }
             const double s_knee = serving::throughputKnee(s_curve, slo);

@@ -28,9 +28,9 @@ main()
                  {"Low", 8.0}, {"Med", 12.0}, {"High", 15.0}}) {
             const double rps = base_rps * scale;
             const auto trace = tb.trace(rps, 180.0);
-            const auto s = bench::run(tb, core::SystemKind::SLora, trace);
+            const auto s = bench::run(tb, "slora", trace);
             const auto c =
-                bench::run(tb, core::SystemKind::Chameleon, trace);
+                bench::run(tb, "chameleon", trace);
             std::printf("%6d %-8s %12.2f %14.2f %10.2f\n", tp, label,
                         s.stats.ttft.p99(), c.stats.ttft.p99(),
                         c.stats.ttft.p99() / s.stats.ttft.p99());

@@ -61,12 +61,10 @@ main()
             workload::TraceGenerator gen(wl, tb.pool.get());
             const auto trace = gen.generate();
             for (const auto policy : kPolicies) {
-                core::SystemConfig cfg = tb.cfg;
-                cfg.cluster.replicas = replicas;
-                cfg.cluster.router = policy;
-                const auto result = core::runClusterSystem(
-                    core::SystemKind::Chameleon, cfg, tb.pool.get(),
-                    trace);
+                auto spec = tb.spec("chameleon");
+                spec.cluster.replicas = replicas;
+                spec.cluster.router = policy;
+                const auto result = bench::run(tb, spec, trace);
                 const char *name = routing::routerPolicyName(policy);
                 const char *skewName = skewed ? "zipf" : "uniform";
                 std::printf(
@@ -108,15 +106,14 @@ main()
     workload::TraceGenerator gen(wl, tb.pool.get());
     const auto burstTrace = gen.generate();
     for (const bool autoscale : {false, true}) {
-        core::SystemConfig cfg = tb.cfg;
-        cfg.cluster.replicas = 2;
-        cfg.cluster.router = routing::RouterPolicy::AdapterAffinity;
-        cfg.cluster.autoscale = autoscale;
-        cfg.cluster.autoscaler.minReplicas = 2;
-        cfg.cluster.autoscaler.maxReplicas = 6;
-        cfg.cluster.autoscaler.replicaServiceRps = kRpsPerReplica;
-        const auto result = core::runClusterSystem(
-            core::SystemKind::Chameleon, cfg, tb.pool.get(), burstTrace);
+        auto spec = tb.spec("chameleon");
+        spec.cluster.replicas = 2;
+        spec.cluster.router = routing::RouterPolicy::AdapterAffinity;
+        spec.cluster.autoscale = autoscale;
+        spec.cluster.autoscaler.minReplicas = 2;
+        spec.cluster.autoscaler.maxReplicas = 6;
+        spec.cluster.autoscaler.replicaServiceRps = kRpsPerReplica;
+        const auto result = bench::run(tb, spec, burstTrace);
         std::printf("%-10s %9d %9zu %9lld %9lld %12.3f\n",
                     autoscale ? "autoscale" : "fixed", 2,
                     result.peakReplicas,

@@ -28,9 +28,15 @@ main(int argc, char **argv)
     const double target_rps = argc > 1 ? std::atof(argv[1]) : 100.0;
 
     model::AdapterPool pool(model::llama7B(), 100);
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
+    const auto &registry = core::SystemRegistry::global();
+    auto specFor = [&registry](const char *name) {
+        auto spec = registry.lookup(name);
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+        return spec;
+    };
+    const auto slora = specFor("slora");
+    const auto cham = specFor("chameleon");
 
     auto wl = workload::splitwiseLike();
     wl.durationSeconds = 200.0;
@@ -38,7 +44,7 @@ main(int argc, char **argv)
     // SLO from a medium-load trace (5x mean isolated latency).
     wl.rps = 8.0;
     workload::TraceGenerator slo_gen(wl, &pool);
-    model::CostModel cost(cfg.engine.model, cfg.engine.gpu);
+    model::CostModel cost(slora.engine.model, slora.engine.gpu);
     const double slo =
         sim::toSeconds(serving::computeSlo(slo_gen.generate(), cost, &pool));
     std::printf("TTFT SLO: %.2f s; target aggregate load: %.0f RPS\n\n",
@@ -51,11 +57,9 @@ main(int argc, char **argv)
         workload::TraceGenerator gen(wl, &pool);
         const auto trace = gen.generate();
         const double s =
-            core::runSystem(core::SystemKind::SLora, cfg, &pool, trace)
-                .stats.ttft.p99();
+            core::runSpec(slora, &pool, trace).stats.ttft.p99();
         const double c =
-            core::runSystem(core::SystemKind::Chameleon, cfg, &pool, trace)
-                .stats.ttft.p99();
+            core::runSpec(cham, &pool, trace).stats.ttft.p99();
         slora_curve.emplace_back(rps, s);
         cham_curve.emplace_back(rps, c);
         std::printf("%8.1f %14.2f %14.2f\n", rps, s, c);

@@ -32,10 +32,10 @@ main(int argc, char **argv)
     const int replicas = argc > 1 ? std::atoi(argv[1]) : 4;
 
     model::AdapterPool pool(model::llama7B(), 200);
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
-    cfg.cluster.replicas = replicas;
+    auto spec = core::SystemRegistry::global().lookup("chameleon");
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    spec.cluster.replicas = replicas;
 
     // A skewed (power-law) adapter-popularity trace sized so each
     // replica sees the paper's medium load.
@@ -56,9 +56,8 @@ main(int argc, char **argv)
                               routing::RouterPolicy::PowerOfTwoChoices,
                               routing::RouterPolicy::AdapterAffinity,
                               routing::RouterPolicy::AdapterAffinityCacheAware}) {
-        cfg.cluster.router = policy;
-        const auto result = core::runClusterSystem(
-            core::SystemKind::Chameleon, cfg, &pool, trace);
+        spec.cluster.router = policy;
+        const auto result = core::runSpec(spec, &pool, trace);
         std::printf("%-15s %8.3fs %8.3fs %10lld %7.1f%%\n",
                     routing::routerPolicyName(policy),
                     result.stats.ttft.p50(), result.stats.ttft.p99(),
@@ -75,15 +74,14 @@ main(int argc, char **argv)
     workload::TraceGenerator burstGen(wl, &pool);
     const auto burstTrace = burstGen.generate();
 
-    cfg.cluster.router = routing::RouterPolicy::AdapterAffinity;
-    cfg.cluster.replicas = 2;
-    cfg.cluster.autoscale = true;
-    cfg.cluster.autoscaler.minReplicas = 2;
-    cfg.cluster.autoscaler.maxReplicas =
+    spec.cluster.router = routing::RouterPolicy::AdapterAffinity;
+    spec.cluster.replicas = 2;
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.minReplicas = 2;
+    spec.cluster.autoscaler.maxReplicas =
         static_cast<std::size_t>(replicas * 2);
-    cfg.cluster.autoscaler.replicaServiceRps = 8.5;
-    const auto scaled = core::runClusterSystem(core::SystemKind::Chameleon,
-                                               cfg, &pool, burstTrace);
+    spec.cluster.autoscaler.replicaServiceRps = 8.5;
+    const auto scaled = core::runSpec(spec, &pool, burstTrace);
     std::printf("\nautoscaled burst run: p99 TTFT %.3f s, %zu peak "
                 "replicas (%lld up / %lld down), per-replica finished:",
                 scaled.stats.ttft.p99(), scaled.peakReplicas,

@@ -112,14 +112,14 @@ main()
                 "%d adapters\n\n",
                 trace.size(), trace.meanRps(), tenants.size(), pool.size());
 
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
+    auto configure = [](core::SystemSpec &spec) {
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+    };
 
-    for (const auto kind :
-         {core::SystemKind::SLora, core::SystemKind::Chameleon}) {
-        const auto result = core::runSystem(kind, cfg, &pool, trace);
-        std::printf("--- %s ---\n", core::systemName(kind));
+    for (const char *name : {"slora", "chameleon"}) {
+        const auto result = core::runSystem(name, configure, &pool, trace);
+        std::printf("--- %s ---\n", name);
         std::map<std::string, sim::PercentileTracker> ttft, e2e;
         for (const auto &rec : result.stats.records) {
             const auto &tenant = owner[rec.adapter];

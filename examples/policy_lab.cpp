@@ -1,79 +1,27 @@
 /**
  * @file
- * Policy lab: explore scheduler x eviction-policy combinations on a
- * custom workload through the low-level API (building an engine by
- * hand rather than through the System facade). Useful as a template
- * for experimenting with new policies.
+ * Policy lab: explore scheduler x adapter-management x eviction
+ * combinations on a common workload through the SystemSpec API — the
+ * combinations the old closed system enum could not express.
+ *
+ * Three ways to describe a system are shown:
+ *  1. registry names with the composition grammar ("chameleon+lru",
+ *     "slora+cache"),
+ *  2. fluent spec builders (withScheduler/withEviction/withPrefetch),
+ *  3. registering a custom spec under its own name and running it by
+ *     that name like any built-in.
  */
 
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "chameleon/cache_manager.h"
-#include "chameleon/mlq_scheduler.h"
+#include "chameleon/system.h"
 #include "model/gpu_spec.h"
 #include "model/llm.h"
-#include "predict/length_predictor.h"
-#include "serving/engine.h"
-#include "serving/fifo_scheduler.h"
-#include "serving/sjf_scheduler.h"
-#include "serving/slora_adapter_manager.h"
-#include "simkit/simulator.h"
 #include "workload/trace_gen.h"
 
 using namespace chameleon;
-
-namespace {
-
-/** Build an engine with an arbitrary scheduler/adapter-manager combo. */
-struct Lab
-{
-    sim::Simulator simulator;
-    predict::LengthPredictor predictor{0.8};
-    std::unique_ptr<serving::ServingEngine> engine;
-
-    Lab(const model::AdapterPool &pool, const char *scheduler,
-        const char *adapters, const char *eviction)
-    {
-        serving::EngineConfig cfg;
-        cfg.model = model::llama7B();
-        cfg.gpu = model::a40();
-
-        std::unique_ptr<serving::Scheduler> sched;
-        if (std::string(scheduler) == "fifo") {
-            sched = std::make_unique<serving::FifoScheduler>();
-        } else if (std::string(scheduler) == "sjf") {
-            sched = std::make_unique<serving::SjfScheduler>(
-                /*agingPerSecond=*/2.0);
-        } else {
-            core::MlqConfig mcfg;
-            mcfg.kvBytesPerToken = cfg.model.kvBytesPerToken();
-            mcfg.totalTokens =
-                (cfg.gpu.memBytes - cfg.model.weightsBytes() -
-                 cfg.workspacePerGpu) /
-                mcfg.kvBytesPerToken;
-            sched = std::make_unique<core::MlqScheduler>(mcfg, &pool);
-            cfg.predictedReservation = true;
-        }
-
-        engine = std::make_unique<serving::ServingEngine>(
-            simulator, cfg, &pool, std::move(sched), &predictor);
-
-        if (std::string(adapters) == "slora") {
-            engine->setAdapterManager(
-                std::make_unique<serving::SLoraAdapterManager>(
-                    pool, engine->memory(), engine->pcieLink()));
-        } else {
-            core::CacheConfig ccfg;
-            ccfg.evictionPolicy = eviction;
-            engine->setAdapterManager(std::make_unique<core::CacheManager>(
-                pool, engine->memory(), engine->pcieLink(),
-                engine->costModel(), ccfg));
-        }
-    }
-};
-
-} // namespace
 
 int
 main()
@@ -85,35 +33,51 @@ main()
     workload::TraceGenerator gen(wl, &pool);
     const auto trace = gen.generate();
 
-    struct Combo
-    {
-        const char *label;
-        const char *scheduler;
-        const char *adapters;
-        const char *eviction;
-    };
-    const Combo combos[] = {
-        {"fifo + discard", "fifo", "slora", "-"},
-        {"sjf(aged) + discard", "sjf", "slora", "-"},
-        {"fifo + cache/lru", "fifo", "cache", "lru"},
-        {"mlq + cache/lru", "mlq", "cache", "lru"},
-        {"mlq + cache/gdsf", "mlq", "cache", "gdsf"},
-        {"mlq + cache/chameleon", "mlq", "cache", "chameleon"},
+    auto &registry = core::SystemRegistry::global();
+
+    // A custom spec: SJF admission with anti-starvation aging over the
+    // chameleon cache — not a paper system, but one line to describe.
+    core::SystemSpec agedSjf = registry.lookup("chameleon-nosched");
+    agedSjf.scheduler.policy = core::SchedulerPolicy::Sjf;
+    agedSjf.scheduler.sjfAgingPerSecond = 2.0;
+    registry.add("sjf-aged+cache", agedSjf,
+                 "custom: aged SJF over the chameleon cache");
+
+    // Fluent composition of another custom point in the policy space.
+    core::SystemSpec gdsfPrefetch =
+        registry.lookup("chameleon")
+            .withEviction(core::EvictionKind::Gdsf)
+            .withPrefetch(/*topK=*/16)
+            .named("gdsf+wide-prefetch");
+
+    const std::vector<std::string> names{
+        "slora",            // FIFO + discard-on-idle (registry preset)
+        "slora+cache",      // FIFO + chameleon cache (composed)
+        "sjf-aged+cache",   // custom registered above
+        "chameleon+lru",    // MLQ + cache, LRU eviction (composed)
+        "chameleon+gdsf",   // MLQ + cache, GDSF eviction (composed)
+        "chameleon",        // the full paper system
     };
 
     std::printf("workload: %zu requests at %.1f RPS\n\n", trace.size(),
                 trace.meanRps());
-    std::printf("%-24s %9s %9s %9s %9s\n", "combination", "p50TTFT",
+    std::printf("%-24s %9s %9s %9s %9s\n", "system", "p50TTFT",
                 "p99TTFT", "p99E2E", "hit%");
-    for (const auto &combo : combos) {
-        Lab lab(pool, combo.scheduler, combo.adapters, combo.eviction);
-        lab.engine->submitTrace(trace);
-        lab.simulator.run();
-        lab.engine->finalize();
-        const auto &stats = lab.engine->stats();
-        std::printf("%-24s %8.3fs %8.3fs %8.2fs %8.1f%%\n", combo.label,
-                    stats.ttft.p50(), stats.ttft.p99(), stats.e2e.p99(),
-                    100.0 * stats.cacheHitRate());
+    auto report = [&](const core::SystemSpec &spec) {
+        const auto result = core::runSpec(spec, &pool, trace);
+        std::printf("%-24s %8.3fs %8.3fs %8.2fs %8.1f%%\n",
+                    spec.name.c_str(), result.stats.ttft.p50(),
+                    result.stats.ttft.p99(), result.stats.e2e.p99(),
+                    100.0 * result.cacheHitRate);
+    };
+    for (const auto &name : names) {
+        auto spec = registry.lookup(name);
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+        report(spec);
     }
+    gdsfPrefetch.engine.model = model::llama7B();
+    gdsfPrefetch.engine.gpu = model::a40();
+    report(gdsfPrefetch);
     return 0;
 }

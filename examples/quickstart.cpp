@@ -28,9 +28,11 @@ main(int argc, char **argv)
     //    adapters of ranks 8..128 (the paper's §5.1 configuration).
     model::AdapterPool pool(model::llama7B(), 100);
 
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
+    // Hardware applied to every spec we run below.
+    auto configure = [](core::SystemSpec &spec) {
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+    };
 
     // 2. Generate a Splitwise-like trace: Poisson arrivals, heavy-tailed
     //    lengths, power-law adapter popularity.
@@ -41,20 +43,20 @@ main(int argc, char **argv)
     const auto trace = gen.generate();
 
     // 3. The paper's SLO: 5x the mean run-alone latency.
-    model::CostModel cost(cfg.engine.model, cfg.engine.gpu);
+    model::CostModel cost(model::llama7B(), model::a40());
     const auto slo = serving::computeSlo(trace, cost, &pool);
     std::printf("trace: %zu requests at %.1f RPS, TTFT SLO %.2f s\n",
                 trace.size(), trace.meanRps(), sim::toSeconds(slo));
 
-    // 4. Run both systems on the identical trace.
+    // 4. Run both systems on the identical trace, selected by name
+    //    from the system registry.
     std::printf("%-22s %9s %9s %9s %9s %8s %8s\n", "system", "p50TTFT",
                 "p99TTFT", "p99TBT", "p99E2E", "hitRate", "done");
-    for (const auto kind :
-         {core::SystemKind::SLora, core::SystemKind::Chameleon}) {
-        const auto result = core::runSystem(kind, cfg, &pool, trace);
+    for (const char *name : {"slora", "chameleon"}) {
+        const auto result = core::runSystem(name, configure, &pool, trace);
         const auto &s = result.stats;
         std::printf("%-22s %8.3fs %8.3fs %7.1fms %8.3fs %7.1f%% %8lld\n",
-                    core::systemName(kind), s.ttft.p50(), s.ttft.p99(),
+                    name, s.ttft.p50(), s.ttft.p99(),
                     s.tbt.p99(), s.e2e.p99(), 100.0 * result.cacheHitRate,
                     static_cast<long long>(s.finished));
     }

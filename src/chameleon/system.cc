@@ -1,6 +1,7 @@
 #include "chameleon/system.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "predict/history_predictor.h"
 #include "predict/length_predictor.h"
@@ -14,67 +15,7 @@ namespace chameleon::core {
 using serving::EngineConfig;
 using serving::ServingEngine;
 
-const char *
-systemName(SystemKind kind)
-{
-    switch (kind) {
-      case SystemKind::SLora: return "S-LoRA";
-      case SystemKind::SLoraSjf: return "S-LoRA+SJF";
-      case SystemKind::SLoraChunked: return "S-LoRA+ChunkPrefill";
-      case SystemKind::ChameleonNoCache: return "ChameleonNoCache";
-      case SystemKind::ChameleonNoSched: return "ChameleonNoSched";
-      case SystemKind::Chameleon: return "Chameleon";
-      case SystemKind::ChameleonLru: return "Chameleon-LRU";
-      case SystemKind::ChameleonFairShare: return "Chameleon-FairShare";
-      case SystemKind::ChameleonGdsf: return "Chameleon-GDSF";
-      case SystemKind::ChameleonPrefetch: return "Chameleon+Prefetch";
-      case SystemKind::ChameleonStatic: return "Chameleon-Static";
-      case SystemKind::ChameleonOutputOnly: return "Chameleon-OutputOnly";
-      case SystemKind::ChameleonDegree1: return "Chameleon-Degree1";
-    }
-    return "?";
-}
-
 namespace {
-
-bool
-usesMlq(SystemKind kind)
-{
-    switch (kind) {
-      case SystemKind::SLora:
-      case SystemKind::SLoraSjf:
-      case SystemKind::SLoraChunked:
-      case SystemKind::ChameleonNoSched:
-        return false;
-      default:
-        return true;
-    }
-}
-
-bool
-usesCache(SystemKind kind)
-{
-    switch (kind) {
-      case SystemKind::SLora:
-      case SystemKind::SLoraSjf:
-      case SystemKind::SLoraChunked:
-      case SystemKind::ChameleonNoCache:
-        return false;
-      default:
-        return true;
-    }
-}
-
-std::string
-evictionPolicyFor(SystemKind kind)
-{
-    switch (kind) {
-      case SystemKind::ChameleonLru: return "lru";
-      case SystemKind::ChameleonFairShare: return "fairshare";
-      case SystemKind::ChameleonGdsf: return "gdsf";
-      default: return "chameleon";
-    }
-}
 
 /**
  * Placeholder pool for base-only workloads: no request references an
@@ -89,45 +30,57 @@ placeholderPool()
 }
 
 std::unique_ptr<predict::OutputPredictor>
-buildPredictor(const SystemConfig &config)
+buildPredictor(const PredictorSpec &spec)
 {
-    if (config.predictor == "history")
+    if (spec.kind == "history")
         return std::make_unique<predict::HistoryLengthPredictor>();
-    CHM_CHECK(config.predictor == "bert",
-              "unknown predictor: " << config.predictor);
-    return std::make_unique<predict::LengthPredictor>(
-        config.predictorAccuracy, config.predictorSeed);
+    CHM_CHECK(spec.kind == "bert", "unknown predictor: " << spec.kind);
+    return std::make_unique<predict::LengthPredictor>(spec.accuracy,
+                                                      spec.seed);
 }
 
 /**
- * Build one fully wired engine of `kind` (scheduler + adapter manager)
- * on the given simulator. Shared by the single-engine System and every
- * replica of a ClusterSystem. `mlqOut`, when non-null, receives the
- * borrowed MLQ scheduler pointer for kinds that use it.
+ * Build one fully wired engine (scheduler + adapter manager) from the
+ * spec's policy axes, on the given simulator. Every replica of the
+ * Runner's cluster is built here.
  */
 std::unique_ptr<ServingEngine>
-buildEngine(SystemKind kind, const SystemConfig &config,
-            const model::AdapterPool *pool, sim::Simulator &simulator,
-            predict::OutputPredictor *predictor, MlqScheduler **mlqOut)
+buildEngine(const SystemSpec &spec, const model::AdapterPool *pool,
+            sim::Simulator &simulator, predict::OutputPredictor *predictor)
 {
-    EngineConfig ecfg = config.engine;
-    ecfg.predictedReservation = usesMlq(kind);
-    if (kind == SystemKind::SLoraChunked) {
+    const bool mlq = spec.scheduler.policy == SchedulerPolicy::Mlq;
+
+    EngineConfig ecfg = spec.engine;
+    switch (spec.reservation) {
+      case ReservationPolicy::Auto:
+        ecfg.predictedReservation = mlq;
+        break;
+      case ReservationPolicy::MaxTokens:
+        ecfg.predictedReservation = false;
+        break;
+      case ReservationPolicy::Predicted:
+        ecfg.predictedReservation = true;
+        break;
+    }
+    if (spec.chunkedPrefill) {
         ecfg.prefillChunkTokens =
-            std::max<std::int64_t>(config.chunkedPrefillTokens, 1);
+            std::max<std::int64_t>(spec.chunkTokens, 1);
     }
 
-    // Scheduler.
+    // Scheduler axis.
     std::unique_ptr<serving::Scheduler> scheduler;
-    if (!usesMlq(kind)) {
-        if (kind == SystemKind::SLoraSjf)
-            scheduler = std::make_unique<serving::SjfScheduler>();
-        else
-            scheduler = std::make_unique<serving::FifoScheduler>();
-    } else {
+    switch (spec.scheduler.policy) {
+      case SchedulerPolicy::Fifo:
+        scheduler = std::make_unique<serving::FifoScheduler>();
+        break;
+      case SchedulerPolicy::Sjf:
+        scheduler = std::make_unique<serving::SjfScheduler>(
+            spec.scheduler.sjfAgingPerSecond);
+        break;
+      case SchedulerPolicy::Mlq: {
         MlqConfig mcfg;
-        mcfg.sloSeconds = config.sloSeconds;
-        mcfg.refreshPeriod = config.refreshPeriod;
+        mcfg.sloSeconds = spec.scheduler.sloSeconds;
+        mcfg.refreshPeriod = spec.scheduler.refreshPeriod;
         mcfg.kvBytesPerToken = ecfg.model.kvBytesPerToken();
         const std::int64_t pool_bytes =
             static_cast<std::int64_t>(ecfg.tpDegree) * ecfg.gpu.memBytes -
@@ -135,35 +88,34 @@ buildEngine(SystemKind kind, const SystemConfig &config,
             static_cast<std::int64_t>(ecfg.tpDegree) * ecfg.workspacePerGpu;
         CHM_CHECK(pool_bytes > 0, "model does not leave room for requests");
         mcfg.totalTokens = pool_bytes / mcfg.kvBytesPerToken;
-        mcfg.bypassEnabled = config.mlqBypass;
-        if (kind == SystemKind::ChameleonStatic)
-            mcfg.dynamic = false;
-        if (kind == SystemKind::ChameleonOutputOnly)
-            mcfg.wrsForm = WrsForm::OutputOnly;
-        if (kind == SystemKind::ChameleonDegree1)
-            mcfg.wrsForm = WrsForm::Degree1;
-        auto mlq = std::make_unique<MlqScheduler>(mcfg, pool);
-        if (mlqOut != nullptr)
-            *mlqOut = mlq.get();
-        scheduler = std::move(mlq);
+        mcfg.bypassEnabled = spec.scheduler.bypass;
+        mcfg.dynamic = spec.scheduler.dynamicQueues;
+        mcfg.wrsForm = spec.scheduler.wrsForm;
+        scheduler = std::make_unique<MlqScheduler>(mcfg, pool);
+        break;
+      }
     }
 
     auto engine = std::make_unique<ServingEngine>(
         simulator, ecfg, pool, std::move(scheduler), predictor);
 
-    // Adapter manager (needs the engine's memory and link objects).
+    // Adapter-management axis (needs the engine's memory/link objects).
     std::unique_ptr<serving::AdapterManager> mgr;
-    if (pool == nullptr || !usesCache(kind)) {
+    if (pool == nullptr ||
+        spec.adapters.policy != AdapterPolicy::ChameleonCache) {
         // Base-only workloads still need a manager object; the baseline
         // one degenerates gracefully when no adapters are referenced.
+        const bool prefetch =
+            spec.adapters.policy != AdapterPolicy::OnDemand;
         mgr = std::make_unique<serving::SLoraAdapterManager>(
             pool ? *pool : placeholderPool(), engine->memory(),
-            engine->pcieLink(), /*prefetchEnabled=*/true);
+            engine->pcieLink(), prefetch);
     } else {
         CacheConfig ccfg;
-        ccfg.evictionPolicy = evictionPolicyFor(kind);
-        ccfg.predictivePrefetch = kind == SystemKind::ChameleonPrefetch;
-        ccfg.predictiveTopK = config.prefetchTopK;
+        ccfg.evictionPolicy = evictionPolicyName(spec.adapters.eviction);
+        ccfg.predictivePrefetch = spec.adapters.predictivePrefetch;
+        if (spec.adapters.predictivePrefetch)
+            ccfg.predictiveTopK = spec.adapters.prefetchTopK;
         mgr = std::make_unique<CacheManager>(
             *pool, engine->memory(), engine->pcieLink(),
             engine->costModel(), ccfg);
@@ -171,21 +123,6 @@ buildEngine(SystemKind kind, const SystemConfig &config,
     engine->setAdapterManager(std::move(mgr));
     return engine;
 }
-
-} // namespace
-
-System::System(SystemKind kind, SystemConfig config,
-               const model::AdapterPool *pool)
-    : kind_(kind), config_(std::move(config)), pool_(pool)
-{
-    predictor_ = buildPredictor(config_);
-    engine_ = buildEngine(kind, config_, pool_, sim_, predictor_.get(),
-                          &mlq_);
-}
-
-System::~System() = default;
-
-namespace {
 
 /**
  * Run the trace span, then drain remaining events; the event graph is
@@ -208,95 +145,93 @@ drainSimulation(sim::Simulator &simulator, const workload::Trace &trace,
 
 } // namespace
 
-RunResult
-System::run(const workload::Trace &trace, sim::SimTime drainWindow)
+Runner::Runner(SystemSpec spec, const model::AdapterPool *pool)
+    : spec_(std::move(spec)), pool_(pool)
 {
-    engine_->submitTrace(trace);
-    drainSimulation(sim_, trace, drainWindow);
-    engine_->finalize();
-
-    RunResult result;
-    result.stats = engine_->stats();
-    const auto &link = engine_->pcieLink();
-    result.pcieBytes = link.totalBytes();
-    result.pcieTransfers = link.totalTransfers();
-    result.pcieUtilisation = link.utilisation();
-    result.pcieMeanBytesPerSec = link.bandwidthSeries().meanRate();
-    result.pcieMaxBytesPerSec = link.bandwidthSeries().maxRate();
-    result.pcieRateSeries = link.bandwidthSeries().ratePerSecond();
-    result.cacheHitRate = result.stats.cacheHitRate();
-    if (auto *cache =
-            dynamic_cast<CacheManager *>(&engine_->adapterManager())) {
-        result.cacheEvictions = cache->evictions();
+    const auto errors = spec_.validate();
+    if (!errors.empty()) {
+        std::ostringstream os;
+        os << "invalid SystemSpec '" << spec_.name << "':";
+        for (const auto &e : errors)
+            os << "\n  - " << e;
+        CHM_FATAL(os.str());
     }
-    if (mlq_ != nullptr)
-        result.mlqQueues = mlq_->queueCount();
-    return result;
-}
-
-RunResult
-runSystem(SystemKind kind, const SystemConfig &config,
-          const model::AdapterPool *pool, const workload::Trace &trace)
-{
-    System system(kind, config, pool);
-    return system.run(trace);
-}
-
-ClusterSystem::ClusterSystem(SystemKind kind, SystemConfig config,
-                             const model::AdapterPool *pool)
-    : kind_(kind), config_(std::move(config)), pool_(pool)
-{
-    const ClusterConfig &ccfg = config_.cluster;
-    CHM_CHECK(ccfg.replicas >= 1, "cluster needs at least one replica");
     // One predictor shared by all replicas (it is a per-request oracle,
     // not per-engine state).
-    predictor_ = buildPredictor(config_);
+    predictor_ = buildPredictor(spec_.predictor);
+    const ClusterSpec &ccfg = spec_.cluster;
     cluster_ = std::make_unique<serving::DataParallelCluster>(
         sim_,
         [this] {
-            return buildEngine(kind_, config_, pool_, sim_,
-                               predictor_.get(), nullptr);
+            return buildEngine(spec_, pool_, sim_, predictor_.get());
         },
         ccfg.replicas, routing::makeRouter(ccfg.router, ccfg.routerConfig));
     if (ccfg.autoscale)
         cluster_->enableAutoscaler(ccfg.autoscaler);
 }
 
-ClusterSystem::~ClusterSystem() = default;
+Runner::~Runner() = default;
 
-ClusterRunResult
-ClusterSystem::run(const workload::Trace &trace, sim::SimTime drainWindow)
+RunReport
+Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
 {
     cluster_->submitTrace(trace);
     drainSimulation(sim_, trace, drainWindow);
     cluster_->finalize();
 
-    ClusterRunResult result;
-    result.stats = cluster_->mergedStats();
-    result.pcieBytes = cluster_->totalPcieBytes();
-    result.pcieTransfers = cluster_->totalPcieTransfers();
-    result.cacheHitRate = result.stats.cacheHitRate();
-    for (const auto &engine : cluster_->engines()) {
+    RunReport report;
+    const auto &engines = cluster_->engines();
+    if (engines.size() == 1) {
+        // Keep the engine's full stats object (windowed TTFT and memory
+        // time series) and the per-link rates — merging would drop them.
+        report.stats = engines.front()->stats();
+        const auto &link = engines.front()->pcieLink();
+        report.pcieUtilisation = link.utilisation();
+        report.pcieMeanBytesPerSec = link.bandwidthSeries().meanRate();
+        report.pcieMaxBytesPerSec = link.bandwidthSeries().maxRate();
+        report.pcieRateSeries = link.bandwidthSeries().ratePerSecond();
+    } else {
+        report.stats = cluster_->mergedStats();
+    }
+    report.pcieBytes = cluster_->totalPcieBytes();
+    report.pcieTransfers = cluster_->totalPcieTransfers();
+    report.cacheHitRate = report.stats.cacheHitRate();
+    for (const auto &engine : engines) {
         if (auto *cache = dynamic_cast<CacheManager *>(
                 &engine->adapterManager())) {
-            result.cacheEvictions += cache->evictions();
+            report.cacheEvictions += cache->evictions();
+        }
+        if (auto *mlq =
+                dynamic_cast<MlqScheduler *>(&engine->scheduler())) {
+            report.mlqQueues = std::max(report.mlqQueues,
+                                        mlq->queueCount());
         }
     }
-    result.perReplicaFinished = cluster_->perReplicaFinished();
-    result.peakReplicas = cluster_->engines().size();
-    result.finalActiveReplicas = cluster_->activeReplicas();
-    result.scaleUps = cluster_->scaleUps();
-    result.scaleDowns = cluster_->scaleDowns();
-    return result;
+    report.perReplicaFinished = cluster_->perReplicaFinished();
+    report.peakReplicas = engines.size();
+    report.finalActiveReplicas = cluster_->activeReplicas();
+    report.scaleUps = cluster_->scaleUps();
+    report.scaleDowns = cluster_->scaleDowns();
+    return report;
 }
 
-ClusterRunResult
-runClusterSystem(SystemKind kind, const SystemConfig &config,
-                 const model::AdapterPool *pool,
-                 const workload::Trace &trace)
+RunReport
+runSpec(const SystemSpec &spec, const model::AdapterPool *pool,
+        const workload::Trace &trace)
 {
-    ClusterSystem system(kind, config, pool);
-    return system.run(trace);
+    Runner runner(spec, pool);
+    return runner.run(trace);
+}
+
+RunReport
+runSystem(const std::string &name,
+          const std::function<void(SystemSpec &)> &configure,
+          const model::AdapterPool *pool, const workload::Trace &trace)
+{
+    SystemSpec spec = SystemRegistry::global().lookup(name);
+    if (configure)
+        configure(spec);
+    return runSpec(spec, pool, trace);
 }
 
 } // namespace chameleon::core

@@ -2,20 +2,27 @@
  * @file
  * Top-level facade: build and run complete serving systems.
  *
- * Wires a ServingEngine with the scheduler/adapter-manager combination
- * of each system evaluated in the paper, runs a trace through it, and
- * returns the aggregate statistics. This is the entry point used by the
- * examples and by every benchmark binary.
+ * A system is described declaratively by a core::SystemSpec (policy
+ * axes: scheduler x adapter management x eviction x prediction x
+ * deployment — see system_spec.h) and resolved by name through the
+ * SystemRegistry (system_registry.h). The Runner wires the spec into a
+ * DataParallelCluster of fully configured engines (replicas = 1 is a
+ * one-replica cluster), runs a trace through it, and returns one
+ * unified RunReport. This is the entry point used by the examples and
+ * by every benchmark binary.
  */
 
 #ifndef CHAMELEON_CHAMELEON_SYSTEM_H
 #define CHAMELEON_CHAMELEON_SYSTEM_H
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "chameleon/cache_manager.h"
 #include "chameleon/mlq_scheduler.h"
+#include "chameleon/system_registry.h"
+#include "chameleon/system_spec.h"
 #include "predict/output_predictor.h"
 #include "routing/autoscaler.h"
 #include "routing/router.h"
@@ -26,137 +33,32 @@
 
 namespace chameleon::core {
 
-/** The systems compared in the paper's evaluation. */
-enum class SystemKind {
-    SLora,              ///< FIFO + fetch-on-demand/prefetch/discard [49].
-    SLoraSjf,           ///< S-LoRA with the uServe SJF scheduler [46].
-    SLoraChunked,       ///< S-LoRA with chunked prefill (Sarathi [1]).
-    ChameleonNoCache,   ///< Chameleon scheduler, baseline adapter mgmt.
-    ChameleonNoSched,   ///< Chameleon cache, FIFO scheduling.
-    Chameleon,          ///< Full system (§4).
-    ChameleonLru,       ///< Full system, LRU eviction (Fig. 17).
-    ChameleonFairShare, ///< Full system, equal-weight eviction (Fig. 17).
-    ChameleonGdsf,      ///< Full system, GDSF eviction (§5.3.3).
-    ChameleonPrefetch,  ///< Full system + predictive prefetch (Fig. 18).
-    ChameleonStatic,    ///< Static queues/quotas variant (Fig. 22).
-    ChameleonOutputOnly,///< WRS = predicted output only (Fig. 19).
-    ChameleonDegree1,   ///< Degree-1 WRS polynomial (§4.3.1 ablation).
-};
-
-/** Human-readable system name. */
-const char *systemName(SystemKind kind);
-
 /**
- * Cluster-level deployment: data-parallel replica count, global
- * dispatch policy, and optional predictor-driven autoscaling. Every
- * SystemKind can run multi-replica — each replica gets the full
- * scheduler/adapter-manager wiring of its kind.
+ * Aggregate outcome of one run — single-engine and cluster runs share
+ * this one report. Per-link fields (utilisation, rate series) and the
+ * in-engine time series are only populated for single-replica runs;
+ * cluster-wide percentiles are rebuilt over all replicas' samples.
  */
-struct ClusterConfig
-{
-    /** Data-parallel replicas (1 = single engine). */
-    int replicas = 1;
-    routing::RouterPolicy router =
-        routing::RouterPolicy::JoinShortestQueue;
-    routing::RouterConfig routerConfig{};
-    /** Scale the active replica set at simulation time. */
-    bool autoscale = false;
-    routing::AutoscalerConfig autoscaler{};
-};
-
-/** Configuration shared by all system kinds. */
-struct SystemConfig
-{
-    serving::EngineConfig engine;
-    ClusterConfig cluster{};
-    /** Output-length predictor: "bert" (accuracy knob) or "history". */
-    std::string predictor = "bert";
-    /** Output-length predictor accuracy (paper's predictor: ~0.8). */
-    double predictorAccuracy = 0.8;
-    std::uint64_t predictorSeed = 0xC0FFEE;
-    /** SLO used by the Chameleon quota assignment, seconds. */
-    double sloSeconds = 5.0;
-    /** Chunk size for the chunked-prefill baseline. */
-    std::int64_t chunkedPrefillTokens = 64;
-    /** Scheduler refresh period (§4.3.4). */
-    sim::SimTime refreshPeriod = 300 * sim::kSec;
-    /** Predictive-prefetch width for ChameleonPrefetch. */
-    std::size_t prefetchTopK = 8;
-    /** Opportunistic bypass toggle (§4.3.3 ablation). */
-    bool mlqBypass = true;
-};
-
-/** Aggregate outcome of one run. */
-struct RunResult
+struct RunReport
 {
     serving::EngineStats stats;
-    /** PCIe link statistics. */
+
+    /** Host->GPU adapter traffic summed over replicas. */
     std::int64_t pcieBytes = 0;
     std::int64_t pcieTransfers = 0;
+    /** Per-link rates — single-replica runs only (0/empty otherwise). */
     double pcieUtilisation = 0.0;
     double pcieMeanBytesPerSec = 0.0;
     double pcieMaxBytesPerSec = 0.0;
     std::vector<sim::TimePoint> pcieRateSeries;
+
     /** Cache statistics (0 for baseline adapter management). */
     std::int64_t cacheEvictions = 0;
     double cacheHitRate = 0.0;
-    /** Final queue count of the MLQ scheduler (0 for FIFO/SJF). */
+
+    /** Max MLQ queue count across replicas (0 for FIFO/SJF). */
     int mlqQueues = 0;
-};
 
-/** A fully wired single-engine serving system. */
-class System
-{
-  public:
-    /**
-     * @param kind which system to build
-     * @param config shared configuration
-     * @param pool adapter catalogue (nullable for base-only workloads)
-     */
-    System(SystemKind kind, SystemConfig config,
-           const model::AdapterPool *pool);
-    ~System();
-
-    sim::Simulator &simulator() { return sim_; }
-    serving::ServingEngine &engine() { return *engine_; }
-    SystemKind kind() const { return kind_; }
-
-    /**
-     * Run a trace to completion (with a drain window after the last
-     * arrival) and collect results.
-     */
-    RunResult run(const workload::Trace &trace,
-                  sim::SimTime drainWindow = 3600 * sim::kSec);
-
-  private:
-    SystemKind kind_;
-    SystemConfig config_;
-    const model::AdapterPool *pool_;
-    sim::Simulator sim_;
-    std::unique_ptr<predict::OutputPredictor> predictor_;
-    std::unique_ptr<serving::ServingEngine> engine_;
-    MlqScheduler *mlq_ = nullptr; // borrowed view when kind uses MLQ
-};
-
-/** One-shot convenience wrapper. */
-RunResult runSystem(SystemKind kind, const SystemConfig &config,
-                    const model::AdapterPool *pool,
-                    const workload::Trace &trace);
-
-/** Aggregate outcome of one cluster run. */
-struct ClusterRunResult
-{
-    /**
-     * Cluster-wide statistics (trackers rebuilt over all replicas).
-     * Time-series fields are empty — see
-     * DataParallelCluster::mergedStats.
-     */
-    serving::EngineStats stats;
-    /** Host->GPU adapter traffic summed over replicas. */
-    std::int64_t pcieBytes = 0;
-    std::int64_t pcieTransfers = 0;
-    double cacheHitRate = 0.0;
-    std::int64_t cacheEvictions = 0;
     /** Requests finished per replica (drained replicas included). */
     std::vector<std::int64_t> perReplicaFinished;
     /** Replicas ever built and active count at the end of the run. */
@@ -168,40 +70,59 @@ struct ClusterRunResult
 };
 
 /**
- * A fully wired multi-replica serving system: SystemConfig::cluster
- * replicas of the given kind behind a routing::Router, with optional
- * autoscaling. The single-engine System above is the replicas == 1
- * special case kept for the existing benchmarks.
+ * A fully wired serving system built from a SystemSpec: spec.cluster
+ * replicas, each with the spec's scheduler/adapter-manager/predictor
+ * wiring, behind a routing::Router with optional autoscaling. The spec
+ * is validated on construction; contradictions fail fast with every
+ * actionable message.
  */
-class ClusterSystem
+class Runner
 {
   public:
-    ClusterSystem(SystemKind kind, SystemConfig config,
-                  const model::AdapterPool *pool);
-    ~ClusterSystem();
+    /**
+     * @param spec system description (validated here)
+     * @param pool adapter catalogue (nullable for base-only workloads)
+     */
+    Runner(SystemSpec spec, const model::AdapterPool *pool);
+    ~Runner();
 
     sim::Simulator &simulator() { return sim_; }
     serving::DataParallelCluster &cluster() { return *cluster_; }
-    SystemKind kind() const { return kind_; }
+    /** First-replica view (the engine of a single-replica run). */
+    serving::ServingEngine &engine()
+    {
+        return *cluster_->engines().front();
+    }
+    const SystemSpec &spec() const { return spec_; }
 
-    /** Run a trace to completion and collect cluster-wide results. */
-    ClusterRunResult run(const workload::Trace &trace,
-                         sim::SimTime drainWindow = 3600 * sim::kSec);
+    /**
+     * Run a trace to completion (with a drain window after the last
+     * arrival) and collect results.
+     */
+    RunReport run(const workload::Trace &trace,
+                  sim::SimTime drainWindow = 3600 * sim::kSec);
 
   private:
-    SystemKind kind_;
-    SystemConfig config_;
+    SystemSpec spec_;
     const model::AdapterPool *pool_;
     sim::Simulator sim_;
     std::unique_ptr<predict::OutputPredictor> predictor_;
     std::unique_ptr<serving::DataParallelCluster> cluster_;
 };
 
-/** One-shot convenience wrapper for cluster runs. */
-ClusterRunResult runClusterSystem(SystemKind kind,
-                                  const SystemConfig &config,
-                                  const model::AdapterPool *pool,
-                                  const workload::Trace &trace);
+/** One-shot convenience wrapper. */
+RunReport runSpec(const SystemSpec &spec, const model::AdapterPool *pool,
+                  const workload::Trace &trace);
+
+/**
+ * One-shot run of a registry system name ("chameleon",
+ * "slora+gdsf+cache", ...). `configure` is applied to the resolved
+ * spec before running (set hardware, predictor, cluster there).
+ */
+RunReport runSystem(const std::string &name,
+                    const std::function<void(SystemSpec &)> &configure,
+                    const model::AdapterPool *pool,
+                    const workload::Trace &trace);
 
 } // namespace chameleon::core
 

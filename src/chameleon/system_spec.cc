@@ -1,0 +1,319 @@
+#include "chameleon/system_spec.h"
+
+#include <sstream>
+
+namespace chameleon::core {
+
+const char *
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Fifo: return "fifo";
+      case SchedulerPolicy::Sjf: return "sjf";
+      case SchedulerPolicy::Mlq: return "mlq";
+    }
+    return "?";
+}
+
+const char *
+adapterPolicyName(AdapterPolicy policy)
+{
+    switch (policy) {
+      case AdapterPolicy::OnDemand: return "on-demand";
+      case AdapterPolicy::SLora: return "slora";
+      case AdapterPolicy::ChameleonCache: return "chameleon-cache";
+    }
+    return "?";
+}
+
+const char *
+evictionPolicyName(EvictionKind policy)
+{
+    switch (policy) {
+      case EvictionKind::Paper: return "chameleon";
+      case EvictionKind::Lru: return "lru";
+      case EvictionKind::FairShare: return "fairshare";
+      case EvictionKind::Gdsf: return "gdsf";
+    }
+    return "?";
+}
+
+const std::vector<EvictionKind> &
+allEvictionPolicies()
+{
+    static const std::vector<EvictionKind> all{
+        EvictionKind::Paper, EvictionKind::Lru,
+        EvictionKind::FairShare, EvictionKind::Gdsf};
+    return all;
+}
+
+SystemSpec &
+SystemSpec::named(std::string n)
+{
+    name = std::move(n);
+    return *this;
+}
+
+SystemSpec &
+SystemSpec::withScheduler(SchedulerPolicy p)
+{
+    scheduler.policy = p;
+    return *this;
+}
+
+SystemSpec &
+SystemSpec::withEviction(EvictionKind e)
+{
+    adapters.policy = AdapterPolicy::ChameleonCache;
+    adapters.eviction = e;
+    return *this;
+}
+
+SystemSpec &
+SystemSpec::withPrefetch(std::size_t topK)
+{
+    adapters.predictivePrefetch = true;
+    adapters.prefetchTopK = topK;
+    return *this;
+}
+
+SystemSpec &
+SystemSpec::withReplicas(int replicas, routing::RouterPolicy router)
+{
+    cluster.replicas = replicas;
+    cluster.router = router;
+    return *this;
+}
+
+std::vector<std::string>
+SystemSpec::validate() const
+{
+    std::vector<std::string> errors;
+    auto err = [&errors](const std::ostringstream &os) {
+        errors.push_back(os.str());
+    };
+
+    if (cluster.replicas < 1) {
+        std::ostringstream os;
+        os << "cluster.replicas must be >= 1 (got " << cluster.replicas
+           << "); replicas = 1 means a single engine";
+        err(os);
+    }
+    if (engine.tpDegree < 1) {
+        std::ostringstream os;
+        os << "engine.tpDegree must be >= 1 (got " << engine.tpDegree
+           << ")";
+        err(os);
+    }
+    if (chunkedPrefill && chunkTokens <= 0) {
+        std::ostringstream os;
+        os << "chunked prefill enabled with non-positive chunk size ("
+           << chunkTokens << "); set chunkTokens > 0 or disable "
+           << "chunkedPrefill";
+        err(os);
+    }
+    if (adapters.predictivePrefetch && adapters.prefetchTopK == 0) {
+        std::ostringstream os;
+        os << "predictive prefetch enabled with prefetchTopK = 0; set "
+           << "adapters.prefetchTopK (paper uses 8)";
+        err(os);
+    }
+    if (!adapters.predictivePrefetch && adapters.prefetchTopK > 0) {
+        std::ostringstream os;
+        os << "adapters.prefetchTopK = " << adapters.prefetchTopK
+           << " without prefetch enabled; set "
+           << "adapters.predictivePrefetch = true (or clear prefetchTopK)";
+        err(os);
+    }
+    if (adapters.predictivePrefetch &&
+        adapters.policy != AdapterPolicy::ChameleonCache) {
+        std::ostringstream os;
+        os << "predictive prefetch requires the chameleon cache; set "
+           << "adapters.policy = AdapterPolicy::ChameleonCache (got "
+           << adapterPolicyName(adapters.policy) << ")";
+        err(os);
+    }
+    if (adapters.eviction != EvictionKind::Paper &&
+        adapters.policy != AdapterPolicy::ChameleonCache) {
+        std::ostringstream os;
+        os << "eviction policy '" << evictionPolicyName(adapters.eviction)
+           << "' requires the chameleon cache; set adapters.policy = "
+           << "AdapterPolicy::ChameleonCache (got "
+           << adapterPolicyName(adapters.policy) << ")";
+        err(os);
+    }
+    if (predictor.kind != "bert" && predictor.kind != "history") {
+        std::ostringstream os;
+        os << "unknown predictor kind '" << predictor.kind
+           << "'; use \"bert\" or \"history\"";
+        err(os);
+    }
+    if (predictor.accuracy < 0.0 || predictor.accuracy > 1.0) {
+        std::ostringstream os;
+        os << "predictor.accuracy must be within [0, 1] (got "
+           << predictor.accuracy << ")";
+        err(os);
+    }
+    if (scheduler.policy == SchedulerPolicy::Mlq &&
+        scheduler.sloSeconds <= 0.0) {
+        std::ostringstream os;
+        os << "MLQ quota assignment needs scheduler.sloSeconds > 0 (got "
+           << scheduler.sloSeconds << ")";
+        err(os);
+    }
+    if (cluster.autoscale) {
+        if (cluster.autoscaler.minReplicas < 1) {
+            errors.push_back(
+                "autoscaler.minReplicas must be >= 1; a cluster cannot "
+                "drain to zero replicas");
+        }
+        if (cluster.autoscaler.maxReplicas <
+            cluster.autoscaler.minReplicas) {
+            std::ostringstream os;
+            os << "autoscaler.maxReplicas ("
+               << cluster.autoscaler.maxReplicas
+               << ") must be >= minReplicas ("
+               << cluster.autoscaler.minReplicas << ")";
+            err(os);
+        }
+    }
+    return errors;
+}
+
+namespace presets {
+
+namespace {
+
+/** Common base: engine/predictor at defaults, axes set per preset. */
+SystemSpec
+base(const char *name)
+{
+    SystemSpec spec;
+    spec.name = name;
+    return spec;
+}
+
+} // namespace
+
+SystemSpec
+slora()
+{
+    SystemSpec spec = base("slora");
+    spec.scheduler.policy = SchedulerPolicy::Fifo;
+    spec.adapters.policy = AdapterPolicy::SLora;
+    return spec;
+}
+
+SystemSpec
+sloraSjf()
+{
+    SystemSpec spec = slora();
+    spec.name = "slora-sjf";
+    spec.scheduler.policy = SchedulerPolicy::Sjf;
+    return spec;
+}
+
+SystemSpec
+sloraChunked()
+{
+    SystemSpec spec = slora();
+    spec.name = "slora-chunked";
+    spec.chunkedPrefill = true;
+    spec.chunkTokens = 64;
+    return spec;
+}
+
+SystemSpec
+chameleonNoCache()
+{
+    SystemSpec spec = base("chameleon-nocache");
+    spec.scheduler.policy = SchedulerPolicy::Mlq;
+    spec.adapters.policy = AdapterPolicy::SLora;
+    return spec;
+}
+
+SystemSpec
+chameleonNoSched()
+{
+    SystemSpec spec = base("chameleon-nosched");
+    spec.scheduler.policy = SchedulerPolicy::Fifo;
+    spec.adapters.policy = AdapterPolicy::ChameleonCache;
+    return spec;
+}
+
+SystemSpec
+chameleon()
+{
+    SystemSpec spec = base("chameleon");
+    spec.scheduler.policy = SchedulerPolicy::Mlq;
+    spec.adapters.policy = AdapterPolicy::ChameleonCache;
+    return spec;
+}
+
+SystemSpec
+chameleonLru()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-lru";
+    spec.adapters.eviction = EvictionKind::Lru;
+    return spec;
+}
+
+SystemSpec
+chameleonFairShare()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-fairshare";
+    spec.adapters.eviction = EvictionKind::FairShare;
+    return spec;
+}
+
+SystemSpec
+chameleonGdsf()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-gdsf";
+    spec.adapters.eviction = EvictionKind::Gdsf;
+    return spec;
+}
+
+SystemSpec
+chameleonPrefetch()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-prefetch";
+    spec.adapters.predictivePrefetch = true;
+    spec.adapters.prefetchTopK = 8;
+    return spec;
+}
+
+SystemSpec
+chameleonStatic()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-static";
+    spec.scheduler.dynamicQueues = false;
+    return spec;
+}
+
+SystemSpec
+chameleonOutputOnly()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-output-only";
+    spec.scheduler.wrsForm = WrsForm::OutputOnly;
+    return spec;
+}
+
+SystemSpec
+chameleonDegree1()
+{
+    SystemSpec spec = chameleon();
+    spec.name = "chameleon-degree1";
+    spec.scheduler.wrsForm = WrsForm::Degree1;
+    return spec;
+}
+
+} // namespace presets
+
+} // namespace chameleon::core

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Declarative system descriptions: the SystemSpec policy axes.
+ *
+ * A serving system is a point in a small policy space — scheduler x
+ * adapter management x eviction x prediction x a few knobs (prefetch,
+ * bypass, reservation, chunking) x deployment (replicas, routing,
+ * autoscaling). SystemSpec names each axis explicitly so any
+ * combination can be described, validated, and run through the Runner,
+ * instead of being one variant of a closed enum. The paper's 13
+ * evaluated systems are preset specs (presets::chameleon() etc.),
+ * registered by name in the SystemRegistry (system_registry.h).
+ */
+
+#ifndef CHAMELEON_CHAMELEON_SYSTEM_SPEC_H
+#define CHAMELEON_CHAMELEON_SYSTEM_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chameleon/wrs.h"
+#include "routing/autoscaler.h"
+#include "routing/router.h"
+#include "serving/engine.h"
+#include "simkit/time.h"
+
+namespace chameleon::core {
+
+/** Admission-order policy of each engine's local scheduler. */
+enum class SchedulerPolicy {
+    Fifo, ///< Arrival order (S-LoRA's scheduler).
+    Sjf,  ///< Predicted-shortest-first (uServe [46]).
+    Mlq,  ///< Chameleon multi-level queues with quotas (§4.3).
+};
+
+/** How adapters are moved to / kept in GPU memory. */
+enum class AdapterPolicy {
+    OnDemand,       ///< Fetch on demand, discard on idle, no prefetch.
+    SLora,          ///< On-demand + async prefetch for queued requests.
+    ChameleonCache, ///< Transparent idle-memory adapter cache (§4.2).
+};
+
+/** Eviction score of the Chameleon cache (§4.2.2, Fig. 17). */
+enum class EvictionKind {
+    Paper,     ///< The tuned compound score (the paper's policy).
+    Lru,       ///< Least-recently-used.
+    FairShare, ///< Equal-weight (rank-normalised) score.
+    Gdsf,      ///< Greedy-Dual-Size-Frequency web-caching score.
+};
+
+/** KV reservation accounting at admission time. */
+enum class ReservationPolicy {
+    Auto,      ///< Predicted iff the scheduler is Mlq (paper wiring).
+    MaxTokens, ///< Conservative input + maxNewTokens (S-LoRA style).
+    Predicted, ///< Input + predicted output (Chameleon admission).
+};
+
+const char *schedulerPolicyName(SchedulerPolicy policy);
+const char *adapterPolicyName(AdapterPolicy policy);
+const char *evictionPolicyName(EvictionKind policy);
+
+/** All eviction policies, for registry/bench enumeration. */
+const std::vector<EvictionKind> &allEvictionPolicies();
+
+/** Output-length predictor axis. */
+struct PredictorSpec
+{
+    /** "bert" (accuracy-knob proxy) or "history" (online EWMA). */
+    std::string kind = "bert";
+    /** Accuracy of the bert proxy (paper's predictor: ~0.8). */
+    double accuracy = 0.8;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** Scheduler axis: policy plus the knobs presets vary. */
+struct SchedulerSpec
+{
+    SchedulerPolicy policy = SchedulerPolicy::Mlq;
+    /** SJF anti-starvation aging (tokens/second; 0 disables). */
+    double sjfAgingPerSecond = 0.0;
+    // --- MLQ knobs (§4.3); ignored by Fifo/Sjf ---
+    /** Per-queue SLO used in quota assignment, seconds. */
+    double sloSeconds = 5.0;
+    /** Queue/quota reconfiguration period (§4.3.4). */
+    sim::SimTime refreshPeriod = 300 * sim::kSec;
+    /** Opportunistic bypass (§4.3.3). */
+    bool bypass = true;
+    /** Dynamic queue count/cutoffs/quotas; false = Fig. 22 static. */
+    bool dynamicQueues = true;
+    /** WRS formula (§4.3.1). */
+    WrsForm wrsForm = WrsForm::Degree2;
+};
+
+/** Adapter-management axis. */
+struct AdapterSpec
+{
+    AdapterPolicy policy = AdapterPolicy::ChameleonCache;
+    /** Cache eviction score; requires ChameleonCache. */
+    EvictionKind eviction = EvictionKind::Paper;
+    /** Histogram-based predictive prefetch (§4.2.3). */
+    bool predictivePrefetch = false;
+    /** Prefetch width (adapters per cycle); 0 = unset. */
+    std::size_t prefetchTopK = 0;
+};
+
+/** Deployment axis: data-parallel replicas behind a global router. */
+struct ClusterSpec
+{
+    /** Data-parallel replicas (1 = single engine). */
+    int replicas = 1;
+    routing::RouterPolicy router =
+        routing::RouterPolicy::JoinShortestQueue;
+    routing::RouterConfig routerConfig{};
+    /** Scale the active replica set at simulation time. */
+    bool autoscale = false;
+    routing::AutoscalerConfig autoscaler{};
+};
+
+/**
+ * A complete, declarative description of one serving system. Every
+ * axis is independent: any eviction policy under any scheduler, any
+ * combination cluster-deployed. Build one from scratch, from a preset
+ * (presets::chameleon()), or by name through the SystemRegistry
+ * ("chameleon+gdsf+prefetch").
+ */
+struct SystemSpec
+{
+    /** Display/registry name; composed lookups carry their grammar. */
+    std::string name = "custom";
+
+    /** Hardware + base model (the engine axis is shared wiring). */
+    serving::EngineConfig engine{};
+
+    SchedulerSpec scheduler{};
+    AdapterSpec adapters{};
+    PredictorSpec predictor{};
+    ClusterSpec cluster{};
+
+    ReservationPolicy reservation = ReservationPolicy::Auto;
+
+    /** Chunked prefill (Sarathi [1]); tokens per chunk when enabled. */
+    bool chunkedPrefill = false;
+    std::int64_t chunkTokens = 64;
+
+    // --- fluent helpers for composing variants ---
+    SystemSpec &named(std::string n);
+    SystemSpec &withScheduler(SchedulerPolicy p);
+    SystemSpec &withEviction(EvictionKind e);
+    SystemSpec &withPrefetch(std::size_t topK = 8);
+    SystemSpec &withReplicas(int replicas,
+                             routing::RouterPolicy router =
+                                 routing::RouterPolicy::JoinShortestQueue);
+
+    /**
+     * Check the spec for contradictions. Returns one actionable message
+     * per problem (empty = valid). Runner construction runs this and
+     * fails fast with the joined messages.
+     */
+    std::vector<std::string> validate() const;
+};
+
+/**
+ * The paper's evaluated systems as preset specs (§5.1). Each returns a
+ * fresh SystemSpec with engine/predictor left at defaults — callers
+ * set hardware (spec.engine.model/gpu) before running. These replace
+ * the closed SystemKind enum; the registry exposes them by name.
+ */
+namespace presets {
+
+SystemSpec slora();              ///< FIFO + fetch/prefetch/discard [49].
+SystemSpec sloraSjf();           ///< S-LoRA with the uServe SJF [46].
+SystemSpec sloraChunked();       ///< S-LoRA with chunked prefill [1].
+SystemSpec chameleonNoCache();   ///< Chameleon scheduler, S-LoRA adapters.
+SystemSpec chameleonNoSched();   ///< Chameleon cache, FIFO scheduling.
+SystemSpec chameleon();          ///< Full system (§4).
+SystemSpec chameleonLru();       ///< Full system, LRU eviction.
+SystemSpec chameleonFairShare(); ///< Full system, equal-weight eviction.
+SystemSpec chameleonGdsf();      ///< Full system, GDSF eviction (§5.3.3).
+SystemSpec chameleonPrefetch();  ///< Full system + predictive prefetch.
+SystemSpec chameleonStatic();    ///< Static queues/quotas (Fig. 22).
+SystemSpec chameleonOutputOnly();///< WRS = predicted output (Fig. 19).
+SystemSpec chameleonDegree1();   ///< Degree-1 WRS (§4.3.1 ablation).
+
+} // namespace presets
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_SYSTEM_SPEC_H

@@ -108,6 +108,14 @@ DataParallelCluster::submitTrace(const workload::Trace &trace)
     CHM_CHECK(autoscaler_ == nullptr || !traceSubmitted_,
               "an autoscaled cluster takes a single trace");
     traceSubmitted_ = true;
+    // One fixed replica: routing is the identity, so skip the dispatch
+    // indirection and submit directly. Besides saving an event per
+    // request, this keeps a one-replica cluster event-for-event
+    // identical to driving the engine standalone.
+    if (engines_.size() == 1 && autoscaler_ == nullptr) {
+        engines_.front()->submitTrace(trace);
+        return;
+    }
     // Dispatch decisions must be made at arrival time (outstanding
     // counts and cache residency change as the simulation runs), so
     // route via scheduled events.

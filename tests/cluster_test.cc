@@ -21,15 +21,28 @@
 
 using namespace chameleon;
 
+namespace {
+
+core::SystemSpec
+specFor(const std::string &system, const model::ModelSpec &model,
+        const model::GpuSpec &gpu, int tpDegree = 1)
+{
+    auto spec = core::SystemRegistry::global().lookup(system);
+    spec.engine.model = model;
+    spec.engine.gpu = gpu;
+    spec.engine.tpDegree = tpDegree;
+    return spec;
+}
+
+} // namespace
+
 TEST(TensorParallel, EngineAggregatesGpuMemory)
 {
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama70B();
-    cfg.engine.gpu = model::a100(80);
-    cfg.engine.tpDegree = 4;
     model::AdapterPool pool(model::llama70B(), 10);
-    core::System system(core::SystemKind::Chameleon, cfg, &pool);
-    EXPECT_EQ(system.engine().memory().capacity(),
+    core::Runner runner(
+        specFor("chameleon", model::llama70B(), model::a100(80), 4),
+        &pool);
+    EXPECT_EQ(runner.engine().memory().capacity(),
               4ll * 80 * 1024 * 1024 * 1024);
 }
 
@@ -44,11 +57,9 @@ TEST(TensorParallel, HigherTpShortensPrefillIterations)
     const auto trace = gen.generate();
 
     auto run_tp = [&](int tp) {
-        core::SystemConfig cfg;
-        cfg.engine.model = model::llama70B();
-        cfg.engine.gpu = model::a100(80);
-        cfg.engine.tpDegree = tp;
-        return core::runSystem(core::SystemKind::SLora, cfg, &pool, trace);
+        return core::runSpec(
+            specFor("slora", model::llama70B(), model::a100(80), tp),
+            &pool, trace);
     };
     // Llama-70B does not fit a single 80 GiB GPU: compare TP2 vs TP4.
     const auto tp2 = run_tp(2);
@@ -175,10 +186,8 @@ TEST(DataParallel, AffinityRoutingReducesAdapterPcieTraffic)
     // Chameleon replicas via the core facade: identical skewed trace,
     // affinity vs round-robin dispatch.
     model::AdapterPool pool(model::llama7B(), 100);
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
-    cfg.cluster.replicas = 4;
+    auto spec = specFor("chameleon", model::llama7B(), model::a40());
+    spec.cluster.replicas = 4;
 
     auto wl = workload::splitwiseLike();
     wl.rps = 24.0;
@@ -187,12 +196,10 @@ TEST(DataParallel, AffinityRoutingReducesAdapterPcieTraffic)
     workload::TraceGenerator gen(wl, &pool);
     const auto trace = gen.generate();
 
-    cfg.cluster.router = routing::RouterPolicy::RoundRobin;
-    const auto rr = core::runClusterSystem(core::SystemKind::Chameleon,
-                                           cfg, &pool, trace);
-    cfg.cluster.router = routing::RouterPolicy::AdapterAffinity;
-    const auto affinity = core::runClusterSystem(
-        core::SystemKind::Chameleon, cfg, &pool, trace);
+    spec.cluster.router = routing::RouterPolicy::RoundRobin;
+    const auto rr = core::runSpec(spec, &pool, trace);
+    spec.cluster.router = routing::RouterPolicy::AdapterAffinity;
+    const auto affinity = core::runSpec(spec, &pool, trace);
 
     EXPECT_EQ(rr.stats.finished, affinity.stats.finished);
     EXPECT_LT(affinity.pcieTransfers, rr.pcieTransfers);

@@ -1,11 +1,12 @@
 /**
  * @file
  * Property-based tests: system-wide invariants checked across random
- * seeds and system kinds via parameterised suites.
+ * seeds and registered systems via parameterised suites.
  */
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "chameleon/system.h"
@@ -20,18 +21,24 @@ namespace {
 
 struct RunOutput
 {
-    core::RunResult result;
+    core::RunReport result;
     workload::Trace trace;
     model::CostModel cost{model::llama7B(), model::a40()};
 };
 
+core::SystemSpec
+testbedSpec(const std::string &system)
+{
+    auto spec = core::SystemRegistry::global().lookup(system);
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    return spec;
+}
+
 RunOutput
-runSeeded(core::SystemKind kind, std::uint64_t seed, double rps = 8.0)
+runSeeded(const std::string &system, std::uint64_t seed, double rps = 8.0)
 {
     static model::AdapterPool pool(model::llama7B(), 50);
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
     auto wl = workload::splitwiseLike();
     wl.rps = rps;
     wl.durationSeconds = 45.0;
@@ -40,7 +47,7 @@ runSeeded(core::SystemKind kind, std::uint64_t seed, double rps = 8.0)
     workload::TraceGenerator gen(wl, &pool);
     RunOutput out;
     out.trace = gen.generate();
-    out.result = core::runSystem(kind, cfg, &pool, out.trace);
+    out.result = core::runSpec(testbedSpec(system), &pool, out.trace);
     return out;
 }
 
@@ -53,17 +60,17 @@ sharedPool()
 
 } // namespace
 
-/** (kind, seed) grid. */
+/** (system, seed) grid. */
 class SystemInvariants
-    : public ::testing::TestWithParam<std::tuple<core::SystemKind,
+    : public ::testing::TestWithParam<std::tuple<const char *,
                                                  std::uint64_t>>
 {
 };
 
 TEST_P(SystemInvariants, ConservationAndSanity)
 {
-    const auto [kind, seed] = GetParam();
-    const auto out = runSeeded(kind, seed);
+    const auto [system, seed] = GetParam();
+    const auto out = runSeeded(system, seed);
     const auto &s = out.result.stats;
 
     // Every submitted request finishes once the trace drains.
@@ -96,19 +103,17 @@ TEST_P(SystemInvariants, ConservationAndSanity)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    KindsBySeeds, SystemInvariants,
+    SystemsBySeeds, SystemInvariants,
     ::testing::Combine(
-        ::testing::Values(core::SystemKind::SLora,
-                          core::SystemKind::SLoraSjf,
-                          core::SystemKind::SLoraChunked,
-                          core::SystemKind::ChameleonNoCache,
-                          core::SystemKind::ChameleonNoSched,
-                          core::SystemKind::Chameleon,
-                          core::SystemKind::ChameleonGdsf,
-                          core::SystemKind::ChameleonStatic),
+        ::testing::Values("slora", "slora-sjf", "slora-chunked",
+                          "chameleon-nocache", "chameleon-nosched",
+                          "chameleon", "chameleon-gdsf",
+                          "chameleon-static",
+                          // composed-grammar points of the policy space
+                          "chameleon+lru+prefetch", "slora+cache"),
         ::testing::Values(1u, 2u, 3u)),
     [](const auto &info) {
-        std::string name = core::systemName(std::get<0>(info.param));
+        std::string name = std::get<0>(info.param);
         for (auto &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
@@ -119,7 +124,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 /** Load monotonicity: higher offered load never lowers tail latency
  *  by much (allowing small non-monotonic noise). */
-class LoadMonotonicity : public ::testing::TestWithParam<core::SystemKind>
+class LoadMonotonicity : public ::testing::TestWithParam<const char *>
 {
 };
 
@@ -132,18 +137,14 @@ TEST_P(LoadMonotonicity, P99GrowsWithLoad)
     EXPECT_GT(hi.result.stats.e2e.p99(), lo.result.stats.e2e.p99());
 }
 
-INSTANTIATE_TEST_SUITE_P(Kinds, LoadMonotonicity,
-                         ::testing::Values(core::SystemKind::SLora,
-                                           core::SystemKind::Chameleon));
+INSTANTIATE_TEST_SUITE_P(Systems, LoadMonotonicity,
+                         ::testing::Values("slora", "chameleon"));
 
 /** Predictor-accuracy property: Chameleon's P99 TTFT with a perfect
  *  predictor is no worse than with a broken one (within noise). */
 TEST(PredictorProperty, BetterAccuracyNeverMuchWorse)
 {
     model::AdapterPool pool(model::llama7B(), 50);
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
     auto wl = workload::splitwiseLike();
     wl.rps = 9.0;
     wl.durationSeconds = 60.0;
@@ -151,12 +152,11 @@ TEST(PredictorProperty, BetterAccuracyNeverMuchWorse)
     workload::TraceGenerator gen(wl, &pool);
     const auto trace = gen.generate();
 
-    cfg.predictorAccuracy = 1.0;
-    const auto perfect =
-        core::runSystem(core::SystemKind::Chameleon, cfg, &pool, trace);
-    cfg.predictorAccuracy = 0.3;
-    const auto broken =
-        core::runSystem(core::SystemKind::Chameleon, cfg, &pool, trace);
+    auto spec = testbedSpec("chameleon");
+    spec.predictor.accuracy = 1.0;
+    const auto perfect = core::runSpec(spec, &pool, trace);
+    spec.predictor.accuracy = 0.3;
+    const auto broken = core::runSpec(spec, &pool, trace);
     EXPECT_LE(perfect.stats.ttft.p99(),
               1.25 * broken.stats.ttft.p99());
 }
@@ -166,8 +166,8 @@ TEST(PredictorProperty, BetterAccuracyNeverMuchWorse)
 TEST(CacheProperty, NeverMoreTrafficThanBaseline)
 {
     for (std::uint64_t seed : {5u, 6u, 7u}) {
-        const auto base = runSeeded(core::SystemKind::SLora, seed);
-        const auto cham = runSeeded(core::SystemKind::Chameleon, seed);
+        const auto base = runSeeded("slora", seed);
+        const auto cham = runSeeded("chameleon", seed);
         EXPECT_LE(cham.result.pcieBytes, base.result.pcieBytes)
             << "seed " << seed;
         EXPECT_GE(cham.result.cacheHitRate, base.result.cacheHitRate - 0.02)
@@ -175,14 +175,14 @@ TEST(CacheProperty, NeverMoreTrafficThanBaseline)
     }
 }
 
-/** Determinism across all kinds. */
+/** Determinism across systems, including composed ones. */
 TEST(DeterminismProperty, IdenticalRunsIdenticalResults)
 {
-    for (const auto kind :
-         {core::SystemKind::SLora, core::SystemKind::Chameleon,
-          core::SystemKind::ChameleonPrefetch}) {
-        const auto a = runSeeded(kind, 9);
-        const auto b = runSeeded(kind, 9);
+    for (const char *system :
+         {"slora", "chameleon", "chameleon-prefetch",
+          "chameleon+gdsf+prefetch"}) {
+        const auto a = runSeeded(system, 9);
+        const auto b = runSeeded(system, 9);
         EXPECT_EQ(a.result.stats.ttft.sorted(), b.result.stats.ttft.sorted());
         EXPECT_EQ(a.result.pcieBytes, b.result.pcieBytes);
         EXPECT_EQ(a.result.stats.iterations, b.result.stats.iterations);

@@ -1,8 +1,8 @@
 /**
  * @file
- * End-to-end integration tests over the System facade: every system
- * kind runs a common trace to completion; cross-system invariants from
- * the paper's evaluation hold directionally.
+ * End-to-end integration tests over the Runner facade: every registered
+ * system runs a common trace to completion; cross-system invariants
+ * from the paper's evaluation hold directionally.
  */
 
 #include <gtest/gtest.h>
@@ -20,13 +20,10 @@ namespace {
 struct Env
 {
     model::AdapterPool pool{model::llama7B(), 50};
-    core::SystemConfig cfg;
     workload::Trace trace;
 
     explicit Env(double rps = 8.0, double seconds = 60.0)
     {
-        cfg.engine.model = model::llama7B();
-        cfg.engine.gpu = model::a40();
         auto wl = workload::splitwiseLike();
         wl.rps = rps;
         wl.durationSeconds = seconds;
@@ -34,19 +31,43 @@ struct Env
         workload::TraceGenerator gen(wl, &pool);
         trace = gen.generate();
     }
+
+    /** Registry spec stamped with the test hardware. */
+    core::SystemSpec spec(const std::string &system) const
+    {
+        auto spec = core::SystemRegistry::global().lookup(system);
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+        return spec;
+    }
+
+    core::RunReport run(const std::string &system) const
+    {
+        return core::runSpec(spec(system), &pool, trace);
+    }
 };
+
+std::string
+testName(const std::string &system)
+{
+    std::string name = system;
+    for (auto &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
 
 } // namespace
 
-class SystemKindTest : public ::testing::TestWithParam<core::SystemKind>
+class SystemNameTest : public ::testing::TestWithParam<const char *>
 {
 };
 
-TEST_P(SystemKindTest, RunsTraceToCompletion)
+TEST_P(SystemNameTest, RunsTraceToCompletion)
 {
     Env env(6.0, 40.0);
-    const auto result =
-        core::runSystem(GetParam(), env.cfg, &env.pool, env.trace);
+    const auto result = env.run(GetParam());
     EXPECT_EQ(result.stats.finished,
               static_cast<std::int64_t>(env.trace.size()));
     EXPECT_GT(result.stats.ttft.p50(), 0.0);
@@ -56,34 +77,40 @@ TEST_P(SystemKindTest, RunsTraceToCompletion)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllKinds, SystemKindTest,
-    ::testing::Values(
-        core::SystemKind::SLora, core::SystemKind::SLoraSjf,
-        core::SystemKind::SLoraChunked, core::SystemKind::ChameleonNoCache,
-        core::SystemKind::ChameleonNoSched, core::SystemKind::Chameleon,
-        core::SystemKind::ChameleonLru, core::SystemKind::ChameleonFairShare,
-        core::SystemKind::ChameleonGdsf, core::SystemKind::ChameleonPrefetch,
-        core::SystemKind::ChameleonStatic,
-        core::SystemKind::ChameleonOutputOnly,
-        core::SystemKind::ChameleonDegree1),
-    [](const auto &info) {
-        std::string name = core::systemName(info.param);
-        for (auto &c : name) {
-            if (!std::isalnum(static_cast<unsigned char>(c)))
-                c = '_';
-        }
-        return name;
-    });
+    AllRegistered, SystemNameTest,
+    ::testing::Values("slora", "slora-sjf", "slora-chunked",
+                      "chameleon-nocache", "chameleon-nosched",
+                      "chameleon", "chameleon-lru",
+                      "chameleon-fairshare", "chameleon-gdsf",
+                      "chameleon-prefetch", "chameleon-static",
+                      "chameleon-output-only", "chameleon-degree1"),
+    [](const auto &info) { return testName(info.param); });
+
+/** Composed (grammar) systems run end-to-end like presets. */
+class ComposedSystemTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ComposedSystemTest, RunsTraceToCompletion)
+{
+    Env env(6.0, 40.0);
+    const auto result = env.run(GetParam());
+    EXPECT_EQ(result.stats.finished,
+              static_cast<std::int64_t>(env.trace.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, ComposedSystemTest,
+    ::testing::Values("chameleon+gdsf+prefetch", "slora+cache",
+                      "chameleon+sjf", "chameleon+history",
+                      "slora+chunked128+sjf"),
+    [](const auto &info) { return testName(info.param); });
 
 TEST(SystemIntegration, DeterministicResults)
 {
     Env env(6.0, 30.0);
-    const auto a =
-        core::runSystem(core::SystemKind::Chameleon, env.cfg, &env.pool,
-                        env.trace);
-    const auto b =
-        core::runSystem(core::SystemKind::Chameleon, env.cfg, &env.pool,
-                        env.trace);
+    const auto a = env.run("chameleon");
+    const auto b = env.run("chameleon");
     EXPECT_EQ(a.stats.ttft.sorted(), b.stats.ttft.sorted());
     EXPECT_EQ(a.pcieBytes, b.pcieBytes);
 }
@@ -91,11 +118,8 @@ TEST(SystemIntegration, DeterministicResults)
 TEST(SystemIntegration, CacheRaisesHitRateAndCutsPcieTraffic)
 {
     Env env(8.0, 60.0);
-    const auto base =
-        core::runSystem(core::SystemKind::SLora, env.cfg, &env.pool,
-                        env.trace);
-    const auto cham = core::runSystem(core::SystemKind::Chameleon, env.cfg,
-                                      &env.pool, env.trace);
+    const auto base = env.run("slora");
+    const auto cham = env.run("chameleon");
     EXPECT_GT(cham.cacheHitRate, base.cacheHitRate + 0.15);
     EXPECT_LT(cham.pcieBytes, base.pcieBytes);
 }
@@ -105,22 +129,16 @@ TEST(SystemIntegration, CacheCutsCriticalPathLoading)
     // Fig. 14: most Chameleon requests hit the cache and pay zero
     // loading latency; the baseline pays more, more often.
     Env env(8.0, 60.0);
-    const auto base =
-        core::runSystem(core::SystemKind::SLora, env.cfg, &env.pool,
-                        env.trace);
-    const auto cham = core::runSystem(core::SystemKind::Chameleon, env.cfg,
-                                      &env.pool, env.trace);
+    const auto base = env.run("slora");
+    const auto cham = env.run("chameleon");
     EXPECT_LE(cham.stats.loadStall.mean(), base.stats.loadStall.mean());
 }
 
 TEST(SystemIntegration, ChameleonImprovesTailAtHighLoad)
 {
     Env env(10.0, 90.0);
-    const auto base =
-        core::runSystem(core::SystemKind::SLora, env.cfg, &env.pool,
-                        env.trace);
-    const auto cham = core::runSystem(core::SystemKind::Chameleon, env.cfg,
-                                      &env.pool, env.trace);
+    const auto base = env.run("slora");
+    const auto cham = env.run("chameleon");
     EXPECT_LT(cham.stats.ttft.p99(), base.stats.ttft.p99());
     EXPECT_LT(cham.stats.ttft.p50(), base.stats.ttft.p50());
 }
@@ -128,8 +146,7 @@ TEST(SystemIntegration, ChameleonImprovesTailAtHighLoad)
 TEST(SystemIntegration, MlqFormsMultipleQueues)
 {
     Env env(8.0, 60.0);
-    core::System system(core::SystemKind::Chameleon, env.cfg, &env.pool);
-    const auto result = system.run(env.trace);
+    const auto result = env.run("chameleon");
     EXPECT_GE(result.mlqQueues, 2);
 }
 
@@ -137,25 +154,23 @@ TEST(SystemIntegration, SquashRateStaysBounded)
 {
     // §4.3.3: at most ~5% of requests get squashed.
     Env env(10.0, 90.0);
-    const auto cham = core::runSystem(core::SystemKind::Chameleon, env.cfg,
-                                      &env.pool, env.trace);
+    const auto cham = env.run("chameleon");
     EXPECT_LE(static_cast<double>(cham.stats.squashes),
               0.05 * static_cast<double>(cham.stats.finished) + 1.0);
 }
 
 TEST(SystemIntegration, BaseOnlyWorkloadRuns)
 {
-    core::SystemConfig cfg;
-    cfg.engine.model = model::llama7B();
-    cfg.engine.gpu = model::a40();
     auto wl = workload::splitwiseLike();
     wl.rps = 5.0;
     wl.durationSeconds = 30.0;
     wl.numAdapters = 0;
     workload::TraceGenerator gen(wl, nullptr);
     const auto trace = gen.generate();
-    const auto result =
-        core::runSystem(core::SystemKind::SLora, cfg, nullptr, trace);
+    auto spec = core::SystemRegistry::global().lookup("slora");
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    const auto result = core::runSpec(spec, nullptr, trace);
     EXPECT_EQ(result.stats.finished,
               static_cast<std::int64_t>(trace.size()));
     EXPECT_EQ(result.pcieBytes, 0);
@@ -164,11 +179,10 @@ TEST(SystemIntegration, BaseOnlyWorkloadRuns)
 TEST(SystemIntegration, SloAndSlowdownHelpers)
 {
     Env env(6.0, 40.0);
-    model::CostModel cost(env.cfg.engine.model, env.cfg.engine.gpu);
+    model::CostModel cost(model::llama7B(), model::a40());
     const auto slo = serving::computeSlo(env.trace, cost, &env.pool);
     EXPECT_GT(sim::toSeconds(slo), 1.0);
-    const auto result = core::runSystem(core::SystemKind::Chameleon,
-                                        env.cfg, &env.pool, env.trace);
+    const auto result = env.run("chameleon");
     auto sd = serving::slowdowns(result.stats.records, cost, &env.pool);
     EXPECT_GE(sd.percentile(1.0), 0.9); // can't beat run-alone by much
     EXPECT_GE(sd.p99(), sd.p50());
@@ -189,10 +203,9 @@ TEST(Throughput, KneeFinderInterpolates)
 TEST(SystemIntegration, HistoryPredictorVariantRuns)
 {
     Env env(8.0, 60.0);
-    auto cfg = env.cfg;
-    cfg.predictor = "history";
-    const auto result = core::runSystem(core::SystemKind::Chameleon, cfg,
-                                        &env.pool, env.trace);
+    auto spec = env.spec("chameleon");
+    spec.predictor.kind = "history";
+    const auto result = core::runSpec(spec, &env.pool, env.trace);
     EXPECT_EQ(result.stats.finished,
               static_cast<std::int64_t>(env.trace.size()));
     // Online predictions are rougher than the oracle's: under-
@@ -203,10 +216,9 @@ TEST(SystemIntegration, HistoryPredictorVariantRuns)
 TEST(SystemIntegration, BypassDisabledStillCompletes)
 {
     Env env(9.0, 60.0);
-    auto cfg = env.cfg;
-    cfg.mlqBypass = false;
-    const auto result = core::runSystem(core::SystemKind::Chameleon, cfg,
-                                        &env.pool, env.trace);
+    auto spec = env.spec("chameleon");
+    spec.scheduler.bypass = false;
+    const auto result = core::runSpec(spec, &env.pool, env.trace);
     EXPECT_EQ(result.stats.finished,
               static_cast<std::int64_t>(env.trace.size()));
     EXPECT_EQ(result.stats.bypasses, 0);
@@ -216,8 +228,7 @@ TEST(SystemIntegration, BypassDisabledStillCompletes)
 TEST(SystemIntegration, UtilisationAccountingConsistent)
 {
     Env env(8.0, 60.0);
-    const auto result = core::runSystem(core::SystemKind::Chameleon,
-                                        env.cfg, &env.pool, env.trace);
+    const auto result = env.run("chameleon");
     const auto &s = result.stats;
     EXPECT_GT(s.busyTime, 0);
     EXPECT_GT(s.iterations, 0);

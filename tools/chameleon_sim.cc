@@ -8,11 +8,16 @@
  * per-request records and the trace itself as CSV for offline
  * analysis.
  *
+ * --system accepts any registered name (see --list-systems) or a
+ * composed variant like "chameleon+gdsf+prefetch" — base system plus
+ * one modifier per policy axis.
+ *
  * Examples:
+ *   chameleon_sim --list-systems
  *   chameleon_sim --system chameleon --rps 9 --duration 300
- *   chameleon_sim --system slora --model llama-13b --gpu a100 \
+ *   chameleon_sim --system slora+sjf --model llama-13b --gpu a100 \
  *       --mem-gib 80 --adapters 200 --records-csv out.csv
- *   chameleon_sim --system chameleon --replicas 4 --router affinity \
+ *   chameleon_sim --system chameleon-gdsf --replicas 4 --router affinity \
  *       --rps 34 --autoscale
  *
  * --seed drives the trace generator, the output-length predictor, and
@@ -36,27 +41,20 @@ using namespace chameleon;
 
 namespace {
 
-core::SystemKind
-kindByName(const std::string &name)
+void
+listSystems()
 {
-    if (name == "slora") return core::SystemKind::SLora;
-    if (name == "slora-sjf") return core::SystemKind::SLoraSjf;
-    if (name == "slora-chunked") return core::SystemKind::SLoraChunked;
-    if (name == "chameleon") return core::SystemKind::Chameleon;
-    if (name == "chameleon-nocache") return core::SystemKind::ChameleonNoCache;
-    if (name == "chameleon-nosched") return core::SystemKind::ChameleonNoSched;
-    if (name == "chameleon-lru") return core::SystemKind::ChameleonLru;
-    if (name == "chameleon-fairshare")
-        return core::SystemKind::ChameleonFairShare;
-    if (name == "chameleon-gdsf") return core::SystemKind::ChameleonGdsf;
-    if (name == "chameleon-prefetch")
-        return core::SystemKind::ChameleonPrefetch;
-    if (name == "chameleon-static") return core::SystemKind::ChameleonStatic;
-    CHM_FATAL("unknown --system: " << name
-              << " (try slora, slora-sjf, slora-chunked, chameleon, "
-                 "chameleon-nocache, chameleon-nosched, chameleon-lru, "
-                 "chameleon-fairshare, chameleon-gdsf, chameleon-prefetch, "
-                 "chameleon-static)");
+    const auto &registry = core::SystemRegistry::global();
+    std::printf("registered systems:\n");
+    for (const auto &name : registry.names()) {
+        std::printf("  %-24s %s\n", name.c_str(),
+                    registry.description(name).c_str());
+    }
+    std::printf("\ncompose variants as base+modifier, e.g. "
+                "\"chameleon+gdsf+prefetch\"; modifiers:\n ");
+    for (const auto &mod : core::SystemRegistry::modifierHelp())
+        std::printf(" %s", mod.c_str());
+    std::printf("\n");
 }
 
 void
@@ -85,7 +83,10 @@ main(int argc, char **argv)
 {
     sim::FlagSet flags("chameleon_sim");
     auto *system = flags.addString("system", "chameleon",
-                                   "serving system to simulate");
+                                   "serving system (see --list-systems)");
+    auto *list_systems = flags.addBool(
+        "list-systems", false,
+        "print the system registry (names + composition grammar)");
     auto *model_name = flags.addString("model", "llama-7b",
                                        "base model preset");
     auto *gpu_name = flags.addString("gpu", "a40", "gpu preset: a40|a100");
@@ -125,39 +126,63 @@ main(int argc, char **argv)
     if (!flags.parse(argc, argv))
         return 2;
 
-    core::SystemConfig cfg;
-    cfg.engine.model = model::modelByName(*model_name);
+    if (*list_systems) {
+        listSystems();
+        // Listing alone is a complete command; only continue into a
+        // simulation when one was explicitly requested via --system.
+        bool systemRequested = false;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--system" || arg.rfind("--system=", 0) == 0)
+                systemRequested = true;
+        }
+        if (!systemRequested)
+            return 0;
+        std::printf("\n");
+    }
+
+    std::string lookup_error;
+    auto found = core::SystemRegistry::global().find(*system,
+                                                     &lookup_error);
+    if (!found.has_value()) {
+        std::fprintf(stderr, "%s\n", lookup_error.c_str());
+        return 2;
+    }
+    core::SystemSpec spec = *found;
+
+    spec.engine.model = model::modelByName(*model_name);
     if (*gpu_name == "a40") {
-        cfg.engine.gpu = model::a40();
+        spec.engine.gpu = model::a40();
         CHM_CHECK(*mem_gib == 0, "--mem-gib applies to --gpu a100 only");
     } else if (*gpu_name == "a100") {
-        cfg.engine.gpu = model::a100(*mem_gib == 0 ? 80
-                                                   : static_cast<int>(*mem_gib));
+        spec.engine.gpu = model::a100(*mem_gib == 0 ? 80
+                                                    : static_cast<int>(*mem_gib));
     } else {
         CHM_FATAL("unknown --gpu: " << *gpu_name);
     }
-    cfg.engine.tpDegree = static_cast<int>(*tp);
-    cfg.predictorAccuracy = *acc;
-    cfg.predictorSeed = static_cast<std::uint64_t>(*seed);
+    spec.engine.tpDegree = static_cast<int>(*tp);
+    spec.predictor.accuracy = *acc;
+    spec.predictor.seed = static_cast<std::uint64_t>(*seed);
 
     CHM_CHECK(*replicas >= 1, "--replicas must be >= 1");
-    cfg.cluster.replicas = static_cast<int>(*replicas);
-    CHM_CHECK(routing::routerPolicyByName(*router, &cfg.cluster.router),
+    spec.cluster.replicas = static_cast<int>(*replicas);
+    CHM_CHECK(routing::routerPolicyByName(*router, &spec.cluster.router),
               "unknown --router: " << *router
               << " (try rr, jsq, p2c, affinity, affinity-cache)");
-    cfg.cluster.routerConfig.seed = static_cast<std::uint64_t>(*seed);
-    cfg.cluster.autoscale = *autoscale;
-    cfg.cluster.autoscaler.minReplicas =
+    spec.cluster.routerConfig.seed = static_cast<std::uint64_t>(*seed);
+    spec.cluster.autoscale = *autoscale;
+    spec.cluster.autoscaler.minReplicas =
         static_cast<std::size_t>(*min_replicas);
-    cfg.cluster.autoscaler.maxReplicas =
+    spec.cluster.autoscaler.maxReplicas =
         static_cast<std::size_t>(*max_replicas);
-    cfg.cluster.autoscaler.replicaServiceRps = *replica_rps;
-    const bool clusterRun = cfg.cluster.replicas > 1 || cfg.cluster.autoscale;
+    spec.cluster.autoscaler.replicaServiceRps = *replica_rps;
+    const bool clusterRun =
+        spec.cluster.replicas > 1 || spec.cluster.autoscale;
     // Cluster-only flags silently doing nothing would misread as a
     // valid run of the requested policy.
     CHM_CHECK(clusterRun || *router == "jsq",
               "--router requires --replicas > 1 or --autoscale");
-    CHM_CHECK(cfg.cluster.autoscale ||
+    CHM_CHECK(spec.cluster.autoscale ||
                   (*min_replicas == 1 && *max_replicas == 8 &&
                    *replica_rps == 8.0),
               "--min-replicas/--max-replicas/--replica-rps require "
@@ -166,7 +191,7 @@ main(int argc, char **argv)
     std::unique_ptr<model::AdapterPool> pool;
     if (*adapters > 0) {
         pool = std::make_unique<model::AdapterPool>(
-            cfg.engine.model, static_cast<int>(*adapters));
+            spec.engine.model, static_cast<int>(*adapters));
     }
 
     workload::Trace trace;
@@ -192,39 +217,40 @@ main(int argc, char **argv)
     if (!trace_out->empty())
         trace.saveCsv(*trace_out);
 
-    const auto kind = kindByName(*system);
-    model::CostModel cost(cfg.engine.model, cfg.engine.gpu,
-                          cfg.engine.tpDegree);
+    model::CostModel cost(spec.engine.model, spec.engine.gpu,
+                          spec.engine.tpDegree);
     const double slo =
         sim::toSeconds(serving::computeSlo(trace, cost, pool.get()));
 
-    std::printf("system      : %s\n", core::systemName(kind));
+    std::printf("system      : %s (scheduler %s, adapters %s"
+                "%s%s)\n",
+                spec.name.c_str(),
+                core::schedulerPolicyName(spec.scheduler.policy),
+                core::adapterPolicyName(spec.adapters.policy),
+                spec.adapters.policy ==
+                        core::AdapterPolicy::ChameleonCache
+                    ? ", eviction "
+                    : "",
+                spec.adapters.policy ==
+                        core::AdapterPolicy::ChameleonCache
+                    ? core::evictionPolicyName(spec.adapters.eviction)
+                    : "");
     std::printf("deployment  : %s on %s x%d, %lld adapters\n",
-                cfg.engine.model.name.c_str(), cfg.engine.gpu.name.c_str(),
-                cfg.engine.tpDegree, static_cast<long long>(*adapters));
+                spec.engine.model.name.c_str(),
+                spec.engine.gpu.name.c_str(), spec.engine.tpDegree,
+                static_cast<long long>(*adapters));
     if (clusterRun) {
         std::printf("cluster     : %d replicas, %s routing%s\n",
-                    cfg.cluster.replicas, router->c_str(),
-                    cfg.cluster.autoscale ? ", autoscaling" : "");
+                    spec.cluster.replicas, router->c_str(),
+                    spec.cluster.autoscale ? ", autoscaling" : "");
     }
     std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",
                 trace.size(), trace.meanRps(),
                 sim::toSeconds(trace.duration()));
     std::printf("TTFT SLO    : %.2f s (5x mean isolated latency)\n\n", slo);
 
-    core::RunResult result;
-    core::ClusterRunResult clusterResult;
-    if (clusterRun) {
-        clusterResult = core::runClusterSystem(kind, cfg, pool.get(), trace);
-        result.stats = clusterResult.stats;
-        result.pcieBytes = clusterResult.pcieBytes;
-        result.pcieTransfers = clusterResult.pcieTransfers;
-        result.cacheHitRate = clusterResult.cacheHitRate;
-        result.cacheEvictions = clusterResult.cacheEvictions;
-    } else {
-        result = core::runSystem(kind, cfg, pool.get(), trace);
-    }
-    const auto &s = result.stats;
+    const core::RunReport report = core::runSpec(spec, pool.get(), trace);
+    const auto &s = report.stats;
 
     std::printf("finished    : %lld / %lld (%lld preempts, %lld squashes, "
                 "%lld bypasses)\n",
@@ -245,20 +271,20 @@ main(int argc, char **argv)
     std::printf("load stall  : mean %.2f ms, p99 %.2f ms\n",
                 s.loadStall.mean(), s.loadStall.p99());
     std::printf("adapters    : hit rate %.1f%%, %lld evictions\n",
-                100.0 * result.cacheHitRate,
-                static_cast<long long>(result.cacheEvictions));
+                100.0 * report.cacheHitRate,
+                static_cast<long long>(report.cacheEvictions));
     if (clusterRun) {
         // Per-link rate/utilisation is not meaningful summed over
         // replicas; report totals only.
         std::printf("PCIe        : %.2f GB, %lld transfers across replicas\n",
-                    static_cast<double>(result.pcieBytes) / 1e9,
-                    static_cast<long long>(result.pcieTransfers));
+                    static_cast<double>(report.pcieBytes) / 1e9,
+                    static_cast<long long>(report.pcieTransfers));
     } else {
         std::printf("PCIe        : %.2f GB total, %.1f MB/s mean, "
                     "utilisation %.1f%%\n",
-                    static_cast<double>(result.pcieBytes) / 1e9,
-                    result.pcieMeanBytesPerSec / 1e6,
-                    100.0 * result.pcieUtilisation);
+                    static_cast<double>(report.pcieBytes) / 1e9,
+                    report.pcieMeanBytesPerSec / 1e6,
+                    100.0 * report.pcieUtilisation);
     }
     const double elapsed =
         std::max(1e-9, sim::toSeconds(trace.duration()));
@@ -271,17 +297,16 @@ main(int argc, char **argv)
                              : 0.0,
                 static_cast<double>(s.prefillTokens) / elapsed,
                 static_cast<double>(s.decodeTokens) / elapsed);
-    if (result.mlqQueues > 0)
-        std::printf("scheduler   : %d MLQ queues\n", result.mlqQueues);
+    if (report.mlqQueues > 0)
+        std::printf("scheduler   : %d MLQ queues\n", report.mlqQueues);
     if (clusterRun) {
         std::printf("replicas    : %zu built, %zu active at end, "
                     "%lld scale-ups, %lld scale-downs\n",
-                    clusterResult.peakReplicas,
-                    clusterResult.finalActiveReplicas,
-                    static_cast<long long>(clusterResult.scaleUps),
-                    static_cast<long long>(clusterResult.scaleDowns));
+                    report.peakReplicas, report.finalActiveReplicas,
+                    static_cast<long long>(report.scaleUps),
+                    static_cast<long long>(report.scaleDowns));
         std::printf("per-replica :");
-        for (const auto finished : clusterResult.perReplicaFinished)
+        for (const auto finished : report.perReplicaFinished)
             std::printf(" %lld", static_cast<long long>(finished));
         std::printf(" finished\n");
     }
