@@ -1,10 +1,6 @@
 #include "bench_util.h"
 
-#include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <limits>
-#include <sstream>
 
 #include "simkit/check.h"
 
@@ -119,103 +115,6 @@ sweepLoads(const Testbed &tb, const std::string &system,
         out.emplace_back(rps, value);
     }
     return out;
-}
-
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    out.push_back('"');
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out.push_back(c);
-            }
-        }
-    }
-    out.push_back('"');
-    return out;
-}
-
-} // namespace
-
-BenchJson::BenchJson(std::string benchmarkName)
-    : name_(std::move(benchmarkName))
-{
-}
-
-BenchJson &
-BenchJson::row()
-{
-    rows_.emplace_back();
-    return *this;
-}
-
-BenchJson &
-BenchJson::field(const std::string &key, double value)
-{
-    CHM_CHECK(!rows_.empty(), "field() before row()");
-    std::ostringstream os;
-    os.precision(std::numeric_limits<double>::max_digits10);
-    if (std::isfinite(value))
-        os << value;
-    else
-        os << "null"; // JSON has no NaN/Inf
-    rows_.back().push_back(Field{key, os.str()});
-    return *this;
-}
-
-BenchJson &
-BenchJson::field(const std::string &key, std::int64_t value)
-{
-    CHM_CHECK(!rows_.empty(), "field() before row()");
-    rows_.back().push_back(Field{key, std::to_string(value)});
-    return *this;
-}
-
-BenchJson &
-BenchJson::field(const std::string &key, const std::string &value)
-{
-    CHM_CHECK(!rows_.empty(), "field() before row()");
-    rows_.back().push_back(Field{key, jsonEscape(value)});
-    return *this;
-}
-
-void
-BenchJson::write(const std::string &path) const
-{
-    std::ofstream out(path);
-    CHM_CHECK(out.good(), "cannot open " << path);
-    out << "{\n  \"benchmark\": " << jsonEscape(name_)
-        << ",\n  \"rows\": [\n";
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-        out << "    {";
-        for (std::size_t f = 0; f < rows_[r].size(); ++f) {
-            out << jsonEscape(rows_[r][f].key) << ": "
-                << rows_[r][f].literal;
-            if (f + 1 < rows_[r].size())
-                out << ", ";
-        }
-        out << (r + 1 < rows_.size() ? "},\n" : "}\n");
-    }
-    out << "  ]\n}\n";
-    out.flush();
-    CHM_CHECK(out.good(), "write failed for " << path);
-    std::printf("\nmachine-readable results written to %s\n",
-                path.c_str());
 }
 
 } // namespace chameleon::bench

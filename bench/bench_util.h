@@ -22,9 +22,18 @@
 #include "model/gpu_spec.h"
 #include "model/llm.h"
 #include "serving/slo.h"
+#include "sweep/bench_json.h"
 #include "workload/trace_gen.h"
 
 namespace chameleon::bench {
+
+/**
+ * Machine-readable benchmark output: accumulates flat rows of fields
+ * and writes {"benchmark": ..., "rows": [...]}. Now lives in the
+ * library (sweep/bench_json.h) so SweepRunner can emit consolidated
+ * documents; aliased here for the bench binaries.
+ */
+using BenchJson = sweep::BenchJson;
 
 /** Paper load levels (§5.2): low / medium / high RPS on the A40. */
 constexpr double kLowRps = 6.0;
@@ -84,37 +93,6 @@ std::vector<std::pair<double, double>> sweepLoads(
     const Testbed &tb, const std::string &system,
     const std::vector<double> &rpsList, const std::string &metric,
     double traceSeconds = 240.0);
-
-/**
- * Machine-readable benchmark output: accumulates flat rows of fields
- * and writes {"benchmark": ..., "rows": [...]} so the perf trajectory
- * of a bench can be tracked across commits (BENCH_<name>.json).
- */
-class BenchJson
-{
-  public:
-    explicit BenchJson(std::string benchmarkName);
-
-    /** Start a new row; subsequent field() calls fill it. */
-    BenchJson &row();
-
-    BenchJson &field(const std::string &key, double value);
-    BenchJson &field(const std::string &key, std::int64_t value);
-    BenchJson &field(const std::string &key, const std::string &value);
-
-    /** Write the document; fails hard if the path cannot be opened. */
-    void write(const std::string &path) const;
-
-  private:
-    struct Field
-    {
-        std::string key;
-        std::string literal; // already JSON-encoded
-    };
-
-    std::string name_;
-    std::vector<std::vector<Field>> rows_;
-};
 
 } // namespace chameleon::bench
 

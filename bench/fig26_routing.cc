@@ -11,13 +11,17 @@
  * which loads every hot adapter on every replica. A final section
  * exercises the predictor-driven autoscaler on the same traces.
  *
- * Emits BENCH_routing.json (bench::BenchJson) for trend tracking.
+ * The policy x replicas grid is a sweep::SweepRunner run per skew
+ * setting (replicas and routers are sweep axes; the load scales per
+ * replica via rps_per_replica); only the autoscale on/off section
+ * remains hand-rolled. Emits BENCH_routing.json for trend tracking.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "routing/router.h"
+#include "sweep/sweep_runner.h"
 
 using namespace chameleon;
 
@@ -26,13 +30,24 @@ namespace {
 constexpr double kRpsPerReplica = 8.5;
 constexpr double kTraceSeconds = 160.0;
 
-const routing::RouterPolicy kPolicies[] = {
-    routing::RouterPolicy::RoundRobin,
-    routing::RouterPolicy::JoinShortestQueue,
-    routing::RouterPolicy::PowerOfTwoChoices,
-    routing::RouterPolicy::AdapterAffinity,
-    routing::RouterPolicy::AdapterAffinityCacheAware,
-};
+/** The grid of one skew setting: chameleon x {2,4} replicas x router. */
+sweep::SweepSpec
+gridSpec(bool skewed)
+{
+    sweep::SweepSpec sw;
+    sw.name = "fig26_routing";
+    sw.systems = {"chameleon"};
+    sw.loads = {kRpsPerReplica};
+    sw.rpsPerReplica = true;
+    sw.replicas = {2, 4};
+    sw.routers = {"rr", "jsq", "p2c", "affinity", "affinity-cache"};
+    sw.workload.durationSeconds = kTraceSeconds;
+    sw.workload.adapters = 200;
+    sw.workload.adapterPopularity = skewed ? "powerlaw" : "uniform";
+    sw.engine.model = model::llama7B();
+    sw.engine.gpu = model::a40();
+    return sw;
+}
 
 } // namespace
 
@@ -45,55 +60,48 @@ main()
         "fewer PCIe fetches and lower tail TTFT than round-robin under "
         "skewed adapter popularity");
 
-    auto tb = bench::makeTestbed(200);
     bench::BenchJson json("fig26_routing");
 
     std::printf("%-8s %9s %-15s %9s %12s %12s %10s %7s\n", "skew",
                 "replicas", "router", "finished", "p50ttft(s)",
                 "p99ttft(s)", "fetches", "hit%");
     for (const bool skewed : {false, true}) {
-        auto wl = tb.wl;
-        wl.adapterPopularity = skewed ? workload::Popularity::PowerLaw
-                                      : workload::Popularity::Uniform;
-        for (const int replicas : {2, 4}) {
-            wl.rps = kRpsPerReplica * replicas;
-            wl.durationSeconds = kTraceSeconds;
-            workload::TraceGenerator gen(wl, tb.pool.get());
-            const auto trace = gen.generate();
-            for (const auto policy : kPolicies) {
-                auto spec = tb.spec("chameleon");
-                spec.cluster.replicas = replicas;
-                spec.cluster.router = policy;
-                const auto result = bench::run(tb, spec, trace);
-                const char *name = routing::routerPolicyName(policy);
-                const char *skewName = skewed ? "zipf" : "uniform";
-                std::printf(
-                    "%-8s %9d %-15s %9lld %12.3f %12.3f %10lld %6.1f%%\n",
-                    skewName, replicas, name,
-                    static_cast<long long>(result.stats.finished),
-                    result.stats.ttft.p50(), result.stats.ttft.p99(),
-                    static_cast<long long>(result.pcieTransfers),
-                    100.0 * result.cacheHitRate);
-                json.row()
-                    .field("section", std::string("policy_sweep"))
-                    .field("skew", std::string(skewName))
-                    .field("replicas", static_cast<std::int64_t>(replicas))
-                    .field("router", std::string(name))
-                    .field("rps", wl.rps)
-                    .field("finished", result.stats.finished)
-                    .field("p50_ttft_s", result.stats.ttft.p50())
-                    .field("p99_ttft_s", result.stats.ttft.p99())
-                    .field("p99_tbt_ms", result.stats.tbt.p99())
-                    .field("adapter_pcie_fetches", result.pcieTransfers)
-                    .field("adapter_pcie_gb",
-                           static_cast<double>(result.pcieBytes) / 1e9)
-                    .field("cache_hit_rate", result.cacheHitRate)
-                    .field("cache_evictions", result.cacheEvictions);
-            }
+        sweep::SweepRunner runner(gridSpec(skewed));
+        const auto results = runner.run();
+        const char *skewName = skewed ? "zipf" : "uniform";
+        for (const auto &result : results) {
+            const auto &cell = result.cell;
+            const auto &report = result.report;
+            std::printf(
+                "%-8s %9d %-15s %9lld %12.3f %12.3f %10lld %6.1f%%\n",
+                skewName, cell.replicaCount, cell.router.c_str(),
+                static_cast<long long>(report.stats.finished),
+                report.stats.ttft.p50(), report.stats.ttft.p99(),
+                static_cast<long long>(report.pcieTransfers),
+                100.0 * report.cacheHitRate);
+            json.row()
+                .field("section", std::string("policy_sweep"))
+                .field("skew", std::string(skewName))
+                .field("replicas",
+                       static_cast<std::int64_t>(cell.replicaCount))
+                .field("router", cell.router)
+                .field("rps", cell.rps)
+                .field("finished", report.stats.finished)
+                .field("p50_ttft_s", report.stats.ttft.p50())
+                .field("p99_ttft_s", report.stats.ttft.p99())
+                .field("p99_tbt_ms", report.stats.tbt.p99())
+                .field("adapter_pcie_fetches", report.pcieTransfers)
+                .field("adapter_pcie_gb",
+                       static_cast<double>(report.pcieBytes) / 1e9)
+                .field("cache_hit_rate", report.cacheHitRate)
+                .field("cache_evictions", report.cacheEvictions);
         }
     }
 
     // --- autoscaling: bursty load against a fixed-size cluster ---
+    // Autoscale on/off is not a sweep axis, so this section drives the
+    // Runner directly on the testbed.
+    auto tb = bench::makeTestbed(200);
     std::printf("\n%-10s %9s %9s %9s %9s %12s\n", "mode", "start",
                 "peak", "ups", "downs", "p99ttft(s)");
     auto wl = tb.wl;

@@ -1,0 +1,478 @@
+#include "chameleon/spec_json.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "simkit/time.h"
+
+namespace chameleon::core {
+
+using sim::JsonValue;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Printing.
+// ---------------------------------------------------------------------
+
+JsonValue
+modelToJson(const model::ModelSpec &m)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("name", JsonValue::makeString(m.name));
+    o.set("layers", JsonValue::makeInt(m.layers));
+    o.set("hidden", JsonValue::makeInt(m.hidden));
+    o.set("kv_hidden", JsonValue::makeInt(m.kvHidden));
+    o.set("params", JsonValue::makeNumber(m.params));
+    return o;
+}
+
+JsonValue
+gpuToJson(const model::GpuSpec &g)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("name", JsonValue::makeString(g.name));
+    o.set("fp16_flops", JsonValue::makeNumber(g.fp16Flops));
+    o.set("mem_bandwidth", JsonValue::makeNumber(g.memBandwidth));
+    o.set("mem_bytes", JsonValue::makeInt(g.memBytes));
+    o.set("pcie_bandwidth", JsonValue::makeNumber(g.pcieBandwidth));
+    o.set("pcie_setup_seconds", JsonValue::makeNumber(g.pcieSetupSeconds));
+    return o;
+}
+
+JsonValue
+costToJson(const model::CostParams &c)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("compute_util", JsonValue::makeNumber(c.computeUtil));
+    o.set("mem_util", JsonValue::makeNumber(c.memUtil));
+    o.set("prefill_fixed_ms", JsonValue::makeNumber(c.prefillFixedMs));
+    o.set("mbgmm_fixed_ms", JsonValue::makeNumber(c.mbgmmFixedMs));
+    o.set("lora_ineff", JsonValue::makeNumber(c.loraIneff));
+    o.set("decode_fixed_ms", JsonValue::makeNumber(c.decodeFixedMs));
+    o.set("decode_req_us", JsonValue::makeNumber(c.decodeReqUs));
+    o.set("mbgmv_fixed_ms", JsonValue::makeNumber(c.mbgmvFixedMs));
+    o.set("decode_rank_us", JsonValue::makeNumber(c.decodeRankUs));
+    o.set("tp_sync_ms", JsonValue::makeNumber(c.tpSyncMs));
+    o.set("tp_eff_loss_per_log2",
+          JsonValue::makeNumber(c.tpEffLossPerLog2));
+    return o;
+}
+
+JsonValue
+engineToJson(const serving::EngineConfig &e)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("model", modelToJson(e.model));
+    o.set("gpu", gpuToJson(e.gpu));
+    o.set("tp_degree", JsonValue::makeInt(e.tpDegree));
+    o.set("cost", costToJson(e.cost));
+    o.set("workspace_per_gpu", JsonValue::makeInt(e.workspacePerGpu));
+    o.set("admission_token_budget",
+          JsonValue::makeInt(e.admissionTokenBudget));
+    o.set("max_new_tokens", JsonValue::makeInt(e.maxNewTokens));
+    // Derived from `reservation` by the Runner; kept for completeness.
+    o.set("predicted_reservation",
+          JsonValue::makeBool(e.predictedReservation));
+    o.set("prefill_chunk_tokens",
+          JsonValue::makeInt(e.prefillChunkTokens));
+    o.set("max_admissions_per_iter",
+          JsonValue::makeInt(e.maxAdmissionsPerIter));
+    o.set("max_running", JsonValue::makeInt(e.maxRunning));
+    o.set("kv_page_tokens", JsonValue::makeInt(e.kvPageTokens));
+    o.set("mem_sample_period_s",
+          JsonValue::makeNumber(sim::toSeconds(e.memSamplePeriod)));
+    return o;
+}
+
+JsonValue
+schedulerToJson(const SchedulerSpec &s)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("policy", JsonValue::makeString(schedulerPolicyName(s.policy)));
+    o.set("sjf_aging_per_second",
+          JsonValue::makeNumber(s.sjfAgingPerSecond));
+    o.set("slo_seconds", JsonValue::makeNumber(s.sloSeconds));
+    o.set("refresh_period_s",
+          JsonValue::makeNumber(sim::toSeconds(s.refreshPeriod)));
+    o.set("bypass", JsonValue::makeBool(s.bypass));
+    o.set("dynamic_queues", JsonValue::makeBool(s.dynamicQueues));
+    o.set("wrs_form", JsonValue::makeString(wrsFormName(s.wrsForm)));
+    return o;
+}
+
+JsonValue
+adaptersToJson(const AdapterSpec &a)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("policy", JsonValue::makeString(adapterPolicyName(a.policy)));
+    o.set("eviction",
+          JsonValue::makeString(evictionPolicyName(a.eviction)));
+    o.set("predictive_prefetch",
+          JsonValue::makeBool(a.predictivePrefetch));
+    o.set("prefetch_top_k",
+          JsonValue::makeInt(static_cast<std::int64_t>(a.prefetchTopK)));
+    return o;
+}
+
+JsonValue
+predictorToJson(const PredictorSpec &p)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("kind", JsonValue::makeString(p.kind));
+    o.set("accuracy", JsonValue::makeNumber(p.accuracy));
+    o.set("seed", JsonValue::makeUint64(p.seed));
+    return o;
+}
+
+JsonValue
+clusterToJson(const ClusterSpec &c)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("replicas", JsonValue::makeInt(c.replicas));
+    o.set("router",
+          JsonValue::makeString(routing::routerPolicyName(c.router)));
+    JsonValue rc = JsonValue::makeObject();
+    rc.set("seed", JsonValue::makeUint64(c.routerConfig.seed));
+    rc.set("virtual_nodes",
+           JsonValue::makeInt(c.routerConfig.virtualNodes));
+    rc.set("spill_load_factor",
+           JsonValue::makeNumber(c.routerConfig.spillLoadFactor));
+    rc.set("spill_margin", JsonValue::makeInt(c.routerConfig.spillMargin));
+    o.set("router_config", std::move(rc));
+    o.set("autoscale", JsonValue::makeBool(c.autoscale));
+    JsonValue as = JsonValue::makeObject();
+    as.set("min_replicas",
+           JsonValue::makeInt(
+               static_cast<std::int64_t>(c.autoscaler.minReplicas)));
+    as.set("max_replicas",
+           JsonValue::makeInt(
+               static_cast<std::int64_t>(c.autoscaler.maxReplicas)));
+    as.set("eval_period_s",
+           JsonValue::makeNumber(c.autoscaler.evalPeriodSeconds));
+    as.set("high_watermark",
+           JsonValue::makeNumber(c.autoscaler.highWatermark));
+    as.set("low_watermark",
+           JsonValue::makeNumber(c.autoscaler.lowWatermark));
+    as.set("forecast_horizon_s",
+           JsonValue::makeNumber(c.autoscaler.forecastHorizonSeconds));
+    as.set("forecast_window_s",
+           JsonValue::makeNumber(c.autoscaler.forecastWindowSeconds));
+    as.set("replica_service_rps",
+           JsonValue::makeNumber(c.autoscaler.replicaServiceRps));
+    as.set("up_cooldown_periods",
+           JsonValue::makeInt(c.autoscaler.upCooldownPeriods));
+    as.set("down_cooldown_periods",
+           JsonValue::makeInt(c.autoscaler.downCooldownPeriods));
+    o.set("autoscaler", std::move(as));
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/** Number of seconds -> SimTime, via a JsonObjectReader key. */
+bool
+getSeconds(sim::JsonObjectReader &r, const std::string &key,
+           sim::SimTime *out)
+{
+    double seconds = sim::toSeconds(*out);
+    if (!r.getDouble(key, &seconds))
+        return false;
+    *out = sim::fromSeconds(seconds);
+    return true;
+}
+
+bool
+modelFromJson(const JsonValue &v, const std::string &path,
+              model::ModelSpec *out, std::string *error)
+{
+    if (v.isString()) {
+        const std::string &name = v.asString();
+        if (!model::tryModelByName(name, out)) {
+            if (error != nullptr)
+                *error = "\"" + path + "\" unknown model preset \"" +
+                         name + "\"; known: " +
+                         model::modelPresetNames() +
+                         " (or a full model object)";
+            return false;
+        }
+        return true;
+    }
+    sim::JsonObjectReader r(v, path, error);
+    r.getString("name", &out->name);
+    r.getInt("layers", &out->layers);
+    r.getInt("hidden", &out->hidden);
+    r.getInt("kv_hidden", &out->kvHidden);
+    r.getDouble("params", &out->params);
+    return r.finish();
+}
+
+bool
+gpuFromJson(const JsonValue &v, const std::string &path,
+            model::GpuSpec *out, std::string *error)
+{
+    if (v.isString()) {
+        const std::string &name = v.asString();
+        if (!model::tryGpuByName(name, out)) {
+            if (error != nullptr)
+                *error = "\"" + path + "\" unknown gpu preset \"" +
+                         name + "\"; known: " +
+                         model::gpuPresetNames() +
+                         " (or a full gpu object)";
+            return false;
+        }
+        return true;
+    }
+    sim::JsonObjectReader r(v, path, error);
+    r.getString("name", &out->name);
+    r.getDouble("fp16_flops", &out->fp16Flops);
+    r.getDouble("mem_bandwidth", &out->memBandwidth);
+    r.getInt64("mem_bytes", &out->memBytes);
+    r.getDouble("pcie_bandwidth", &out->pcieBandwidth);
+    r.getDouble("pcie_setup_seconds", &out->pcieSetupSeconds);
+    return r.finish();
+}
+
+bool
+costFromJson(const JsonValue &v, const std::string &path,
+             model::CostParams *out, std::string *error)
+{
+    sim::JsonObjectReader r(v, path, error);
+    r.getDouble("compute_util", &out->computeUtil);
+    r.getDouble("mem_util", &out->memUtil);
+    r.getDouble("prefill_fixed_ms", &out->prefillFixedMs);
+    r.getDouble("mbgmm_fixed_ms", &out->mbgmmFixedMs);
+    r.getDouble("lora_ineff", &out->loraIneff);
+    r.getDouble("decode_fixed_ms", &out->decodeFixedMs);
+    r.getDouble("decode_req_us", &out->decodeReqUs);
+    r.getDouble("mbgmv_fixed_ms", &out->mbgmvFixedMs);
+    r.getDouble("decode_rank_us", &out->decodeRankUs);
+    r.getDouble("tp_sync_ms", &out->tpSyncMs);
+    r.getDouble("tp_eff_loss_per_log2", &out->tpEffLossPerLog2);
+    return r.finish();
+}
+
+bool
+schedulerFromJson(const JsonValue &v, const std::string &path,
+                  SchedulerSpec *out, std::string *error)
+{
+    sim::JsonObjectReader r(v, path, error);
+    r.getEnum("policy", &out->policy, schedulerPolicyByName,
+              "fifo, sjf, mlq");
+    r.getDouble("sjf_aging_per_second", &out->sjfAgingPerSecond);
+    r.getDouble("slo_seconds", &out->sloSeconds);
+    getSeconds(r, "refresh_period_s", &out->refreshPeriod);
+    r.getBool("bypass", &out->bypass);
+    r.getBool("dynamic_queues", &out->dynamicQueues);
+    r.getEnum("wrs_form", &out->wrsForm, wrsFormByName,
+              "degree2, degree1, output-only");
+    return r.finish();
+}
+
+bool
+adaptersFromJson(const JsonValue &v, const std::string &path,
+                 AdapterSpec *out, std::string *error)
+{
+    sim::JsonObjectReader r(v, path, error);
+    r.getEnum("policy", &out->policy, adapterPolicyByName,
+              "on-demand, slora, chameleon-cache");
+    r.getEnum("eviction", &out->eviction, evictionPolicyByName,
+              "chameleon, lru, fairshare, gdsf");
+    r.getBool("predictive_prefetch", &out->predictivePrefetch);
+    r.getSize("prefetch_top_k", &out->prefetchTopK);
+    return r.finish();
+}
+
+bool
+clusterFromJson(const JsonValue &v, const std::string &path,
+                ClusterSpec *out, std::string *error)
+{
+    sim::JsonObjectReader r(v, path, error);
+    r.getInt("replicas", &out->replicas);
+    r.getEnum("router", &out->router, routing::routerPolicyByName,
+              routing::routerPolicyNames());
+    if (const JsonValue *rc = r.child("router_config")) {
+        sim::JsonObjectReader rr(*rc, path + ".router_config", error);
+        rr.getUint64("seed", &out->routerConfig.seed);
+        rr.getInt("virtual_nodes", &out->routerConfig.virtualNodes);
+        rr.getDouble("spill_load_factor",
+                     &out->routerConfig.spillLoadFactor);
+        rr.getInt64("spill_margin", &out->routerConfig.spillMargin);
+        if (!rr.finish())
+            return false;
+    }
+    r.getBool("autoscale", &out->autoscale);
+    if (const JsonValue *as = r.child("autoscaler")) {
+        sim::JsonObjectReader ar(*as, path + ".autoscaler", error);
+        ar.getSize("min_replicas", &out->autoscaler.minReplicas);
+        ar.getSize("max_replicas", &out->autoscaler.maxReplicas);
+        ar.getDouble("eval_period_s", &out->autoscaler.evalPeriodSeconds);
+        ar.getDouble("high_watermark", &out->autoscaler.highWatermark);
+        ar.getDouble("low_watermark", &out->autoscaler.lowWatermark);
+        ar.getDouble("forecast_horizon_s",
+                     &out->autoscaler.forecastHorizonSeconds);
+        ar.getDouble("forecast_window_s",
+                     &out->autoscaler.forecastWindowSeconds);
+        ar.getDouble("replica_service_rps",
+                     &out->autoscaler.replicaServiceRps);
+        ar.getInt("up_cooldown_periods",
+                  &out->autoscaler.upCooldownPeriods);
+        ar.getInt("down_cooldown_periods",
+                  &out->autoscaler.downCooldownPeriods);
+        if (!ar.finish())
+            return false;
+    }
+    return r.finish();
+}
+
+} // namespace
+
+JsonValue
+specToJsonValue(const SystemSpec &spec)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("name", JsonValue::makeString(spec.name));
+    root.set("engine", engineToJson(spec.engine));
+    root.set("scheduler", schedulerToJson(spec.scheduler));
+    root.set("adapters", adaptersToJson(spec.adapters));
+    root.set("predictor", predictorToJson(spec.predictor));
+    root.set("cluster", clusterToJson(spec.cluster));
+    root.set("reservation",
+             JsonValue::makeString(reservationPolicyName(spec.reservation)));
+    root.set("chunked_prefill", JsonValue::makeBool(spec.chunkedPrefill));
+    root.set("chunk_tokens", JsonValue::makeInt(spec.chunkTokens));
+    return root;
+}
+
+std::string
+specToJson(const SystemSpec &spec)
+{
+    return specToJsonValue(spec).dump();
+}
+
+bool
+engineFromJson(const JsonValue &obj, const std::string &path,
+               serving::EngineConfig *out, std::string *error)
+{
+    sim::JsonObjectReader r(obj, path, error);
+    if (const JsonValue *m = r.child("model")) {
+        if (!modelFromJson(*m, path + ".model", &out->model, error))
+            return false;
+    }
+    if (const JsonValue *g = r.child("gpu")) {
+        if (!gpuFromJson(*g, path + ".gpu", &out->gpu, error))
+            return false;
+    }
+    r.getInt("tp_degree", &out->tpDegree);
+    if (const JsonValue *c = r.child("cost")) {
+        if (!costFromJson(*c, path + ".cost", &out->cost, error))
+            return false;
+    }
+    r.getInt64("workspace_per_gpu", &out->workspacePerGpu);
+    r.getInt64("admission_token_budget", &out->admissionTokenBudget);
+    r.getInt64("max_new_tokens", &out->maxNewTokens);
+    r.getBool("predicted_reservation", &out->predictedReservation);
+    r.getInt64("prefill_chunk_tokens", &out->prefillChunkTokens);
+    r.getInt("max_admissions_per_iter", &out->maxAdmissionsPerIter);
+    r.getInt("max_running", &out->maxRunning);
+    r.getInt("kv_page_tokens", &out->kvPageTokens);
+    getSeconds(r, "mem_sample_period_s", &out->memSamplePeriod);
+    return r.finish();
+}
+
+bool
+predictorFromJson(const JsonValue &obj, const std::string &path,
+                  PredictorSpec *out, std::string *error)
+{
+    sim::JsonObjectReader r(obj, path, error);
+    r.getString("kind", &out->kind);
+    r.getDouble("accuracy", &out->accuracy);
+    r.getUint64("seed", &out->seed);
+    return r.finish();
+}
+
+namespace {
+
+/** Uniform "spec json: " prefix on whatever a nested reader wrote. */
+std::optional<SystemSpec>
+specParseFailure(std::string *error)
+{
+    if (error != nullptr && error->rfind("spec json:", 0) != 0)
+        *error = "spec json: " + *error;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<SystemSpec>
+specFromJsonValue(const JsonValue &root, std::string *error)
+{
+    SystemSpec spec;
+    // The documented parse base: the paper testbed's hardware under the
+    // default (full Chameleon) axes, so `{}` is a runnable config.
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+
+    sim::JsonObjectReader r(root, "", error);
+    r.getString("name", &spec.name);
+    if (const JsonValue *e = r.child("engine")) {
+        if (!engineFromJson(*e, "engine", &spec.engine, error))
+            return specParseFailure(error);
+    }
+    if (const JsonValue *s = r.child("scheduler")) {
+        if (!schedulerFromJson(*s, "scheduler", &spec.scheduler, error))
+            return specParseFailure(error);
+    }
+    if (const JsonValue *a = r.child("adapters")) {
+        if (!adaptersFromJson(*a, "adapters", &spec.adapters, error))
+            return specParseFailure(error);
+    }
+    if (const JsonValue *p = r.child("predictor")) {
+        if (!predictorFromJson(*p, "predictor", &spec.predictor, error))
+            return specParseFailure(error);
+    }
+    if (const JsonValue *c = r.child("cluster")) {
+        if (!clusterFromJson(*c, "cluster", &spec.cluster, error))
+            return specParseFailure(error);
+    }
+    r.getEnum("reservation", &spec.reservation, reservationPolicyByName,
+              "auto, max-tokens, predicted");
+    r.getBool("chunked_prefill", &spec.chunkedPrefill);
+    r.getInt64("chunk_tokens", &spec.chunkTokens);
+    if (!r.finish())
+        return specParseFailure(error);
+
+    const auto problems = spec.validate();
+    if (!problems.empty()) {
+        if (error != nullptr) {
+            std::ostringstream os;
+            os << "spec json: \"" << spec.name
+               << "\" parses but fails validation:";
+            for (const auto &p : problems)
+                os << "\n  - " << p;
+            *error = os.str();
+        }
+        return std::nullopt;
+    }
+    return spec;
+}
+
+std::optional<SystemSpec>
+specFromJson(const std::string &text, std::string *error)
+{
+    std::string parseError;
+    auto doc = sim::parseJson(text, &parseError);
+    if (!doc.has_value()) {
+        if (error != nullptr)
+            *error = "spec json: " + parseError;
+        return std::nullopt;
+    }
+    return specFromJsonValue(*doc, error);
+}
+
+} // namespace chameleon::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SystemSpec <-> JSON: reproducible, file-backed system descriptions.
+ *
+ * specToJson prints a complete SystemSpec — every policy axis, every
+ * engine knob, the full ClusterSpec — as pretty JSON; specFromJson
+ * parses it back onto the documented defaults. The pair is
+ * round-trip-stable: parse(print(spec)) == spec under
+ * SystemSpec::operator==, asserted by tests/spec_json_test.cc.
+ *
+ * Parsing is strict and partial at once: any key may be omitted (its
+ * default survives — `{}` is the paper testbed's full Chameleon), but
+ * an unknown or mistyped key fails with a message naming the offending
+ * key path ("scheduler.polcy", "cluster.replicas expects a number").
+ * Parsed specs are also run through SystemSpec::validate(), so a
+ * config that names a contradiction fails with the same actionable
+ * messages the Runner would emit.
+ *
+ * chameleon_sim exposes this as --config file.json / --dump-config;
+ * the sweep subsystem (src/sweep/) reuses the engine/predictor section
+ * parsers for its per-cell templates.
+ */
+
+#ifndef CHAMELEON_CHAMELEON_SPEC_JSON_H
+#define CHAMELEON_CHAMELEON_SPEC_JSON_H
+
+#include <optional>
+#include <string>
+
+#include "chameleon/system_spec.h"
+#include "simkit/json.h"
+
+namespace chameleon::core {
+
+/** Serialise the full spec (all axes and knobs) as a JSON document. */
+std::string specToJson(const SystemSpec &spec);
+
+/** As specToJson, but as a document model (for embedding/inspection). */
+sim::JsonValue specToJsonValue(const SystemSpec &spec);
+
+/**
+ * Parse a spec from JSON text. Missing keys keep their defaults
+ * (hardware defaults to the paper testbed: Llama-7B on an A40);
+ * unknown/mistyped keys and validate() contradictions return
+ * std::nullopt with an error naming the offending key.
+ */
+std::optional<SystemSpec> specFromJson(const std::string &text,
+                                       std::string *error = nullptr);
+
+/** As specFromJson, from an already parsed document. */
+std::optional<SystemSpec> specFromJsonValue(const sim::JsonValue &root,
+                                            std::string *error = nullptr);
+
+/**
+ * Apply an "engine" JSON object onto *out (missing keys keep existing
+ * values). `path` prefixes error key paths. Accepts the string
+ * shorthands "model": "llama-7b" and "gpu": "a40" | "a100" |
+ * "a100-<GiB>" as well as the full field-by-field objects.
+ */
+bool engineFromJson(const sim::JsonValue &obj, const std::string &path,
+                    serving::EngineConfig *out, std::string *error);
+
+/** Apply a "predictor" JSON object onto *out; as engineFromJson. */
+bool predictorFromJson(const sim::JsonValue &obj, const std::string &path,
+                       PredictorSpec *out, std::string *error);
+
+} // namespace chameleon::core
+
+#endif // CHAMELEON_CHAMELEON_SPEC_JSON_H

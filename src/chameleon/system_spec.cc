@@ -38,6 +38,75 @@ evictionPolicyName(EvictionKind policy)
     return "?";
 }
 
+const char *
+reservationPolicyName(ReservationPolicy policy)
+{
+    switch (policy) {
+      case ReservationPolicy::Auto: return "auto";
+      case ReservationPolicy::MaxTokens: return "max-tokens";
+      case ReservationPolicy::Predicted: return "predicted";
+    }
+    return "?";
+}
+
+bool
+schedulerPolicyByName(const std::string &name, SchedulerPolicy *out)
+{
+    if (name == "fifo")
+        *out = SchedulerPolicy::Fifo;
+    else if (name == "sjf")
+        *out = SchedulerPolicy::Sjf;
+    else if (name == "mlq")
+        *out = SchedulerPolicy::Mlq;
+    else
+        return false;
+    return true;
+}
+
+bool
+adapterPolicyByName(const std::string &name, AdapterPolicy *out)
+{
+    if (name == "on-demand")
+        *out = AdapterPolicy::OnDemand;
+    else if (name == "slora")
+        *out = AdapterPolicy::SLora;
+    else if (name == "chameleon-cache")
+        *out = AdapterPolicy::ChameleonCache;
+    else
+        return false;
+    return true;
+}
+
+bool
+evictionPolicyByName(const std::string &name, EvictionKind *out)
+{
+    if (name == "chameleon")
+        *out = EvictionKind::Paper;
+    else if (name == "lru")
+        *out = EvictionKind::Lru;
+    else if (name == "fairshare")
+        *out = EvictionKind::FairShare;
+    else if (name == "gdsf")
+        *out = EvictionKind::Gdsf;
+    else
+        return false;
+    return true;
+}
+
+bool
+reservationPolicyByName(const std::string &name, ReservationPolicy *out)
+{
+    if (name == "auto")
+        *out = ReservationPolicy::Auto;
+    else if (name == "max-tokens")
+        *out = ReservationPolicy::MaxTokens;
+    else if (name == "predicted")
+        *out = ReservationPolicy::Predicted;
+    else
+        return false;
+    return true;
+}
+
 const std::vector<EvictionKind> &
 allEvictionPolicies()
 {
@@ -178,6 +247,50 @@ SystemSpec::validate() const
         }
     }
     return errors;
+}
+
+bool
+operator==(const PredictorSpec &a, const PredictorSpec &b)
+{
+    return a.kind == b.kind && a.accuracy == b.accuracy &&
+           a.seed == b.seed;
+}
+
+bool
+operator==(const SchedulerSpec &a, const SchedulerSpec &b)
+{
+    return a.policy == b.policy &&
+           a.sjfAgingPerSecond == b.sjfAgingPerSecond &&
+           a.sloSeconds == b.sloSeconds &&
+           a.refreshPeriod == b.refreshPeriod && a.bypass == b.bypass &&
+           a.dynamicQueues == b.dynamicQueues && a.wrsForm == b.wrsForm;
+}
+
+bool
+operator==(const AdapterSpec &a, const AdapterSpec &b)
+{
+    return a.policy == b.policy && a.eviction == b.eviction &&
+           a.predictivePrefetch == b.predictivePrefetch &&
+           a.prefetchTopK == b.prefetchTopK;
+}
+
+bool
+operator==(const ClusterSpec &a, const ClusterSpec &b)
+{
+    return a.replicas == b.replicas && a.router == b.router &&
+           a.routerConfig == b.routerConfig &&
+           a.autoscale == b.autoscale && a.autoscaler == b.autoscaler;
+}
+
+bool
+operator==(const SystemSpec &a, const SystemSpec &b)
+{
+    return a.name == b.name && a.engine == b.engine &&
+           a.scheduler == b.scheduler && a.adapters == b.adapters &&
+           a.predictor == b.predictor && a.cluster == b.cluster &&
+           a.reservation == b.reservation &&
+           a.chunkedPrefill == b.chunkedPrefill &&
+           a.chunkTokens == b.chunkTokens;
 }
 
 namespace presets {

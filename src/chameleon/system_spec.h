@@ -59,6 +59,14 @@ enum class ReservationPolicy {
 const char *schedulerPolicyName(SchedulerPolicy policy);
 const char *adapterPolicyName(AdapterPolicy policy);
 const char *evictionPolicyName(EvictionKind policy);
+const char *reservationPolicyName(ReservationPolicy policy);
+
+/** Parse canonical policy names; return false on unknown names. */
+bool schedulerPolicyByName(const std::string &name, SchedulerPolicy *out);
+bool adapterPolicyByName(const std::string &name, AdapterPolicy *out);
+bool evictionPolicyByName(const std::string &name, EvictionKind *out);
+bool reservationPolicyByName(const std::string &name,
+                             ReservationPolicy *out);
 
 /** All eviction policies, for registry/bench enumeration. */
 const std::vector<EvictionKind> &allEvictionPolicies();
@@ -159,6 +167,37 @@ struct SystemSpec
      */
     std::vector<std::string> validate() const;
 };
+
+/**
+ * Field-wise equality over every axis and knob (name included), so
+ * JSON round-trip tests can assert spec equivalence directly instead
+ * of comparing re-printed strings.
+ */
+bool operator==(const PredictorSpec &a, const PredictorSpec &b);
+bool operator==(const SchedulerSpec &a, const SchedulerSpec &b);
+bool operator==(const AdapterSpec &a, const AdapterSpec &b);
+bool operator==(const ClusterSpec &a, const ClusterSpec &b);
+bool operator==(const SystemSpec &a, const SystemSpec &b);
+inline bool operator!=(const PredictorSpec &a, const PredictorSpec &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const SchedulerSpec &a, const SchedulerSpec &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const AdapterSpec &a, const AdapterSpec &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const ClusterSpec &a, const ClusterSpec &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const SystemSpec &a, const SystemSpec &b)
+{
+    return !(a == b);
+}
 
 /**
  * The paper's evaluated systems as preset specs (§5.1). Each returns a

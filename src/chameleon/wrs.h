@@ -17,6 +17,7 @@
 #define CHAMELEON_CHAMELEON_WRS_H
 
 #include <cstdint>
+#include <string>
 
 #include "model/adapter.h"
 
@@ -28,6 +29,11 @@ enum class WrsForm {
     Degree1,    ///< Linear combination of all three factors (ablation).
     OutputOnly, ///< Predicted output only (the uServe-style knob, §5.4.1).
 };
+
+/** Canonical name ("degree2" | "degree1" | "output-only"). */
+const char *wrsFormName(WrsForm form);
+/** Parse a form name; returns false on unknown names. */
+bool wrsFormByName(const std::string &name, WrsForm *out);
 
 /** Computes WRS values with running normalisation maxima. */
 class WrsCalculator

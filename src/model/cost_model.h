@@ -65,6 +65,13 @@ struct CostParams
     double tpEffLossPerLog2 = 0.15;
 };
 
+/** Field-wise equality (spec round-trip tests). */
+bool operator==(const CostParams &a, const CostParams &b);
+inline bool operator!=(const CostParams &a, const CostParams &b)
+{
+    return !(a == b);
+}
+
 /** One running request's contribution to a decode iteration. */
 struct DecodeSlot
 {

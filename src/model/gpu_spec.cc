@@ -1,5 +1,7 @@
 #include "model/gpu_spec.h"
 
+#include <cstdlib>
+
 #include "simkit/check.h"
 
 namespace chameleon::model {
@@ -37,6 +39,45 @@ a100(int memGiB)
     g.pcieBandwidth = 25e9;
     g.pcieSetupSeconds = 0.2e-3;
     return g;
+}
+
+bool
+operator==(const GpuSpec &a, const GpuSpec &b)
+{
+    return a.name == b.name && a.fp16Flops == b.fp16Flops &&
+           a.memBandwidth == b.memBandwidth && a.memBytes == b.memBytes &&
+           a.pcieBandwidth == b.pcieBandwidth &&
+           a.pcieSetupSeconds == b.pcieSetupSeconds;
+}
+
+bool
+tryGpuByName(const std::string &name, GpuSpec *out)
+{
+    if (name == "a40") {
+        *out = a40();
+        return true;
+    }
+    if (name == "a100") {
+        *out = a100(80);
+        return true;
+    }
+    if (name.rfind("a100-", 0) == 0) {
+        char *end = nullptr;
+        const int gib =
+            static_cast<int>(std::strtol(name.c_str() + 5, &end, 10));
+        // Trailing garbage ("a100-48GB") must not parse as a100-48.
+        if (*end == '\0' && (gib == 24 || gib == 48 || gib == 80)) {
+            *out = a100(gib);
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+gpuPresetNames()
+{
+    return "a40, a100, a100-24, a100-48, a100-80";
 }
 
 } // namespace chameleon::model

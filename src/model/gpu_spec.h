@@ -27,11 +27,28 @@ struct GpuSpec
     double pcieSetupSeconds = 0.0;
 };
 
+/** Field-wise equality (spec round-trip tests). */
+bool operator==(const GpuSpec &a, const GpuSpec &b);
+inline bool operator!=(const GpuSpec &a, const GpuSpec &b)
+{
+    return !(a == b);
+}
+
 /** NVIDIA A40, 48 GB (the paper's primary testbed). */
 GpuSpec a40();
 
 /** NVIDIA A100 with a configurable memory capacity in GiB (24/48/80). */
 GpuSpec a100(int memGiB = 80);
+
+/**
+ * Non-fatal preset lookup for "a40", "a100" (= 80 GiB), or
+ * "a100-<24|48|80>"; returns false on unknown names. One source of
+ * truth for every GPU-name parser (spec JSON, tools).
+ */
+bool tryGpuByName(const std::string &name, GpuSpec *out);
+
+/** Comma-separated preset names, for error messages. */
+const char *gpuPresetNames();
 
 } // namespace chameleon::model
 

@@ -50,18 +50,45 @@ llama70B()
     return ModelSpec{"llama-70b", 80, 8192, 1024, 68.9e9};
 }
 
+bool
+tryModelByName(const std::string &name, ModelSpec *out)
+{
+    if (name == "llama-7b")
+        *out = llama7B();
+    else if (name == "llama-13b")
+        *out = llama13B();
+    else if (name == "llama-30b")
+        *out = llama30B();
+    else if (name == "llama-70b")
+        *out = llama70B();
+    else
+        return false;
+    return true;
+}
+
+const char *
+modelPresetNames()
+{
+    return "llama-7b, llama-13b, llama-30b, llama-70b";
+}
+
 ModelSpec
 modelByName(const std::string &name)
 {
-    if (name == "llama-7b")
-        return llama7B();
-    if (name == "llama-13b")
-        return llama13B();
-    if (name == "llama-30b")
-        return llama30B();
-    if (name == "llama-70b")
-        return llama70B();
-    CHM_FATAL("unknown model preset: " << name);
+    ModelSpec spec;
+    if (!tryModelByName(name, &spec)) {
+        CHM_FATAL("unknown model preset: " << name << " (known: "
+                                           << modelPresetNames() << ")");
+    }
+    return spec;
+}
+
+bool
+operator==(const ModelSpec &a, const ModelSpec &b)
+{
+    return a.name == b.name && a.layers == b.layers &&
+           a.hidden == b.hidden && a.kvHidden == b.kvHidden &&
+           a.params == b.params;
 }
 
 } // namespace chameleon::model

@@ -54,6 +54,13 @@ struct ModelSpec
     double flopsPerToken() const { return 2.0 * params; }
 };
 
+/** Field-wise equality (spec round-trip tests). */
+bool operator==(const ModelSpec &a, const ModelSpec &b);
+inline bool operator!=(const ModelSpec &a, const ModelSpec &b)
+{
+    return !(a == b);
+}
+
 /** Llama-7B (32 layers, hidden 4096, MHA). */
 ModelSpec llama7B();
 /** Llama-13B (40 layers, hidden 5120, MHA). */
@@ -65,6 +72,12 @@ ModelSpec llama70B();
 
 /** Look up a preset by name; fatal on unknown names. */
 ModelSpec modelByName(const std::string &name);
+
+/** Non-fatal preset lookup; returns false on unknown names. */
+bool tryModelByName(const std::string &name, ModelSpec *out);
+
+/** Comma-separated preset names, for error messages. */
+const char *modelPresetNames();
 
 } // namespace chameleon::model
 

@@ -76,4 +76,19 @@ Autoscaler::evaluate(std::size_t activeReplicas,
     return activeReplicas;
 }
 
+bool
+operator==(const AutoscalerConfig &a, const AutoscalerConfig &b)
+{
+    return a.minReplicas == b.minReplicas &&
+           a.maxReplicas == b.maxReplicas &&
+           a.evalPeriodSeconds == b.evalPeriodSeconds &&
+           a.highWatermark == b.highWatermark &&
+           a.lowWatermark == b.lowWatermark &&
+           a.forecastHorizonSeconds == b.forecastHorizonSeconds &&
+           a.forecastWindowSeconds == b.forecastWindowSeconds &&
+           a.replicaServiceRps == b.replicaServiceRps &&
+           a.upCooldownPeriods == b.upCooldownPeriods &&
+           a.downCooldownPeriods == b.downCooldownPeriods;
+}
+
 } // namespace chameleon::routing

@@ -58,6 +58,13 @@ struct AutoscalerConfig
     int downCooldownPeriods = 3;
 };
 
+/** Field-wise equality (spec round-trip tests). */
+bool operator==(const AutoscalerConfig &a, const AutoscalerConfig &b);
+inline bool operator!=(const AutoscalerConfig &a, const AutoscalerConfig &b)
+{
+    return !(a == b);
+}
+
 /** Decides the target active-replica count; owns the forecaster. */
 class Autoscaler
 {

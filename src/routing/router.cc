@@ -22,6 +22,12 @@ routerPolicyName(RouterPolicy policy)
     return "?";
 }
 
+const char *
+routerPolicyNames()
+{
+    return "rr, jsq, p2c, affinity, affinity-cache";
+}
+
 bool
 routerPolicyByName(const std::string &name, RouterPolicy *out)
 {
@@ -237,6 +243,14 @@ makeRouter(RouterPolicy policy, const RouterConfig &config)
         return std::make_unique<AdapterAffinityRouter>(config, true);
     }
     CHM_PANIC("unknown router policy");
+}
+
+bool
+operator==(const RouterConfig &a, const RouterConfig &b)
+{
+    return a.seed == b.seed && a.virtualNodes == b.virtualNodes &&
+           a.spillLoadFactor == b.spillLoadFactor &&
+           a.spillMargin == b.spillMargin;
 }
 
 } // namespace chameleon::routing

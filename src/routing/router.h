@@ -68,6 +68,9 @@ const char *routerPolicyName(RouterPolicy policy);
 /** Parse a policy name; returns false on unknown names. */
 bool routerPolicyByName(const std::string &name, RouterPolicy *out);
 
+/** Comma-separated policy names, for error messages. */
+const char *routerPolicyNames();
+
 /** Knobs shared by the stochastic and affinity policies. */
 struct RouterConfig
 {
@@ -87,6 +90,13 @@ struct RouterConfig
     double spillLoadFactor = 1.0;
     std::int64_t spillMargin = 3;
 };
+
+/** Field-wise equality (spec round-trip tests). */
+bool operator==(const RouterConfig &a, const RouterConfig &b);
+inline bool operator!=(const RouterConfig &a, const RouterConfig &b)
+{
+    return !(a == b);
+}
 
 /** A global dispatch policy: picks one replica per arriving request. */
 class Router

@@ -89,6 +89,13 @@ struct EngineConfig
     sim::SimTime memSamplePeriod = sim::kSec;
 };
 
+/** Field-wise equality (spec round-trip tests). */
+bool operator==(const EngineConfig &a, const EngineConfig &b);
+inline bool operator!=(const EngineConfig &a, const EngineConfig &b)
+{
+    return !(a == b);
+}
+
 /**
  * One execution engine with pluggable scheduler and adapter manager.
  */

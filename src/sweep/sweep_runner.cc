@@ -1,0 +1,127 @@
+#include "sweep/sweep_runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "simkit/check.h"
+#include "workload/trace_gen.h"
+
+namespace chameleon::sweep {
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec))
+{
+    std::string error;
+    auto cells = expandSweep(spec_, &error);
+    CHM_CHECK(cells.has_value(), error);
+    cells_ = std::move(*cells);
+
+    if (spec_.workload.adapters > 0) {
+        pool_ = std::make_unique<model::AdapterPool>(
+            spec_.engine.model, spec_.workload.adapters);
+    }
+
+    // One trace per distinct (rps, seed) pair, indexed by
+    // SweepCell::traceIndex (expandSweep allocated the indices).
+    std::size_t traceCount = 0;
+    for (const auto &cell : cells_)
+        traceCount = std::max(traceCount, cell.traceIndex + 1);
+    traces_.resize(traceCount);
+    std::vector<bool> built(traceCount, false);
+    for (const auto &cell : cells_) {
+        if (built[cell.traceIndex])
+            continue;
+        workload::TraceGenerator gen(
+            cellTraceConfig(spec_, cell.rps, cell.traceSeed),
+            pool_.get());
+        traces_[cell.traceIndex] = gen.generate();
+        built[cell.traceIndex] = true;
+    }
+}
+
+SweepRunner::~SweepRunner() = default;
+
+std::vector<CellResult>
+SweepRunner::run() const
+{
+    std::vector<CellResult> results(cells_.size());
+
+    // Each cell is a self-contained simulation (own Simulator, engines,
+    // RNG streams) over shared read-only traces and pool, so cells can
+    // run concurrently; results land at their cell index, keeping the
+    // output order (and the emitted BenchJson) thread-count-invariant.
+    auto runRange = [this, &results](std::atomic<std::size_t> &next) {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells_.size())
+                return;
+            const SweepCell &cell = cells_[i];
+            core::Runner runner(cell.spec, pool_.get());
+            results[i] = CellResult{
+                cell, runner.run(traces_[cell.traceIndex])};
+        }
+    };
+
+    std::atomic<std::size_t> next{0};
+    const int workers = std::min<int>(
+        std::max(1, spec_.threads), static_cast<int>(cells_.size()));
+    if (workers <= 1) {
+        runRange(next);
+        return results;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        threads.emplace_back([&] { runRange(next); });
+    for (auto &t : threads)
+        t.join();
+    return results;
+}
+
+void
+SweepRunner::appendRows(BenchJson &json,
+                        const std::vector<CellResult> &results)
+{
+    for (const auto &result : results) {
+        const auto &cell = result.cell;
+        const auto &report = result.report;
+        const auto &s = report.stats;
+        json.row()
+            .field("system", cell.system)
+            .field("rps", cell.rps)
+            .field("replicas", static_cast<std::int64_t>(cell.replicaCount))
+            .field("router", cell.router)
+            .field("trace_seed", cell.traceSeed)
+            .field("submitted", s.submitted)
+            .field("finished", s.finished)
+            .field("preemptions", s.preemptions)
+            .field("p50_ttft_s", s.ttft.p50())
+            .field("p90_ttft_s", s.ttft.p90())
+            .field("p99_ttft_s", s.ttft.p99())
+            .field("p50_tbt_ms", s.tbt.p50())
+            .field("p99_tbt_ms", s.tbt.p99())
+            .field("p50_e2e_s", s.e2e.p50())
+            .field("p99_e2e_s", s.e2e.p99())
+            .field("p99_queue_delay_s", s.queueDelay.p99())
+            .field("mean_load_stall_ms", s.loadStall.mean())
+            .field("cache_hit_rate", report.cacheHitRate)
+            .field("cache_evictions", report.cacheEvictions)
+            .field("adapter_pcie_fetches", report.pcieTransfers)
+            .field("adapter_pcie_gb",
+                   static_cast<double>(report.pcieBytes) / 1e9)
+            .field("mlq_queues", static_cast<std::int64_t>(report.mlqQueues))
+            .field("peak_replicas",
+                   static_cast<std::int64_t>(report.peakReplicas))
+            .field("scale_ups", report.scaleUps)
+            .field("scale_downs", report.scaleDowns);
+    }
+}
+
+BenchJson
+SweepRunner::runToBenchJson() const
+{
+    BenchJson json(spec_.name);
+    appendRows(json, run());
+    return json;
+}
+
+} // namespace chameleon::sweep

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SweepSpec: a declarative grid of scenarios over the system registry.
+ *
+ * The paper's evaluation is a grid — systems x loads x traces x
+ * policies. A SweepSpec names one such grid: an explicit list of
+ * registry system names, and/or a cross-product built from a base
+ * system and axes of registry modifier tokens (the same `base+mod`
+ * grammar the CLI accepts), crossed with load (rps), replica-count,
+ * and router axes. expandSweep() resolves it into concrete SweepCells
+ * — one fully validated core::SystemSpec per grid cell — which the
+ * SweepRunner (sweep_runner.h) executes into one consolidated
+ * BenchJson.
+ *
+ * Loaded from JSON (sweepFromJson; grammar documented in
+ * src/sweep/README.md):
+ *
+ *   {
+ *     "name": "fig17_policy_grid",
+ *     "seed": 42,
+ *     "systems": ["slora"],
+ *     "grid": {
+ *       "base": "chameleon",
+ *       "axes": [["paper", "lru", "fairshare", "gdsf"]]
+ *     },
+ *     "loads": [8.0],
+ *     "workload": {"preset": "splitwise", "duration_s": 300,
+ *                  "adapters": 200},
+ *     "engine": {"workspace_per_gpu": 25769803776}
+ *   }
+ *
+ * Determinism: the trace of load-axis index i is generated with seed
+ * `seed + i` (every system at that load runs the identical trace);
+ * router sampling streams are seeded with `seed`. Same sweep JSON +
+ * seed => identical cells, traces, and BenchJson, asserted by
+ * tests/sweep_test.cc.
+ */
+
+#ifndef CHAMELEON_SWEEP_SWEEP_SPEC_H
+#define CHAMELEON_SWEEP_SWEEP_SPEC_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chameleon/system_spec.h"
+#include "workload/trace_gen.h"
+
+namespace chameleon::sweep {
+
+/** The paper testbed's hardware (Llama-7B on an A40): the default
+ * engine template of a SweepSpec, for the C++ and JSON paths alike. */
+serving::EngineConfig paperTestbedEngine();
+
+/** Workload template shared by every cell (rps comes per cell). */
+struct SweepWorkload
+{
+    /** Trace preset: splitwise | wildchat | lmsys. */
+    std::string preset = "splitwise";
+    double durationSeconds = 120.0;
+    /** Adapter-pool size (0 = base-only workload). */
+    int adapters = 100;
+    /** "" keeps the preset's default; else uniform | powerlaw. */
+    std::string adapterPopularity;
+    /**
+     * Periodic burstiness overrides (see TraceGenConfig); unset keeps
+     * the preset's defaults (splitwise/wildchat ship bursty, §3.1).
+     */
+    std::optional<double> burstMultiplier;
+    std::optional<double> burstPeriodSeconds;
+    std::optional<double> burstDurationSeconds;
+};
+
+/** The sweep description; see file comment for the JSON grammar. */
+struct SweepSpec
+{
+    std::string name = "sweep";
+
+    /** Explicit registry names ("chameleon", "slora+sjf", ...). */
+    std::vector<std::string> systems;
+    /** Cross-product base; "" disables the grid. */
+    std::string gridBase;
+    /** One modifier-token list per axis; cells take one from each. */
+    std::vector<std::vector<std::string>> gridAxes;
+
+    /** Load axis (rps); empty means one load at 8.0. */
+    std::vector<double> loads;
+    /** Multiply each load by the cell's replica count (fig26-style). */
+    bool rpsPerReplica = false;
+    /** Replica-count axis; empty means {1}. */
+    std::vector<int> replicas;
+    /** Router axis (rr|jsq|p2c|affinity|affinity-cache); empty = jsq. */
+    std::vector<std::string> routers;
+
+    SweepWorkload workload;
+    /** Hardware template stamped onto every cell. */
+    serving::EngineConfig engine = paperTestbedEngine();
+    /** Output-length predictor template stamped onto every cell. */
+    core::PredictorSpec predictor;
+
+    /** Master seed: traces derive per-load, routers use it directly. */
+    std::uint64_t seed = 42;
+    /** Worker threads for the runner (1 = serial). */
+    int threads = 1;
+    /** BenchJson output path; "" = "BENCH_<name>.json". */
+    std::string output;
+
+    /** The resolved output path. */
+    std::string outputPath() const;
+};
+
+/** One concrete grid cell with its fully resolved system spec. */
+struct SweepCell
+{
+    std::string system;
+    double rps = 0.0;
+    int replicaCount = 1;
+    std::string router;
+    /** Index of the shared trace this cell runs (SweepRunner). */
+    std::size_t traceIndex = 0;
+    /** Seed the cell's trace is generated with. */
+    std::uint64_t traceSeed = 0;
+    core::SystemSpec spec;
+};
+
+/**
+ * Parse a sweep description from JSON text. Strict keys with
+ * offending-key error messages, like core::specFromJson. The default
+ * engine template is the paper testbed (Llama-7B on an A40).
+ */
+std::optional<SweepSpec> sweepFromJson(const std::string &text,
+                                       std::string *error = nullptr);
+
+/**
+ * Expand the spec into concrete cells: (systems + grid cross-product)
+ * x loads x replicas x routers, in that nesting order (system
+ * outermost). Resolves every system name through the global registry
+ * and validates every cell spec; returns std::nullopt with an
+ * actionable message naming the offending cell on failure.
+ */
+std::optional<std::vector<SweepCell>> expandSweep(
+    const SweepSpec &spec, std::string *error = nullptr);
+
+/** The trace-generator configuration of load-axis entry `rps`. */
+workload::TraceGenConfig cellTraceConfig(const SweepSpec &spec, double rps,
+                                         std::uint64_t traceSeed);
+
+} // namespace chameleon::sweep
+
+#endif // CHAMELEON_SWEEP_SWEEP_SPEC_H

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for SystemSpec <-> JSON serialisation (spec_json.h):
+ *  - round-trip stability: print -> parse -> operator== for every
+ *    registry name, composed grammar specs, and randomly generated
+ *    valid specs (property test);
+ *  - partial configs: missing keys keep defaults, `{}` is the paper
+ *    testbed's full Chameleon;
+ *  - strict rejection: unknown keys, type mismatches, bad enum values,
+ *    and validate() contradictions all name the offending key;
+ *  - SystemSpec::operator== distinguishes every axis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chameleon/spec_json.h"
+#include "chameleon/system_registry.h"
+#include "model/gpu_spec.h"
+#include "model/llm.h"
+#include "simkit/rng.h"
+
+using namespace chameleon;
+
+namespace {
+
+core::SystemSpec
+roundTrip(const core::SystemSpec &spec)
+{
+    std::string error;
+    const auto parsed = core::specFromJson(core::specToJson(spec), &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return parsed.value_or(core::SystemSpec{});
+}
+
+/** A random *valid* spec: contradictory knob pairs are kept coherent. */
+core::SystemSpec
+randomSpec(sim::Rng &rng)
+{
+    core::SystemSpec spec;
+    spec.name = "random-" + std::to_string(rng.nextBelow(1u << 20));
+
+    switch (rng.nextBelow(4)) {
+      case 0: spec.engine.model = model::llama7B(); break;
+      case 1: spec.engine.model = model::llama13B(); break;
+      case 2: spec.engine.model = model::llama30B(); break;
+      default: spec.engine.model = model::llama70B(); break;
+    }
+    spec.engine.gpu = rng.nextBelow(2) ? model::a40()
+                                       : model::a100(rng.nextBelow(2)
+                                                         ? 48
+                                                         : 80);
+    spec.engine.tpDegree = 1 + static_cast<int>(rng.nextBelow(4));
+    spec.engine.workspacePerGpu =
+        (1ll + static_cast<std::int64_t>(rng.nextBelow(8))) << 30;
+    spec.engine.maxNewTokens = 128 + static_cast<std::int64_t>(
+                                         rng.nextBelow(1024));
+    spec.engine.cost.loraIneff = 10.0 + rng.nextDouble() * 50.0;
+    spec.engine.cost.tpSyncMs = rng.nextDouble() * 20.0;
+
+    const core::SchedulerPolicy schedulers[] = {
+        core::SchedulerPolicy::Fifo, core::SchedulerPolicy::Sjf,
+        core::SchedulerPolicy::Mlq};
+    spec.scheduler.policy = schedulers[rng.nextBelow(3)];
+    spec.scheduler.sjfAgingPerSecond = rng.nextDouble() * 100.0;
+    spec.scheduler.sloSeconds = 1.0 + rng.nextDouble() * 9.0;
+    spec.scheduler.refreshPeriod =
+        static_cast<sim::SimTime>(60 + rng.nextBelow(600)) * sim::kSec;
+    spec.scheduler.bypass = rng.nextBelow(2) != 0;
+    spec.scheduler.dynamicQueues = rng.nextBelow(2) != 0;
+    const core::WrsForm forms[] = {core::WrsForm::Degree2,
+                                   core::WrsForm::Degree1,
+                                   core::WrsForm::OutputOnly};
+    spec.scheduler.wrsForm = forms[rng.nextBelow(3)];
+
+    if (rng.nextBelow(2)) {
+        spec.adapters.policy = core::AdapterPolicy::ChameleonCache;
+        const auto &evictions = core::allEvictionPolicies();
+        spec.adapters.eviction = evictions[rng.nextBelow(
+            evictions.size())];
+        if (rng.nextBelow(2)) {
+            spec.adapters.predictivePrefetch = true;
+            spec.adapters.prefetchTopK = 1 + rng.nextBelow(16);
+        }
+    } else {
+        spec.adapters.policy = rng.nextBelow(2)
+                                   ? core::AdapterPolicy::SLora
+                                   : core::AdapterPolicy::OnDemand;
+    }
+
+    spec.predictor.kind = rng.nextBelow(2) ? "bert" : "history";
+    spec.predictor.accuracy = rng.nextDouble();
+    spec.predictor.seed = rng();
+
+    spec.cluster.replicas = 1 + static_cast<int>(rng.nextBelow(6));
+    const routing::RouterPolicy routers[] = {
+        routing::RouterPolicy::RoundRobin,
+        routing::RouterPolicy::JoinShortestQueue,
+        routing::RouterPolicy::PowerOfTwoChoices,
+        routing::RouterPolicy::AdapterAffinity,
+        routing::RouterPolicy::AdapterAffinityCacheAware};
+    spec.cluster.router = routers[rng.nextBelow(5)];
+    spec.cluster.routerConfig.seed = rng();
+    spec.cluster.routerConfig.virtualNodes =
+        16 + static_cast<int>(rng.nextBelow(128));
+    spec.cluster.routerConfig.spillLoadFactor =
+        0.5 + rng.nextDouble() * 2.0;
+    if (rng.nextBelow(2)) {
+        spec.cluster.autoscale = true;
+        spec.cluster.autoscaler.minReplicas = 1 + rng.nextBelow(3);
+        spec.cluster.autoscaler.maxReplicas =
+            spec.cluster.autoscaler.minReplicas + rng.nextBelow(6);
+        spec.cluster.autoscaler.replicaServiceRps =
+            rng.nextDouble() * 20.0;
+    }
+
+    const core::ReservationPolicy reservations[] = {
+        core::ReservationPolicy::Auto, core::ReservationPolicy::MaxTokens,
+        core::ReservationPolicy::Predicted};
+    spec.reservation = reservations[rng.nextBelow(3)];
+    if (rng.nextBelow(2)) {
+        spec.chunkedPrefill = true;
+        spec.chunkTokens = 16 + static_cast<std::int64_t>(
+                                    rng.nextBelow(512));
+    }
+    return spec;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    std::string error;
+    const auto parsed = core::specFromJson(text, &error);
+    EXPECT_FALSE(parsed.has_value()) << text;
+    return error;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Round-trip stability.
+// ---------------------------------------------------------------------
+
+TEST(SpecJson, RoundTripsEveryRegistryName)
+{
+    const auto &registry = core::SystemRegistry::global();
+    for (const auto &name : registry.names()) {
+        auto spec = registry.lookup(name);
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+        EXPECT_EQ(roundTrip(spec), spec) << name;
+    }
+}
+
+TEST(SpecJson, RoundTripsComposedGrammarSpecs)
+{
+    const auto &registry = core::SystemRegistry::global();
+    for (const char *name :
+         {"chameleon+gdsf+prefetch", "slora+sjf+cache",
+          "chameleon+history+nobypass+static", "slora+chunked128"}) {
+        auto spec = registry.lookup(name);
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+        EXPECT_EQ(roundTrip(spec), spec) << name;
+    }
+}
+
+TEST(SpecJson, RoundTripsRandomValidSpecs)
+{
+    sim::Rng rng(0xDECAF);
+    for (int i = 0; i < 100; ++i) {
+        const auto spec = randomSpec(rng);
+        ASSERT_TRUE(spec.validate().empty())
+            << "generator produced an invalid spec at iteration " << i;
+        const auto back = roundTrip(spec);
+        EXPECT_EQ(back, spec) << "iteration " << i << "\n"
+                              << core::specToJson(spec);
+    }
+}
+
+TEST(SpecJson, ClusterDeploymentSurvivesRoundTrip)
+{
+    auto spec = core::presets::chameleonGdsf();
+    spec.engine.model = model::llama13B();
+    spec.engine.gpu = model::a100(80);
+    spec.cluster.replicas = 4;
+    spec.cluster.router = routing::RouterPolicy::AdapterAffinity;
+    spec.cluster.routerConfig.seed = 0xFEEDFACECAFEBEEFull;
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.minReplicas = 2;
+    spec.cluster.autoscaler.maxReplicas = 6;
+    spec.cluster.autoscaler.replicaServiceRps = 8.5;
+    ASSERT_TRUE(spec.validate().empty());
+    EXPECT_EQ(roundTrip(spec), spec);
+}
+
+// ---------------------------------------------------------------------
+// Partial configs apply onto defaults.
+// ---------------------------------------------------------------------
+
+TEST(SpecJson, EmptyObjectIsTheDefaultTestbedSpec)
+{
+    std::string error;
+    const auto parsed = core::specFromJson("{}", &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    core::SystemSpec expected;
+    expected.engine.model = model::llama7B();
+    expected.engine.gpu = model::a40();
+    EXPECT_EQ(*parsed, expected);
+}
+
+TEST(SpecJson, PartialConfigKeepsUnmentionedDefaults)
+{
+    const auto parsed = core::specFromJson(
+        R"({"name": "mine", "scheduler": {"policy": "fifo"},)"
+        R"( "adapters": {"eviction": "gdsf"}})");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->name, "mine");
+    EXPECT_EQ(parsed->scheduler.policy, core::SchedulerPolicy::Fifo);
+    EXPECT_EQ(parsed->adapters.eviction, core::EvictionKind::Gdsf);
+    // Untouched axes keep their defaults.
+    EXPECT_EQ(parsed->adapters.policy,
+              core::AdapterPolicy::ChameleonCache);
+    EXPECT_EQ(parsed->cluster.replicas, 1);
+    EXPECT_EQ(parsed->scheduler.sloSeconds, 5.0);
+}
+
+TEST(SpecJson, AcceptsModelAndGpuShorthands)
+{
+    const auto parsed = core::specFromJson(
+        R"({"engine": {"model": "llama-13b", "gpu": "a100-48"}})");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->engine.model, model::llama13B());
+    EXPECT_EQ(parsed->engine.gpu, model::a100(48));
+}
+
+// ---------------------------------------------------------------------
+// Strict rejection with offending-key messages.
+// ---------------------------------------------------------------------
+
+TEST(SpecJson, RejectsUnknownKeysNamingThePath)
+{
+    const auto error =
+        parseError(R"({"scheduler": {"polcy": "mlq"}})");
+    EXPECT_NE(error.find("scheduler.polcy"), std::string::npos) << error;
+    EXPECT_NE(error.find("not a recognised key"), std::string::npos)
+        << error;
+
+    const auto top = parseError(R"({"schedulr": {}})");
+    EXPECT_NE(top.find("schedulr"), std::string::npos) << top;
+}
+
+TEST(SpecJson, RejectsTypeMismatchesNamingThePath)
+{
+    const auto error =
+        parseError(R"({"cluster": {"replicas": "four"}})");
+    EXPECT_NE(error.find("cluster.replicas"), std::string::npos) << error;
+    EXPECT_NE(error.find("integer"), std::string::npos) << error;
+
+    const auto nested = parseError(
+        R"({"cluster": {"autoscaler": {"min_replicas": -1}}})");
+    EXPECT_NE(nested.find("cluster.autoscaler.min_replicas"),
+              std::string::npos)
+        << nested;
+}
+
+TEST(SpecJson, RejectsOutOfRangeIntegers)
+{
+    // A value that would wrap in a 32-bit field must not silently run
+    // as a different configuration.
+    const auto wide =
+        parseError(R"({"engine": {"tp_degree": 4294967297}})");
+    EXPECT_NE(wide.find("engine.tp_degree"), std::string::npos) << wide;
+    EXPECT_NE(wide.find("out of range"), std::string::npos) << wide;
+
+    const auto negative = parseError(R"({"predictor": {"seed": -1}})");
+    EXPECT_NE(negative.find("predictor.seed"), std::string::npos)
+        << negative;
+    EXPECT_NE(negative.find("non-negative"), std::string::npos)
+        << negative;
+
+    // uint64 max is a valid seed and round-trips...
+    const auto max = core::specFromJson(
+        R"({"predictor": {"seed": 18446744073709551615}})");
+    ASSERT_TRUE(max.has_value());
+    EXPECT_EQ(max->predictor.seed, 0xFFFFFFFFFFFFFFFFull);
+    EXPECT_EQ(roundTrip(*max), *max);
+    // ...but 2^64 is out of any 64-bit range.
+    const auto huge = parseError(
+        R"({"predictor": {"seed": 18446744073709551616}})");
+    EXPECT_NE(huge.find("64-bit range"), std::string::npos) << huge;
+    // And an unsigned-only value cannot feed a signed field.
+    const auto signedField = parseError(
+        R"({"chunk_tokens": 18446744073709551615})");
+    EXPECT_NE(signedField.find("chunk_tokens"), std::string::npos)
+        << signedField;
+}
+
+TEST(SpecJson, RejectsUnknownEnumValuesListingKnownOnes)
+{
+    const auto error =
+        parseError(R"({"adapters": {"eviction": "mru"}})");
+    EXPECT_NE(error.find("adapters.eviction"), std::string::npos) << error;
+    EXPECT_NE(error.find("gdsf"), std::string::npos) << error;
+
+    const auto model_error =
+        parseError(R"({"engine": {"model": "gpt-5"}})");
+    EXPECT_NE(model_error.find("engine.model"), std::string::npos)
+        << model_error;
+    EXPECT_NE(model_error.find("llama-7b"), std::string::npos)
+        << model_error;
+}
+
+TEST(SpecJson, RejectsSyntaxErrorsWithLineInfo)
+{
+    const auto error = parseError("{\"name\": }");
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(SpecJson, RejectsValidationContradictions)
+{
+    // Parses fine, but GDSF eviction without the cache is contradictory;
+    // the validate() message comes through the JSON error channel.
+    const auto error = parseError(
+        R"({"adapters": {"policy": "slora", "eviction": "gdsf"}})");
+    EXPECT_NE(error.find("requires the chameleon cache"),
+              std::string::npos)
+        << error;
+}
+
+// ---------------------------------------------------------------------
+// operator== (the round-trip assertions depend on it being exact).
+// ---------------------------------------------------------------------
+
+TEST(SpecEquality, DistinguishesEveryAxis)
+{
+    const auto base = [] {
+        auto spec = core::presets::chameleon();
+        spec.engine.model = model::llama7B();
+        spec.engine.gpu = model::a40();
+        return spec;
+    };
+
+    EXPECT_EQ(base(), base());
+
+    auto named = base();
+    named.name = "other";
+    EXPECT_NE(named, base());
+
+    auto scheduler = base();
+    scheduler.scheduler.policy = core::SchedulerPolicy::Fifo;
+    EXPECT_NE(scheduler, base());
+
+    auto eviction = base();
+    eviction.adapters.eviction = core::EvictionKind::Lru;
+    EXPECT_NE(eviction, base());
+
+    auto predictor = base();
+    predictor.predictor.accuracy = 0.6;
+    EXPECT_NE(predictor, base());
+
+    auto engine = base();
+    engine.engine.workspacePerGpu += 1;
+    EXPECT_NE(engine, base());
+
+    auto cluster = base();
+    cluster.cluster.replicas = 2;
+    EXPECT_NE(cluster, base());
+
+    auto router = base();
+    router.cluster.routerConfig.seed += 1;
+    EXPECT_NE(router, base());
+
+    auto autoscaler = base();
+    autoscaler.cluster.autoscaler.highWatermark += 1.0;
+    EXPECT_NE(autoscaler, base());
+
+    auto reservation = base();
+    reservation.reservation = core::ReservationPolicy::Predicted;
+    EXPECT_NE(reservation, base());
+
+    auto chunked = base();
+    chunked.chunkTokens += 1;
+    EXPECT_NE(chunked, base());
+}

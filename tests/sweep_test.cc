@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the sweep subsystem (sweep_spec.h / sweep_runner.h):
+ *  - JSON loading: defaults, strict unknown-key rejection, grid
+ *    grammar errors naming the offending token;
+ *  - expansion: cross-product order and size, trace sharing across
+ *    systems at a load, per-load seed derivation, rps_per_replica;
+ *  - determinism: the same sweep JSON + seed produces a byte-identical
+ *    BenchJson document on repeated runs and at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+
+using namespace chameleon;
+
+namespace {
+
+const char *kSmallSweep = R"({
+  "name": "small",
+  "systems": ["slora", "chameleon"],
+  "loads": [4.0, 5.0],
+  "workload": {"preset": "splitwise", "duration_s": 20, "adapters": 16},
+  "seed": 7
+})";
+
+sweep::SweepSpec
+parseSweep(const std::string &text)
+{
+    std::string error;
+    const auto spec = sweep::sweepFromJson(text, &error);
+    EXPECT_TRUE(spec.has_value()) << error;
+    return spec.value_or(sweep::SweepSpec{});
+}
+
+std::string
+sweepError(const std::string &text)
+{
+    std::string error;
+    const auto spec = sweep::sweepFromJson(text, &error);
+    EXPECT_FALSE(spec.has_value());
+    return error;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// JSON loading.
+// ---------------------------------------------------------------------
+
+TEST(SweepJson, LoadsWithDefaults)
+{
+    const auto spec = parseSweep(kSmallSweep);
+    EXPECT_EQ(spec.name, "small");
+    EXPECT_EQ(spec.systems.size(), 2u);
+    EXPECT_EQ(spec.loads.size(), 2u);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_EQ(spec.threads, 1);
+    EXPECT_EQ(spec.workload.adapters, 16);
+    EXPECT_EQ(spec.outputPath(), "BENCH_small.json");
+    // The hardware template defaults to the paper testbed.
+    EXPECT_EQ(spec.engine.model.name, "llama-7b");
+}
+
+TEST(SweepJson, RejectsUnknownKeysNamingThem)
+{
+    const auto error =
+        sweepError(R"({"systems": ["slora"], "workloadz": {}})");
+    EXPECT_NE(error.find("workloadz"), std::string::npos) << error;
+
+    const auto nested = sweepError(
+        R"({"systems": ["slora"], "workload": {"durations": 5}})");
+    EXPECT_NE(nested.find("workload.durations"), std::string::npos)
+        << nested;
+}
+
+TEST(SweepJson, RejectsEmptySweeps)
+{
+    const auto error = sweepError(R"({"name": "empty"})");
+    EXPECT_NE(error.find("nothing to run"), std::string::npos) << error;
+}
+
+TEST(SweepJson, RejectsExplicitlyEmptyAxisArrays)
+{
+    // An empty axis silently replaced by a default would run a grid
+    // the author never wrote; "systems": [] stays legal (grid-only).
+    for (const char *axis : {"loads", "replicas", "routers"}) {
+        const auto error = sweepError(
+            std::string(R"({"systems": ["slora"], ")") + axis +
+            R"(": []})");
+        EXPECT_NE(error.find(axis), std::string::npos) << error;
+        EXPECT_NE(error.find("empty array"), std::string::npos) << error;
+    }
+    EXPECT_EQ(parseSweep(R"({"systems": [],
+                             "grid": {"base": "chameleon"}})")
+                  .gridBase,
+              "chameleon");
+}
+
+TEST(SweepJson, RejectsBadWorkloadPreset)
+{
+    const auto error = sweepError(
+        R"({"systems": ["slora"], "workload": {"preset": "azure"}})");
+    EXPECT_NE(error.find("workload.preset"), std::string::npos) << error;
+    EXPECT_NE(error.find("splitwise"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// Expansion.
+// ---------------------------------------------------------------------
+
+TEST(SweepExpand, GridCrossProductOrderAndSize)
+{
+    const auto spec = parseSweep(R"({
+      "systems": ["slora"],
+      "grid": {"base": "chameleon",
+               "axes": [["paper", "lru"], ["bypass", "nobypass"]]},
+      "loads": [4.0, 6.0]
+    })");
+    std::string error;
+    const auto cells = sweep::expandSweep(spec, &error);
+    ASSERT_TRUE(cells.has_value()) << error;
+    // (1 explicit + 2x2 grid) systems x 2 loads.
+    ASSERT_EQ(cells->size(), 10u);
+    EXPECT_EQ((*cells)[0].system, "slora");
+    EXPECT_EQ((*cells)[0].rps, 4.0);
+    EXPECT_EQ((*cells)[1].rps, 6.0);
+    EXPECT_EQ((*cells)[2].system, "chameleon+paper+bypass");
+    EXPECT_EQ((*cells)[4].system, "chameleon+paper+nobypass");
+    EXPECT_EQ((*cells)[8].system, "chameleon+lru+nobypass");
+    // The composed spec really carries the modifier.
+    EXPECT_FALSE((*cells)[8].spec.scheduler.bypass);
+    EXPECT_EQ((*cells)[8].spec.adapters.eviction,
+              core::EvictionKind::Lru);
+}
+
+TEST(SweepExpand, SharesTracesAcrossSystemsAtALoad)
+{
+    const auto spec = parseSweep(kSmallSweep);
+    const auto cells = sweep::expandSweep(spec);
+    ASSERT_TRUE(cells.has_value());
+    ASSERT_EQ(cells->size(), 4u);
+    // slora@4 and chameleon@4 share trace 0; @5 share trace 1.
+    EXPECT_EQ((*cells)[0].traceIndex, (*cells)[2].traceIndex);
+    EXPECT_EQ((*cells)[1].traceIndex, (*cells)[3].traceIndex);
+    EXPECT_NE((*cells)[0].traceIndex, (*cells)[1].traceIndex);
+    // Per-load seed derivation: seed + load index.
+    EXPECT_EQ((*cells)[0].traceSeed, 7u);
+    EXPECT_EQ((*cells)[1].traceSeed, 8u);
+}
+
+TEST(SweepExpand, RpsPerReplicaScalesTheLoadAxis)
+{
+    const auto spec = parseSweep(R"({
+      "systems": ["chameleon"],
+      "loads": [4.0],
+      "rps_per_replica": true,
+      "replicas": [1, 2],
+      "routers": ["affinity"]
+    })");
+    const auto cells = sweep::expandSweep(spec);
+    ASSERT_TRUE(cells.has_value());
+    ASSERT_EQ(cells->size(), 2u);
+    EXPECT_EQ((*cells)[0].rps, 4.0);
+    EXPECT_EQ((*cells)[1].rps, 8.0);
+    EXPECT_NE((*cells)[0].traceIndex, (*cells)[1].traceIndex);
+    EXPECT_EQ((*cells)[1].spec.cluster.replicas, 2);
+    EXPECT_EQ((*cells)[1].spec.cluster.router,
+              routing::RouterPolicy::AdapterAffinity);
+}
+
+TEST(SweepExpand, UnknownModifierTokenFailsWithGrammarMessage)
+{
+    const auto spec = parseSweep(R"({
+      "grid": {"base": "chameleon", "axes": [["frobnicate"]]}
+    })");
+    std::string error;
+    const auto cells = sweep::expandSweep(spec, &error);
+    EXPECT_FALSE(cells.has_value());
+    EXPECT_NE(error.find("chameleon+frobnicate"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("unknown system modifier"), std::string::npos)
+        << error;
+}
+
+TEST(SweepExpand, UnknownRouterFailsWithKnownList)
+{
+    const auto spec = parseSweep(R"({
+      "systems": ["chameleon"], "routers": ["hash-ring"]
+    })");
+    std::string error;
+    const auto cells = sweep::expandSweep(spec, &error);
+    EXPECT_FALSE(cells.has_value());
+    EXPECT_NE(error.find("hash-ring"), std::string::npos) << error;
+    EXPECT_NE(error.find("affinity"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------
+
+TEST(SweepRunner, SameJsonAndSeedProducesIdenticalBenchJson)
+{
+    const auto spec = parseSweep(kSmallSweep);
+    sweep::SweepRunner first(spec);
+    sweep::SweepRunner second(spec);
+    const auto a = first.runToBenchJson().toString();
+    const auto b = second.runToBenchJson().toString();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeTheDocument)
+{
+    auto spec = parseSweep(kSmallSweep);
+    spec.threads = 1;
+    sweep::SweepRunner serial(spec);
+    spec.threads = 4;
+    sweep::SweepRunner threaded(spec);
+    EXPECT_EQ(serial.runToBenchJson().toString(),
+              threaded.runToBenchJson().toString());
+}
+
+TEST(SweepRunner, RunsEveryCellOverTheSharedTrace)
+{
+    const auto spec = parseSweep(kSmallSweep);
+    sweep::SweepRunner runner(spec);
+    const auto results = runner.run();
+    ASSERT_EQ(results.size(), 4u);
+    std::set<std::string> systems;
+    for (const auto &result : results) {
+        systems.insert(result.cell.system);
+        // Everything submitted on these short traces finishes.
+        EXPECT_GT(result.report.stats.submitted, 0);
+        EXPECT_EQ(result.report.stats.finished,
+                  result.report.stats.submitted);
+    }
+    EXPECT_EQ(systems.size(), 2u);
+    // Identical arrivals at a load: submitted counts match per trace.
+    EXPECT_EQ(results[0].report.stats.submitted,
+              results[2].report.stats.submitted);
+    EXPECT_EQ(results[1].report.stats.submitted,
+              results[3].report.stats.submitted);
+}

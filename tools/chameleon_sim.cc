@@ -20,16 +20,27 @@
  *   chameleon_sim --system chameleon-gdsf --replicas 4 --router affinity \
  *       --rps 34 --autoscale
  *
- * --seed drives the trace generator, the output-length predictor, and
- * the router's sampling stream, so a cluster run is reproducible from
- * its command line alone.
+ * In --system mode, --seed drives the trace generator, the
+ * output-length predictor, and the router's sampling stream, so a
+ * cluster run is reproducible from its command line alone.
+ *
+ * Any run is also reproducible from a file: --dump-config prints the
+ * fully resolved SystemSpec as JSON and exits, and --config file.json
+ * ("-" = stdin) loads a spec from such a file instead of --system +
+ * hardware flags. `chameleon_sim --dump-config | chameleon_sim
+ * --config -` re-runs the identical system. In --config mode the
+ * predictor and router seeds are the file's (that is what makes the
+ * round-trip bit-identical); --seed, --rps, --duration, --adapters,
+ * and --workload shape only the generated trace.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "chameleon/spec_json.h"
 #include "chameleon/system.h"
+#include "tool_io.h"
 #include "model/gpu_spec.h"
 #include "model/llm.h"
 #include "routing/router.h"
@@ -76,6 +87,20 @@ writeRecordsCsv(const std::string &path,
     }
 }
 
+/** Was --name (or --name=value) given explicitly on the command line? */
+bool
+flagGiven(int argc, char **argv, const std::string &name)
+{
+    const std::string plain = "--" + name;
+    const std::string assign = plain + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == plain || arg.rfind(assign, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 int
@@ -84,6 +109,13 @@ main(int argc, char **argv)
     sim::FlagSet flags("chameleon_sim");
     auto *system = flags.addString("system", "chameleon",
                                    "serving system (see --list-systems)");
+    auto *config_file = flags.addString(
+        "config", "",
+        "load the system spec from a JSON file (\"-\" = stdin) instead "
+        "of --system + hardware flags");
+    auto *dump_config = flags.addBool(
+        "dump-config", false,
+        "print the resolved system spec as JSON and exit");
     auto *list_systems = flags.addBool(
         "list-systems", false,
         "print the system registry (names + composition grammar)");
@@ -141,52 +173,89 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    std::string lookup_error;
-    auto found = core::SystemRegistry::global().find(*system,
-                                                     &lookup_error);
-    if (!found.has_value()) {
-        std::fprintf(stderr, "%s\n", lookup_error.c_str());
-        return 2;
-    }
-    core::SystemSpec spec = *found;
-
-    spec.engine.model = model::modelByName(*model_name);
-    if (*gpu_name == "a40") {
-        spec.engine.gpu = model::a40();
-        CHM_CHECK(*mem_gib == 0, "--mem-gib applies to --gpu a100 only");
-    } else if (*gpu_name == "a100") {
-        spec.engine.gpu = model::a100(*mem_gib == 0 ? 80
-                                                    : static_cast<int>(*mem_gib));
+    core::SystemSpec spec;
+    if (!config_file->empty()) {
+        // The file is the single source of truth for the system; a
+        // spec-axis flag beside it would be silently ignored, which
+        // would misread as a run of the flagged configuration.
+        for (const char *conflicting :
+             {"system", "model", "gpu", "mem-gib", "tp", "predictor-acc",
+              "replicas", "router", "autoscale", "min-replicas",
+              "max-replicas", "replica-rps"}) {
+            CHM_CHECK(!flagGiven(argc, argv, conflicting),
+                      "--" << conflicting
+                           << " conflicts with --config; edit the "
+                              "config file instead (workload flags "
+                              "--rps/--duration/--seed/--adapters/"
+                              "--workload still apply)");
+        }
+        std::string config_error;
+        auto parsed = core::specFromJson(
+            tools::readAll(*config_file, "chameleon_sim"), &config_error);
+        if (!parsed.has_value()) {
+            std::fprintf(stderr, "%s\n", config_error.c_str());
+            return 2;
+        }
+        spec = *parsed;
     } else {
-        CHM_FATAL("unknown --gpu: " << *gpu_name);
-    }
-    spec.engine.tpDegree = static_cast<int>(*tp);
-    spec.predictor.accuracy = *acc;
-    spec.predictor.seed = static_cast<std::uint64_t>(*seed);
+        std::string lookup_error;
+        auto found = core::SystemRegistry::global().find(*system,
+                                                         &lookup_error);
+        if (!found.has_value()) {
+            std::fprintf(stderr, "%s\n", lookup_error.c_str());
+            return 2;
+        }
+        spec = *found;
 
-    CHM_CHECK(*replicas >= 1, "--replicas must be >= 1");
-    spec.cluster.replicas = static_cast<int>(*replicas);
-    CHM_CHECK(routing::routerPolicyByName(*router, &spec.cluster.router),
-              "unknown --router: " << *router
-              << " (try rr, jsq, p2c, affinity, affinity-cache)");
-    spec.cluster.routerConfig.seed = static_cast<std::uint64_t>(*seed);
-    spec.cluster.autoscale = *autoscale;
-    spec.cluster.autoscaler.minReplicas =
-        static_cast<std::size_t>(*min_replicas);
-    spec.cluster.autoscaler.maxReplicas =
-        static_cast<std::size_t>(*max_replicas);
-    spec.cluster.autoscaler.replicaServiceRps = *replica_rps;
+        spec.engine.model = model::modelByName(*model_name);
+        if (*gpu_name == "a40") {
+            spec.engine.gpu = model::a40();
+            CHM_CHECK(*mem_gib == 0,
+                      "--mem-gib applies to --gpu a100 only");
+        } else if (*gpu_name == "a100") {
+            spec.engine.gpu = model::a100(
+                *mem_gib == 0 ? 80 : static_cast<int>(*mem_gib));
+        } else {
+            CHM_FATAL("unknown --gpu: " << *gpu_name);
+        }
+        spec.engine.tpDegree = static_cast<int>(*tp);
+        spec.predictor.accuracy = *acc;
+        spec.predictor.seed = static_cast<std::uint64_t>(*seed);
+
+        CHM_CHECK(*replicas >= 1, "--replicas must be >= 1");
+        spec.cluster.replicas = static_cast<int>(*replicas);
+        CHM_CHECK(routing::routerPolicyByName(*router,
+                                              &spec.cluster.router),
+                  "unknown --router: " << *router << " (try "
+                                       << routing::routerPolicyNames()
+                                       << ")");
+        spec.cluster.routerConfig.seed = static_cast<std::uint64_t>(*seed);
+        spec.cluster.autoscale = *autoscale;
+        spec.cluster.autoscaler.minReplicas =
+            static_cast<std::size_t>(*min_replicas);
+        spec.cluster.autoscaler.maxReplicas =
+            static_cast<std::size_t>(*max_replicas);
+        spec.cluster.autoscaler.replicaServiceRps = *replica_rps;
+        // Cluster-only flags silently doing nothing would misread as a
+        // valid run of the requested policy.
+        CHM_CHECK(spec.cluster.replicas > 1 || spec.cluster.autoscale ||
+                      *router == "jsq",
+                  "--router requires --replicas > 1 or --autoscale");
+        CHM_CHECK(spec.cluster.autoscale ||
+                      (*min_replicas == 1 && *max_replicas == 8 &&
+                       *replica_rps == 8.0),
+                  "--min-replicas/--max-replicas/--replica-rps require "
+                  "--autoscale");
+    }
     const bool clusterRun =
         spec.cluster.replicas > 1 || spec.cluster.autoscale;
-    // Cluster-only flags silently doing nothing would misread as a
-    // valid run of the requested policy.
-    CHM_CHECK(clusterRun || *router == "jsq",
-              "--router requires --replicas > 1 or --autoscale");
-    CHM_CHECK(spec.cluster.autoscale ||
-                  (*min_replicas == 1 && *max_replicas == 8 &&
-                   *replica_rps == 8.0),
-              "--min-replicas/--max-replicas/--replica-rps require "
-              "--autoscale");
+
+    if (*dump_config) {
+        // The resolved spec alone reproduces this system: pipe it back
+        // through --config - for a bit-identical seeded run.
+        std::fputs(core::specToJson(spec).c_str(), stdout);
+        return 0;
+    }
 
     std::unique_ptr<model::AdapterPool> pool;
     if (*adapters > 0) {
@@ -218,7 +287,7 @@ main(int argc, char **argv)
         trace.saveCsv(*trace_out);
 
     model::CostModel cost(spec.engine.model, spec.engine.gpu,
-                          spec.engine.tpDegree);
+                          spec.engine.tpDegree, spec.engine.cost);
     const double slo =
         sim::toSeconds(serving::computeSlo(trace, cost, pool.get()));
 
@@ -241,7 +310,8 @@ main(int argc, char **argv)
                 static_cast<long long>(*adapters));
     if (clusterRun) {
         std::printf("cluster     : %d replicas, %s routing%s\n",
-                    spec.cluster.replicas, router->c_str(),
+                    spec.cluster.replicas,
+                    routing::routerPolicyName(spec.cluster.router),
                     spec.cluster.autoscale ? ", autoscaling" : "");
     }
     std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * chameleon_sweep — run a whole scenario grid from one JSON file.
+ *
+ * Loads a SweepSpec (src/sweep/README.md documents the grammar),
+ * expands it into cells (systems and/or a base+modifier cross-product,
+ * crossed with load / replica / router axes), runs every cell through
+ * the core Runner, prints a summary table, and writes one consolidated
+ * BenchJson. Per-cell seeds derive from the sweep seed, so the same
+ * file + seed reproduces the identical document at any --threads.
+ *
+ * Examples:
+ *   chameleon_sweep --config examples/sweeps/minimal.json
+ *   chameleon_sweep --config examples/sweeps/fig17_policy_grid.json
+ *   chameleon_sweep --config sweep.json --dry-run     # list the cells
+ *   chameleon_sweep --config sweep.json --threads 8 --out grid.json
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "simkit/flags.h"
+#include "sweep/sweep_runner.h"
+#include "tool_io.h"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    sim::FlagSet flags("chameleon_sweep");
+    auto *config = flags.addString(
+        "config", "", "sweep JSON file (\"-\" reads stdin); required");
+    auto *out = flags.addString(
+        "out", "", "override the BenchJson output path");
+    auto *threads = flags.addInt(
+        "threads", 0, "override worker threads (0 = use the file's)");
+    auto *dry_run = flags.addBool(
+        "dry-run", false, "expand and list the cells without running");
+    if (!flags.parse(argc, argv))
+        return 2;
+
+    if (config->empty()) {
+        std::fprintf(stderr,
+                     "chameleon_sweep: --config is required\n%s",
+                     flags.usage().c_str());
+        return 2;
+    }
+
+    std::string error;
+    auto spec = sweep::sweepFromJson(
+        tools::readAll(*config, "chameleon_sweep"), &error);
+    if (!spec.has_value()) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+    if (!out->empty())
+        spec->output = *out;
+    if (*threads < 0) {
+        // A negative override silently falling back to the file's
+        // value would misread as a valid run of the requested count.
+        std::fprintf(stderr,
+                     "chameleon_sweep: --threads must be >= 1 "
+                     "(0 = use the file's)\n");
+        return 2;
+    }
+    if (*threads > 0)
+        spec->threads = static_cast<int>(*threads);
+
+    // Expand up front so an invalid grid is a clean error (exit 2),
+    // not a CHM_CHECK abort out of the runner's constructor.
+    auto cells = sweep::expandSweep(*spec, &error);
+    if (!cells.has_value()) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+
+    if (*dry_run) {
+        std::printf("sweep %s: %zu cells\n", spec->name.c_str(),
+                    cells->size());
+        std::printf("%-32s %8s %9s %-15s %12s\n", "system", "rps",
+                    "replicas", "router", "trace_seed");
+        for (const auto &cell : *cells) {
+            std::printf("%-32s %8.2f %9d %-15s %12llu\n",
+                        cell.system.c_str(), cell.rps, cell.replicaCount,
+                        cell.router.c_str(),
+                        static_cast<unsigned long long>(cell.traceSeed));
+        }
+        return 0;
+    }
+
+    sweep::SweepRunner runner(std::move(*spec));
+    std::printf("sweep %s: %zu cells, %d thread%s, %s workload, "
+                "%d adapters\n\n",
+                runner.spec().name.c_str(), runner.cells().size(),
+                runner.spec().threads,
+                runner.spec().threads == 1 ? "" : "s",
+                runner.spec().workload.preset.c_str(),
+                runner.spec().workload.adapters);
+
+    const auto results = runner.run();
+
+    std::printf("%-32s %8s %9s %-15s %9s %12s %12s %7s\n", "system",
+                "rps", "replicas", "router", "finished", "p50ttft(s)",
+                "p99ttft(s)", "hit%");
+    for (const auto &result : results) {
+        const auto &cell = result.cell;
+        const auto &s = result.report.stats;
+        std::printf("%-32s %8.2f %9d %-15s %9lld %12.3f %12.3f %6.1f%%\n",
+                    cell.system.c_str(), cell.rps, cell.replicaCount,
+                    cell.router.c_str(),
+                    static_cast<long long>(s.finished), s.ttft.p50(),
+                    s.ttft.p99(), 100.0 * result.report.cacheHitRate);
+    }
+
+    sweep::BenchJson json(runner.spec().name);
+    sweep::SweepRunner::appendRows(json, results);
+    json.write(runner.spec().outputPath());
+    return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs-freshness check (run by CI).
+#
+# 1. The preset table in src/chameleon/README.md must list exactly the
+#    systems `chameleon_sim --list-systems` reports — a preset added or
+#    renamed without a docs update fails the build.
+# 2. docs/ARCHITECTURE.md and bench/README.md must exist and be linked
+#    from the root README.
+#
+# Usage: tools/check_docs.sh <chameleon_sim-binary> <repo-root>
+set -euo pipefail
+
+bin="${1:?usage: check_docs.sh <chameleon_sim-binary> <repo-root>}"
+root="${2:?usage: check_docs.sh <chameleon_sim-binary> <repo-root>}"
+
+fail=0
+
+registry_names=$("$bin" --list-systems |
+    awk '/^registered systems:/{f=1; next} /^$/{f=0} f{print $1}' |
+    sort)
+
+doc_names=$(awk '/<!-- preset-table:begin -->/{f=1; next}
+                 /<!-- preset-table:end -->/{f=0}
+                 f && /^\| `/ {gsub(/[|` ]/, "", $2); print $2}' \
+        "$root/src/chameleon/README.md" | sort)
+
+if [ "$registry_names" != "$doc_names" ]; then
+    echo "FAIL: src/chameleon/README.md preset table is out of sync" \
+         "with --list-systems:"
+    diff <(echo "$registry_names") <(echo "$doc_names") |
+        sed 's/^</  only in registry: /; s/^>/  only in README:   /' |
+        grep -v '^---' || true
+    fail=1
+fi
+
+for doc in docs/ARCHITECTURE.md bench/README.md; do
+    if [ ! -f "$root/$doc" ]; then
+        echo "FAIL: $doc is missing"
+        fail=1
+    elif ! grep -q "$doc" "$root/README.md"; then
+        echo "FAIL: $doc is not linked from the root README"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docs freshness OK ($(echo "$registry_names" | wc -l) presets" \
+     "documented)"

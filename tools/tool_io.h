@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the CLI tools (chameleon_sim, chameleon_sweep).
+ */
+
+#ifndef CHAMELEON_TOOLS_TOOL_IO_H
+#define CHAMELEON_TOOLS_TOOL_IO_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace chameleon::tools {
+
+/**
+ * Slurp a whole file, or stdin when `path` is "-". An unreadable file
+ * is a usage error: prints to stderr and exits 2 (the same exit code
+ * the tools use for bad flags and bad configs).
+ */
+inline std::string
+readAll(const std::string &path, const char *program)
+{
+    if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        return buffer.str();
+    }
+    std::ifstream in(path);
+    if (!in.good()) {
+        std::fprintf(stderr, "%s: cannot open %s\n", program,
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace chameleon::tools
+
+#endif // CHAMELEON_TOOLS_TOOL_IO_H
