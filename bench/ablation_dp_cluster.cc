@@ -77,7 +77,7 @@ main()
             predict::LengthPredictor predictor(0.8);
             serving::DataParallelCluster cluster(
                 simulator,
-                [&] {
+                [&](std::size_t) {
                     return makeReplica(simulator, *tb.pool, predictor,
                                        chameleon);
                 },

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "model/gpu_spec.h"
 #include "model/llm.h"
@@ -132,7 +134,18 @@ JsonValue
 clusterToJson(const ClusterSpec &c)
 {
     JsonValue o = JsonValue::makeObject();
-    o.set("replicas", JsonValue::makeInt(c.replicas));
+    if (c.replicaEngines.empty()) {
+        o.set("replicas", JsonValue::makeInt(c.replicas));
+    } else {
+        // Heterogeneous fleet: "replicas" becomes the ordered list of
+        // fully resolved per-replica engines. Printing every field
+        // (rather than a diff against "engine") keeps the round trip
+        // exact whatever base the overrides were applied onto.
+        JsonValue list = JsonValue::makeArray();
+        for (const auto &engine : c.replicaEngines)
+            list.push(engineToJson(engine));
+        o.set("replicas", std::move(list));
+    }
     o.set("router",
           JsonValue::makeString(routing::routerPolicyName(c.router)));
     JsonValue rc = JsonValue::makeObject();
@@ -290,10 +303,84 @@ adaptersFromJson(const JsonValue &v, const std::string &path,
 
 bool
 clusterFromJson(const JsonValue &v, const std::string &path,
-                ClusterSpec *out, std::string *error)
+                const serving::EngineConfig &baseEngine, ClusterSpec *out,
+                std::string *error)
 {
     sim::JsonObjectReader r(v, path, error);
-    r.getInt("replicas", &out->replicas);
+    // "replicas" is polymorphic: an integer count (homogeneous fleet,
+    // every replica from the top-level "engine") or an ordered array
+    // of per-replica engine overrides applied onto that base engine.
+    // "fleet" is a shorthand for the array form: a GPU-mix preset like
+    // "a100x2+a40x2" expands to one base-engine replica per GPU.
+    const JsonValue *replicas = r.child("replicas");
+    const JsonValue *fleet = r.child("fleet");
+    if (replicas != nullptr && fleet != nullptr) {
+        return r.fail("fleet",
+                      "conflicts with \"" + path +
+                          ".replicas\"; the fleet preset already "
+                          "defines the replica count and GPU mix");
+    }
+    if (replicas != nullptr) {
+        if (replicas->isArray()) {
+            if (replicas->items().empty()) {
+                return r.fail("replicas",
+                              "must not be an empty array; use an "
+                              "integer count for a homogeneous fleet");
+            }
+            out->replicaEngines.clear();
+            for (std::size_t i = 0; i < replicas->items().size(); ++i) {
+                const JsonValue &entry = replicas->items()[i];
+                std::ostringstream entryPath;
+                entryPath << path << ".replicas[" << i << "]";
+                serving::EngineConfig cfg = baseEngine;
+                if (entry.isString()) {
+                    // Bare string = GPU-preset shorthand.
+                    if (!model::tryGpuByName(entry.asString(),
+                                             &cfg.gpu)) {
+                        if (error != nullptr)
+                            *error = "\"" + entryPath.str() +
+                                     "\" unknown gpu preset \"" +
+                                     entry.asString() + "\"; known: " +
+                                     model::gpuPresetNames() +
+                                     " (or an engine-override object)";
+                        return false;
+                    }
+                } else if (!engineFromJson(entry, entryPath.str(), &cfg,
+                                           error)) {
+                    return false;
+                }
+                out->replicaEngines.push_back(std::move(cfg));
+            }
+            out->replicas =
+                static_cast<int>(out->replicaEngines.size());
+        } else if (replicas->isNumber() && replicas->isIntegral() &&
+                   !replicas->isUnsignedIntegral() &&
+                   replicas->asInt() >=
+                       std::numeric_limits<int>::min() &&
+                   replicas->asInt() <=
+                       std::numeric_limits<int>::max()) {
+            out->replicas = static_cast<int>(replicas->asInt());
+        } else {
+            return r.fail("replicas",
+                          "expects an integer count or an array of "
+                          "per-replica engine overrides");
+        }
+    }
+    if (fleet != nullptr) {
+        if (!fleet->isString()) {
+            return r.fail("fleet", "expects a fleet-preset string: " +
+                                       model::fleetGrammarHelp());
+        }
+        std::vector<model::GpuSpec> gpus;
+        if (!model::tryFleetByName(fleet->asString(), &gpus)) {
+            return r.fail("fleet", "unknown fleet preset \"" +
+                                       fleet->asString() +
+                                       "\"; expected " +
+                                       model::fleetGrammarHelp());
+        }
+        out->replicaEngines = serving::fleetEngines(baseEngine, gpus);
+        out->replicas = static_cast<int>(out->replicaEngines.size());
+    }
     r.getEnum("router", &out->router, routing::routerPolicyByName,
               routing::routerPolicyNames());
     if (const JsonValue *rc = r.child("router_config")) {
@@ -436,8 +523,12 @@ specFromJsonValue(const JsonValue &root, std::string *error)
         if (!predictorFromJson(*p, "predictor", &spec.predictor, error))
             return specParseFailure(error);
     }
+    // Parsed after "engine" on purpose: per-replica overrides in
+    // "cluster.replicas"/"cluster.fleet" apply onto the parsed base
+    // engine, wherever the keys appeared in the document.
     if (const JsonValue *c = r.child("cluster")) {
-        if (!clusterFromJson(*c, "cluster", &spec.cluster, error))
+        if (!clusterFromJson(*c, "cluster", spec.engine, &spec.cluster,
+                             error))
             return specParseFailure(error);
     }
     r.getEnum("reservation", &spec.reservation, reservationPolicyByName,

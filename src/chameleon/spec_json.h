@@ -11,7 +11,15 @@
  * Parsing is strict and partial at once: any key may be omitted (its
  * default survives — `{}` is the paper testbed's full Chameleon), but
  * an unknown or mistyped key fails with a message naming the offending
- * key path ("scheduler.polcy", "cluster.replicas expects a number").
+ * key path ("scheduler.polcy", "cluster.replicas expects an integer
+ * count or an array of per-replica engine overrides").
+ *
+ * Heterogeneous fleets: "cluster.replicas" also accepts an ordered
+ * array — one engine-override object (or GPU-preset string) per
+ * replica, applied onto the top-level "engine" — and "cluster.fleet"
+ * accepts a GPU-mix preset like "a100x2+a40x2"
+ * (model::tryFleetByName). Printing always emits the fully resolved
+ * per-replica engines, so the round trip stays bit-identical.
  * Parsed specs are also run through SystemSpec::validate(), so a
  * config that names a contradiction fails with the same actionable
  * messages the Runner would emit.

@@ -42,15 +42,18 @@ buildPredictor(const PredictorSpec &spec)
 /**
  * Build one fully wired engine (scheduler + adapter manager) from the
  * spec's policy axes, on the given simulator. Every replica of the
- * Runner's cluster is built here.
+ * Runner's cluster is built here; `replica` selects the resolved
+ * per-replica engine config (heterogeneous fleets differ per index,
+ * homogeneous specs resolve every index to spec.engine).
  */
 std::unique_ptr<ServingEngine>
-buildEngine(const SystemSpec &spec, const model::AdapterPool *pool,
-            sim::Simulator &simulator, predict::OutputPredictor *predictor)
+buildEngine(const SystemSpec &spec, std::size_t replica,
+            const model::AdapterPool *pool, sim::Simulator &simulator,
+            predict::OutputPredictor *predictor)
 {
     const bool mlq = spec.scheduler.policy == SchedulerPolicy::Mlq;
 
-    EngineConfig ecfg = spec.engine;
+    EngineConfig ecfg = spec.resolvedEngine(replica);
     switch (spec.reservation) {
       case ReservationPolicy::Auto:
         ecfg.predictedReservation = mlq;
@@ -162,8 +165,9 @@ Runner::Runner(SystemSpec spec, const model::AdapterPool *pool)
     const ClusterSpec &ccfg = spec_.cluster;
     cluster_ = std::make_unique<serving::DataParallelCluster>(
         sim_,
-        [this] {
-            return buildEngine(spec_, pool_, sim_, predictor_.get());
+        [this](std::size_t replica) {
+            return buildEngine(spec_, replica, pool_, sim_,
+                               predictor_.get());
         },
         ccfg.replicas, routing::makeRouter(ccfg.router, ccfg.routerConfig));
     if (ccfg.autoscale)
@@ -208,6 +212,7 @@ Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
         }
     }
     report.perReplicaFinished = cluster_->perReplicaFinished();
+    report.perReplicaServiceRate = cluster_->serviceRates();
     report.peakReplicas = engines.size();
     report.finalActiveReplicas = cluster_->activeReplicas();
     report.scaleUps = cluster_->scaleUps();

@@ -61,6 +61,14 @@ struct RunReport
 
     /** Requests finished per replica (drained replicas included). */
     std::vector<std::int64_t> perReplicaFinished;
+    /**
+     * Nominal service-rate estimate per replica (requests/s, from
+     * serving::nominalServiceRate on each replica's resolved engine
+     * config), indexed like perReplicaFinished. Homogeneous fleets
+     * report one value repeated; the ratios are what capacity-aware
+     * routing weighted the placement by.
+     */
+    std::vector<double> perReplicaServiceRate;
     /** Replicas ever built and active count at the end of the run. */
     std::size_t peakReplicas = 0;
     std::size_t finalActiveReplicas = 0;

@@ -154,6 +154,24 @@ SystemSpec::withReplicas(int replicas, routing::RouterPolicy router)
     return *this;
 }
 
+SystemSpec &
+SystemSpec::withFleet(const std::vector<model::GpuSpec> &gpus,
+                      routing::RouterPolicy router)
+{
+    cluster.replicas = static_cast<int>(gpus.size());
+    cluster.router = router;
+    cluster.replicaEngines = serving::fleetEngines(engine, gpus);
+    return *this;
+}
+
+const serving::EngineConfig &
+SystemSpec::resolvedEngine(std::size_t replica) const
+{
+    if (replica < cluster.replicaEngines.size())
+        return cluster.replicaEngines[replica];
+    return engine;
+}
+
 std::vector<std::string>
 SystemSpec::validate() const
 {
@@ -167,6 +185,26 @@ SystemSpec::validate() const
         os << "cluster.replicas must be >= 1 (got " << cluster.replicas
            << "); replicas = 1 means a single engine";
         err(os);
+    }
+    if (!cluster.replicaEngines.empty() &&
+        static_cast<int>(cluster.replicaEngines.size()) !=
+            cluster.replicas) {
+        std::ostringstream os;
+        os << "cluster.replicaEngines has "
+           << cluster.replicaEngines.size() << " per-replica overrides "
+           << "but cluster.replicas = " << cluster.replicas
+           << "; give exactly one override per replica (or clear the "
+           << "list for a homogeneous fleet)";
+        err(os);
+    }
+    for (std::size_t i = 0; i < cluster.replicaEngines.size(); ++i) {
+        if (cluster.replicaEngines[i].tpDegree < 1) {
+            std::ostringstream os;
+            os << "cluster.replicaEngines[" << i
+               << "].tpDegree must be >= 1 (got "
+               << cluster.replicaEngines[i].tpDegree << ")";
+            err(os);
+        }
     }
     if (engine.tpDegree < 1) {
         std::ostringstream os;
@@ -277,8 +315,9 @@ operator==(const AdapterSpec &a, const AdapterSpec &b)
 bool
 operator==(const ClusterSpec &a, const ClusterSpec &b)
 {
-    return a.replicas == b.replicas && a.router == b.router &&
-           a.routerConfig == b.routerConfig &&
+    return a.replicas == b.replicas &&
+           a.replicaEngines == b.replicaEngines &&
+           a.router == b.router && a.routerConfig == b.routerConfig &&
            a.autoscale == b.autoscale && a.autoscaler == b.autoscaler;
 }
 

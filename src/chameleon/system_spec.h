@@ -117,6 +117,18 @@ struct ClusterSpec
 {
     /** Data-parallel replicas (1 = single engine). */
     int replicas = 1;
+    /**
+     * Per-replica engine overrides for heterogeneous fleets, in
+     * replica order. Empty (the default) stamps every replica from
+     * SystemSpec::engine; non-empty must have exactly `replicas`
+     * entries (validate() enforces it) and replica i is built from
+     * entry i. Autoscale scale-ups beyond the list fall back to
+     * SystemSpec::engine. Populate by hand, via
+     * SystemSpec::withFleet(), or from spec JSON ("cluster.replicas"
+     * as an array of engine overrides, or the "cluster.fleet"
+     * shorthand — see src/chameleon/README.md).
+     */
+    std::vector<serving::EngineConfig> replicaEngines;
     routing::RouterPolicy router =
         routing::RouterPolicy::JoinShortestQueue;
     routing::RouterConfig routerConfig{};
@@ -159,6 +171,24 @@ struct SystemSpec
     SystemSpec &withReplicas(int replicas,
                              routing::RouterPolicy router =
                                  routing::RouterPolicy::JoinShortestQueue);
+    /**
+     * Deploy a heterogeneous fleet: one replica per GPU in `gpus`,
+     * each built from the current `engine` with that GPU swapped in
+     * (set engine.model and shared knobs first). Sets
+     * cluster.replicas and cluster.replicaEngines; pairs with
+     * model::tryFleetByName for "a100x2+a40x2"-style presets.
+     */
+    SystemSpec &withFleet(const std::vector<model::GpuSpec> &gpus,
+                          routing::RouterPolicy router =
+                              routing::RouterPolicy::JoinShortestQueue);
+
+    /**
+     * The engine configuration replica `replica` is built from:
+     * cluster.replicaEngines[replica] when the fleet is heterogeneous
+     * (falling back to `engine` for autoscaled replicas beyond the
+     * list), `engine` otherwise.
+     */
+    const serving::EngineConfig &resolvedEngine(std::size_t replica) const;
 
     /**
      * Check the spec for contradictions. Returns one actionable message

@@ -80,4 +80,48 @@ gpuPresetNames()
     return "a40, a100, a100-24, a100-48, a100-80";
 }
 
+bool
+tryFleetByName(const std::string &name, std::vector<GpuSpec> *out)
+{
+    if (name.empty())
+        return false;
+    std::vector<GpuSpec> fleet;
+    std::size_t start = 0;
+    while (start <= name.size()) {
+        const std::size_t plus = name.find('+', start);
+        const std::string term =
+            name.substr(start, plus == std::string::npos
+                                   ? std::string::npos
+                                   : plus - start);
+        // The count is the suffix after the *last* 'x', so GPU names
+        // may themselves contain an 'x' without breaking the grammar.
+        const std::size_t x = term.rfind('x');
+        if (x == std::string::npos || x == 0 || x + 1 >= term.size())
+            return false;
+        GpuSpec gpu;
+        if (!tryGpuByName(term.substr(0, x), &gpu))
+            return false;
+        char *end = nullptr;
+        const std::string countText = term.substr(x + 1);
+        const long count = std::strtol(countText.c_str(), &end, 10);
+        if (*end != '\0' || count < 1 || count > 1024)
+            return false;
+        for (long i = 0; i < count; ++i)
+            fleet.push_back(gpu);
+        if (plus == std::string::npos)
+            break;
+        start = plus + 1;
+    }
+    *out = std::move(fleet);
+    return true;
+}
+
+std::string
+fleetGrammarHelp()
+{
+    return std::string("<gpu>x<count> terms joined by '+' (e.g. "
+                       "\"a40x4\", \"a100x2+a40x2\"); gpus: ") +
+           gpuPresetNames();
+}
+
 } // namespace chameleon::model

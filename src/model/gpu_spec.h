@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace chameleon::model {
 
@@ -49,6 +50,24 @@ bool tryGpuByName(const std::string &name, GpuSpec *out);
 
 /** Comma-separated preset names, for error messages. */
 const char *gpuPresetNames();
+
+/**
+ * Parse a fleet preset — the GPU mix of a heterogeneous replica set —
+ * into one GpuSpec per replica, in order. Grammar:
+ *
+ *   <gpu>x<count>[+<gpu>x<count>...]
+ *
+ * where <gpu> is any tryGpuByName preset, so "a40x4" is four A40
+ * replicas and "a100x2+a40x2" is two A100-80G replicas followed by two
+ * A40s. Returns false on unknown GPU names, malformed terms, or a
+ * non-positive count. One source of truth for every fleet parser
+ * (spec JSON "cluster.fleet", sweep "fleets" axis, chameleon_sim
+ * --fleet).
+ */
+bool tryFleetByName(const std::string &name, std::vector<GpuSpec> *out);
+
+/** One-line fleet grammar + known GPUs, for error messages. */
+std::string fleetGrammarHelp();
 
 } // namespace chameleon::model
 

@@ -1,6 +1,7 @@
 #include "routing/consistent_hash.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "simkit/check.h"
 #include "simkit/rng.h"
@@ -14,15 +15,22 @@ ConsistentHashRing::ConsistentHashRing(int virtualNodes)
 }
 
 void
-ConsistentHashRing::addReplica(std::size_t replica)
+ConsistentHashRing::addReplica(std::size_t replica, double weight)
 {
+    CHM_CHECK(weight > 0.0, "ring weight must be positive, got " << weight);
     if (contains(replica))
         return;
-    members_.insert(
-        std::lower_bound(members_.begin(), members_.end(), replica),
-        replica);
-    ring_.reserve(ring_.size() + static_cast<std::size_t>(virtualNodes_));
-    for (int v = 0; v < virtualNodes_; ++v) {
+    const auto at =
+        std::lower_bound(members_.begin(), members_.end(), replica);
+    weights_.insert(weights_.begin() + (at - members_.begin()), weight);
+    members_.insert(at, replica);
+    // A fractional weight keeps a prefix of the replica's weight-1.0
+    // points (point hashes depend only on (replica, vnode)), so
+    // re-weighting a replica never moves another replica's keys.
+    const int points = std::max(
+        1, static_cast<int>(std::lround(virtualNodes_ * weight)));
+    ring_.reserve(ring_.size() + static_cast<std::size_t>(points));
+    for (int v = 0; v < points; ++v) {
         // Point hashes depend only on (replica, vnode), so a replica's
         // points are identical no matter when it joins the ring. The
         // double mix with a salt domain-separates ring points from key
@@ -43,6 +51,7 @@ ConsistentHashRing::removeReplica(std::size_t replica)
     auto it = std::lower_bound(members_.begin(), members_.end(), replica);
     if (it == members_.end() || *it != replica)
         return;
+    weights_.erase(weights_.begin() + (it - members_.begin()));
     members_.erase(it);
     ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
                                [replica](const Point &p) {
@@ -58,6 +67,24 @@ ConsistentHashRing::resize(std::size_t count)
         removeReplica(members_.back());
     for (std::size_t i = 0; i < count; ++i)
         addReplica(i);
+}
+
+void
+ConsistentHashRing::resizeWeighted(const std::vector<double> &weights)
+{
+    while (!members_.empty() && members_.back() >= weights.size())
+        removeReplica(members_.back());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const auto it =
+            std::lower_bound(members_.begin(), members_.end(), i);
+        if (it != members_.end() && *it == i) {
+            if (weights_[static_cast<std::size_t>(
+                    it - members_.begin())] == weights[i])
+                continue; // unchanged: keep the exact ring points
+            removeReplica(i);
+        }
+        addReplica(i, weights[i]);
+    }
 }
 
 bool

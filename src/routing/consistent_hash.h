@@ -29,14 +29,30 @@ class ConsistentHashRing
      */
     explicit ConsistentHashRing(int virtualNodes = 64);
 
-    /** Add a replica's virtual nodes; no-op if already present. */
-    void addReplica(std::size_t replica);
+    /**
+     * Add a replica's virtual nodes; no-op if already present (even
+     * with a different weight — remove first to re-weight). `weight`
+     * scales the replica's virtual-node count (capacity-aware rings
+     * pass the replica's relative service rate): a replica gets
+     * max(1, round(virtualNodes * weight)) points. A weight-w
+     * replica's points are a prefix of its weight-1.0 points, so
+     * weighting never moves another replica's keys.
+     */
+    void addReplica(std::size_t replica, double weight = 1.0);
 
     /** Remove a replica's virtual nodes; no-op if absent. */
     void removeReplica(std::size_t replica);
 
     /** Replace the member set with exactly {0, .., count-1}. */
     void resize(std::size_t count);
+
+    /**
+     * Replace the member set with {0, .., weights.size()-1}, replica
+     * i weighted by weights[i]. Rebuilds only replicas whose weight
+     * changed, so repeated calls with the same weights are no-ops and
+     * unchanged replicas keep their exact ring points.
+     */
+    void resizeWeighted(const std::vector<double> &weights);
 
     bool contains(std::size_t replica) const;
     std::size_t replicaCount() const { return members_.size(); }
@@ -72,6 +88,7 @@ class ConsistentHashRing
     int virtualNodes_;
     std::vector<Point> ring_;      // sorted by (hash, replica)
     std::vector<std::size_t> members_; // sorted replica indices
+    std::vector<double> weights_;  // aligned with members_
 };
 
 } // namespace chameleon::routing

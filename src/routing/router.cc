@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "routing/consistent_hash.h"
 #include "simkit/check.h"
@@ -48,15 +49,29 @@ routerPolicyByName(const std::string &name, RouterPolicy *out)
 
 namespace {
 
+/**
+ * Capacity-normalised queue depth: outstanding requests divided by the
+ * replica's service weight, so a queued request on a half-speed
+ * replica counts like two on a full-speed one. With homogeneous
+ * weights (exactly 1.0) this is the plain outstanding count and every
+ * comparison below reduces to the unweighted policy.
+ */
+double
+weightedLoad(const ClusterView &view, std::size_t i)
+{
+    return static_cast<double>(view.outstanding(i)) /
+           view.serviceWeight(i);
+}
+
 /** Least-loaded replica; ties go to the lowest index (deterministic). */
 std::size_t
 leastLoaded(const ClusterView &view)
 {
     const std::size_t n = view.replicaCount();
     std::size_t best = 0;
-    std::int64_t bestLoad = std::numeric_limits<std::int64_t>::max();
+    double bestLoad = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
-        const std::int64_t load = view.outstanding(i);
+        const double load = weightedLoad(view, i);
         if (load < bestLoad) {
             best = i;
             bestLoad = load;
@@ -128,9 +143,11 @@ class PowerOfTwoChoicesRouter final : public Router
         std::size_t b = rng_.nextBelow(n - 1);
         if (b >= a)
             ++b; // second draw over the remaining n-1 replicas
-        if (view.outstanding(a) == view.outstanding(b))
+        const double loadA = weightedLoad(view, a);
+        const double loadB = weightedLoad(view, b);
+        if (loadA == loadB)
             return std::min(a, b);
-        return view.outstanding(a) < view.outstanding(b) ? a : b;
+        return loadA < loadB ? a : b;
     }
 
   private:
@@ -158,24 +175,23 @@ class AdapterAffinityRouter final : public Router
     {
         const std::size_t n = view.replicaCount();
         CHM_CHECK(n > 0, "routing with no active replicas");
-        if (ring_.replicaCount() != n)
-            ring_.resize(n);
+        if (ringDirty_ || ring_.replicaCount() != n)
+            syncRing(view, n);
         // Base-model requests have no affinity; balance them.
         if (request.adapter == model::kNoAdapter)
             return leastLoaded(view);
 
-        const std::int64_t limit = spillLimit(view, n);
+        const double limit = spillLimit(view, n);
         if (cacheAware_) {
             // A replica that already holds the adapter serves it with
             // zero loading cost even if the hash owner differs (e.g.
             // residency left over from spillover or a ring resize).
             std::size_t best = n;
-            std::int64_t bestLoad =
-                std::numeric_limits<std::int64_t>::max();
+            double bestLoad = std::numeric_limits<double>::infinity();
             for (std::size_t i = 0; i < n; ++i) {
                 if (!view.adapterResident(i, request.adapter))
                     continue;
-                const std::int64_t load = view.outstanding(i);
+                const double load = weightedLoad(view, i);
                 if (load < bestLoad) {
                     best = i;
                     bestLoad = load;
@@ -188,12 +204,12 @@ class AdapterAffinityRouter final : public Router
         // case — avoid materialising the preference list for it).
         const auto key = static_cast<std::uint64_t>(request.adapter);
         const std::size_t owner = ring_.owner(key);
-        if (view.outstanding(owner) <= limit)
+        if (weightedLoad(view, owner) <= limit)
             return owner;
         // Spillover: walk the owner's ring successors.
         const auto prefs = ring_.preferenceList(key, n);
         for (const std::size_t replica : prefs) {
-            if (view.outstanding(replica) <= limit)
+            if (weightedLoad(view, replica) <= limit)
                 return replica;
         }
         // Everything is overloaded; degrade to least-loaded.
@@ -203,26 +219,54 @@ class AdapterAffinityRouter final : public Router
     void
     onReplicaCountChanged(std::size_t active) override
     {
-        if (active > 0)
-            ring_.resize(active);
+        // The ring rebuild needs the new replicas' service weights,
+        // which only the ClusterView carries; defer to the next route.
+        (void)active;
+        ringDirty_ = true;
     }
 
   private:
-    std::int64_t
+    /**
+     * Rebuild the ring over the active set, each replica's
+     * virtual-node share scaled by its service weight so faster
+     * replicas own proportionally more adapters. Unchanged replicas
+     * keep their exact ring points (resizeWeighted is incremental).
+     */
+    void
+    syncRing(const ClusterView &view, std::size_t n)
+    {
+        std::vector<double> weights(n);
+        for (std::size_t i = 0; i < n; ++i)
+            weights[i] = view.serviceWeight(i);
+        ring_.resizeWeighted(weights);
+        ringDirty_ = false;
+    }
+
+    /**
+     * Bounded-load spill threshold in capacity-normalised queue depth:
+     * spillLoadFactor x the weighted cluster-mean load (total
+     * outstanding over total service weight) plus spillMargin. With
+     * homogeneous weights this is exactly the unweighted mean-based
+     * bound.
+     */
+    double
     spillLimit(const ClusterView &view, std::size_t n) const
     {
         std::int64_t total = 0;
-        for (std::size_t i = 0; i < n; ++i)
+        double totalWeight = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
             total += view.outstanding(i);
-        const double mean =
-            static_cast<double>(total) / static_cast<double>(n);
-        return static_cast<std::int64_t>(config_.spillLoadFactor * mean) +
-               config_.spillMargin;
+            totalWeight += view.serviceWeight(i);
+        }
+        const double mean = static_cast<double>(total) / totalWeight;
+        return config_.spillLoadFactor * mean +
+               static_cast<double>(config_.spillMargin);
     }
 
     RouterConfig config_;
     bool cacheAware_;
     ConsistentHashRing ring_;
+    bool ringDirty_ = false;
 };
 
 } // namespace

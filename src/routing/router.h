@@ -22,6 +22,14 @@
  *    replicated caches into an effectively partitioned cache and
  *    eliminates repeated PCIe loads of the same hot adapter on every
  *    replica.
+ *
+ * All load-comparing policies are capacity-aware: queue depths are
+ * divided by ClusterView::serviceWeight before comparison, and the
+ * affinity ring gives each replica a virtual-node share proportional
+ * to its weight, so a heterogeneous fleet (mixed A40/A100 replicas)
+ * places work where the hardware can absorb it. With the default
+ * weight of 1.0 everywhere, every decision is identical to the
+ * unweighted policy.
  */
 
 #ifndef CHAMELEON_ROUTING_ROUTER_H
@@ -51,6 +59,21 @@ class ClusterView
     /** Is the adapter resident in replica i's cache right now? */
     virtual bool adapterResident(std::size_t i,
                                  model::AdapterId id) const = 0;
+
+    /**
+     * Relative service rate of replica i, normalised so the fastest
+     * replica is 1.0. Capacity-aware policies divide queue depths by
+     * this weight (one queued request on a half-speed replica counts
+     * like two on a full-speed one) and scale the affinity ring's
+     * virtual-node share by it. Homogeneous clusters return exactly
+     * 1.0 everywhere, which reduces every weighted comparison to the
+     * unweighted one — the default for simple views.
+     */
+    virtual double serviceWeight(std::size_t i) const
+    {
+        (void)i;
+        return 1.0;
+    }
 };
 
 /** Selectable dispatch policies. */

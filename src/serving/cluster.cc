@@ -15,7 +15,7 @@ DataParallelCluster::DataParallelCluster(
     CHM_CHECK(replicas >= 1, "cluster needs at least one engine");
     CHM_CHECK(router_ != nullptr, "cluster needs a router");
     for (int i = 0; i < replicas; ++i)
-        engines_.push_back(factory_());
+        buildReplica();
     active_ = engines_.size();
     router_->onReplicaCountChanged(active_);
 }
@@ -55,6 +55,25 @@ DataParallelCluster::adapterResident(std::size_t i,
     return engine.adapterManager().isResident(id);
 }
 
+double
+DataParallelCluster::serviceWeight(std::size_t i) const
+{
+    // Normalised over every engine ever built (not just the active
+    // prefix) so a replica's weight does not change when a slower
+    // drained replica leaves the active set. maxRate_ is maintained
+    // by buildReplica: serviceWeight sits on the per-request dispatch
+    // path, called once per replica per routing decision.
+    return rates_[i] / maxRate_;
+}
+
+void
+DataParallelCluster::buildReplica()
+{
+    engines_.push_back(factory_(engines_.size()));
+    rates_.push_back(nominalServiceRate(engines_.back()->config()));
+    maxRate_ = std::max(maxRate_, rates_.back());
+}
+
 void
 DataParallelCluster::dispatch(const workload::Request &request)
 {
@@ -74,7 +93,7 @@ DataParallelCluster::applyTarget(std::size_t target)
         // Reactivate drained replicas first (their adapter caches are
         // still warm), then build new engines from the factory.
         while (engines_.size() < target)
-            engines_.push_back(factory_());
+            buildReplica();
     }
     active_ = target;
     router_->onReplicaCountChanged(active_);

@@ -12,6 +12,14 @@
  * replicated ones. Tensor parallelism, by contrast, is modeled inside a
  * single engine via EngineConfig::tpDegree.
  *
+ * Replicas need not be identical: the engine factory takes the replica
+ * index, so a heterogeneous fleet (mixed A40/A100 GPUs, different
+ * batching knobs) builds each engine from its own configuration. The
+ * cluster computes a nominal service rate per replica
+ * (serving::nominalServiceRate) and reports the max-normalised ratios
+ * through ClusterView::serviceWeight, which the capacity-aware routing
+ * policies use to place work where the hardware can absorb it.
+ *
  * An optional routing::Autoscaler grows and drains the active replica
  * set at simulation time: new replicas are built on demand from the
  * engine factory, drained replicas stop receiving dispatches but finish
@@ -36,12 +44,19 @@ namespace chameleon::serving {
 class DataParallelCluster : public routing::ClusterView
 {
   public:
-    using EngineFactory = std::function<std::unique_ptr<ServingEngine>()>;
+    /**
+     * Builds the engine of replica `index`. Heterogeneous fleets
+     * resolve a per-replica configuration from the index (the Runner
+     * passes SystemSpec::resolvedEngine(index)); homogeneous factories
+     * simply ignore it.
+     */
+    using EngineFactory =
+        std::function<std::unique_ptr<ServingEngine>(std::size_t index)>;
 
     /**
      * @param simulator shared event kernel
      * @param engineFactory builds one fully-wired engine per replica
-     *        (kept for autoscaling scale-ups)
+     *        index (kept for autoscaling scale-ups)
      * @param replicas initial engine count
      * @param router global dispatch policy (cluster takes ownership)
      */
@@ -70,6 +85,17 @@ class DataParallelCluster : public routing::ClusterView
     std::int64_t outstanding(std::size_t i) const override;
     bool adapterResident(std::size_t i,
                          model::AdapterId id) const override;
+    /** Nominal service rate of replica i over the fleet maximum, so
+     * homogeneous clusters see exactly 1.0 everywhere. */
+    double serviceWeight(std::size_t i) const override;
+
+    /**
+     * Per-replica nominal service-rate estimates (requests/s, from
+     * serving::nominalServiceRate on each engine's configuration),
+     * indexed like engines(). The ratios drive capacity-aware routing;
+     * RunReport exposes them as perReplicaServiceRate.
+     */
+    const std::vector<double> &serviceRates() const { return rates_; }
 
     /** All engines ever created, active or drained (for stats). */
     const std::vector<std::unique_ptr<ServingEngine>> &engines() const
@@ -118,6 +144,7 @@ class DataParallelCluster : public routing::ClusterView
 
   private:
     void dispatch(const workload::Request &request);
+    void buildReplica();
     void applyTarget(std::size_t target);
     void autoscaleTick(sim::SimTime until);
 
@@ -126,6 +153,8 @@ class DataParallelCluster : public routing::ClusterView
     std::unique_ptr<routing::Router> router_;
     std::unique_ptr<routing::Autoscaler> autoscaler_;
     std::vector<std::unique_ptr<ServingEngine>> engines_;
+    std::vector<double> rates_; // nominal rates, aligned with engines_
+    double maxRate_ = 0.0;      // max of rates_ (dispatch-path cache)
     std::size_t active_ = 0;
     bool traceSubmitted_ = false;
 };

@@ -19,6 +19,32 @@ constexpr double kIterEwmaAlpha = 0.05;
 
 RequestRecord makeRecord(const LiveRequest &r); // metrics.cc
 
+double
+nominalServiceRate(const EngineConfig &config)
+{
+    const model::CostModel cost(config.model, config.gpu,
+                                config.tpDegree, config.cost);
+    const sim::SimTime e2e = cost.isolatedE2e(
+        model::kMediumInputTokens, /*outputTokens=*/128, /*rank=*/0,
+        /*adapterBytes=*/0, /*includeLoad=*/false);
+    CHM_CHECK(e2e > 0, "cost model produced a non-positive latency");
+    return 1.0 / sim::toSeconds(e2e);
+}
+
+std::vector<EngineConfig>
+fleetEngines(const EngineConfig &base,
+             const std::vector<model::GpuSpec> &gpus)
+{
+    std::vector<EngineConfig> engines;
+    engines.reserve(gpus.size());
+    for (const auto &gpu : gpus) {
+        EngineConfig cfg = base;
+        cfg.gpu = gpu;
+        engines.push_back(std::move(cfg));
+    }
+    return engines;
+}
+
 ServingEngine::ServingEngine(sim::Simulator &simulator, EngineConfig config,
                              const model::AdapterPool *pool,
                              std::unique_ptr<Scheduler> scheduler,

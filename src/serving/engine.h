@@ -97,6 +97,30 @@ inline bool operator!=(const EngineConfig &a, const EngineConfig &b)
 }
 
 /**
+ * Nominal service rate of one engine with this configuration, in
+ * requests/second: the inverse of the analytic cost model's isolated
+ * end-to-end latency for a reference request (the Fig. 2 "medium"
+ * input, 128 output tokens, base model). A deterministic,
+ * hardware-derived capacity estimate — an A100 replica rates higher
+ * than an A40 one — used by the cluster to weight capacity-aware
+ * routing (routing::ClusterView::serviceWeight) and reported through
+ * core::RunReport::perReplicaServiceRate. Not a throughput prediction:
+ * batching serves many requests concurrently; only the *ratio*
+ * between replicas matters to the router.
+ */
+double nominalServiceRate(const EngineConfig &config);
+
+/**
+ * Expand a GPU fleet into per-replica engine configs: one copy of
+ * `base` per GPU, with that GPU swapped in. The single definition of
+ * fleet-override semantics, shared by SystemSpec::withFleet, the spec
+ * JSON "cluster.fleet"/"cluster.replicas" parsers, the sweep "fleets"
+ * axis, and chameleon_sim --fleet.
+ */
+std::vector<EngineConfig> fleetEngines(
+    const EngineConfig &base, const std::vector<model::GpuSpec> &gpus);
+
+/**
  * One execution engine with pluggable scheduler and adapter manager.
  */
 class ServingEngine

@@ -289,9 +289,21 @@ class Parser
 
     void skipWhitespace()
     {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
+        // "//" line comments count as whitespace, so config files
+        // (spec and sweep JSONs) can be annotated in place — the
+        // schema docs show jsonc examples that then parse verbatim.
+        // Dumps never emit comments, so round-trips are unaffected.
+        while (pos_ < text_.size()) {
+            if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            } else if (text_[pos_] == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
     }
 
     bool atEnd() { return pos_ >= text_.size(); }

@@ -105,7 +105,9 @@ class JsonValue
 /**
  * Parse a complete JSON document. On failure returns std::nullopt and
  * fills `error` (when non-null) with "line L, column C: problem".
- * Duplicate object keys are rejected.
+ * Duplicate object keys are rejected. "//" line comments are allowed
+ * anywhere whitespace is (so annotated config files parse verbatim);
+ * dump() never emits them.
  */
 std::optional<JsonValue> parseJson(const std::string &text,
                                    std::string *error = nullptr);

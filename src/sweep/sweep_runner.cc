@@ -89,6 +89,7 @@ SweepRunner::appendRows(BenchJson &json,
             .field("system", cell.system)
             .field("rps", cell.rps)
             .field("replicas", static_cast<std::int64_t>(cell.replicaCount))
+            .field("fleet", cell.fleet)
             .field("router", cell.router)
             .field("trace_seed", cell.traceSeed)
             .field("submitted", s.submitted)

@@ -203,6 +203,8 @@ sweepFromJson(const std::string &text, std::string *error)
     doubleList(r, "loads", &spec.loads);
     r.getBool("rps_per_replica", &spec.rpsPerReplica);
     intList(r, "replicas", &spec.replicas);
+    stringList(r, "fleets", &spec.fleets,
+               /*allowEmpty=*/false);
     stringList(r, "routers", &spec.routers,
                /*allowEmpty=*/false);
     if (const JsonValue *w = r.child("workload")) {
@@ -228,6 +230,13 @@ sweepFromJson(const std::string &text, std::string *error)
         if (error != nullptr)
             *error = "sweep json: nothing to run; give \"systems\" "
                      "and/or a \"grid\"";
+        return std::nullopt;
+    }
+    if (!spec.fleets.empty() && !spec.replicas.empty()) {
+        if (error != nullptr)
+            *error = "sweep json: \"fleets\" conflicts with "
+                     "\"replicas\"; a fleet preset already fixes each "
+                     "cell's replica count";
         return std::nullopt;
     }
     if (spec.threads < 1) {
@@ -309,11 +318,49 @@ expandSweep(const SweepSpec &spec, std::string *error)
 
     const std::vector<double> loads =
         spec.loads.empty() ? std::vector<double>{8.0} : spec.loads;
-    const std::vector<int> replicaAxis =
-        spec.replicas.empty() ? std::vector<int>{1} : spec.replicas;
     const std::vector<std::string> routerAxis =
         spec.routers.empty() ? std::vector<std::string>{"jsq"}
                              : spec.routers;
+
+    // The deployment axis: either homogeneous replica counts or
+    // heterogeneous fleet presets (mutually exclusive — a fleet
+    // already fixes each cell's replica count and GPU mix).
+    struct Deployment
+    {
+        int replicas = 1;
+        std::string fleet;
+        std::vector<serving::EngineConfig> engines;
+    };
+    std::vector<Deployment> deployAxis;
+    if (!spec.fleets.empty()) {
+        if (!spec.replicas.empty()) {
+            if (error != nullptr)
+                *error = "sweep fleets: conflicts with the \"replicas\" "
+                         "axis; a fleet preset already fixes each "
+                         "cell's replica count";
+            return std::nullopt;
+        }
+        for (const auto &name : spec.fleets) {
+            std::vector<model::GpuSpec> gpus;
+            if (!model::tryFleetByName(name, &gpus)) {
+                if (error != nullptr)
+                    *error = "sweep fleets: unknown fleet preset \"" +
+                             name + "\"; expected " +
+                             model::fleetGrammarHelp();
+                return std::nullopt;
+            }
+            Deployment deployment;
+            deployment.replicas = static_cast<int>(gpus.size());
+            deployment.fleet = name;
+            deployment.engines = serving::fleetEngines(spec.engine, gpus);
+            deployAxis.push_back(std::move(deployment));
+        }
+    } else {
+        const std::vector<int> replicaAxis =
+            spec.replicas.empty() ? std::vector<int>{1} : spec.replicas;
+        for (const int count : replicaAxis)
+            deployAxis.push_back(Deployment{count, "", {}});
+    }
 
     std::vector<SweepCell> cells;
     // Cells at the same load (and replica count, when rps_per_replica
@@ -330,11 +377,13 @@ expandSweep(const SweepSpec &spec, std::string *error)
             return std::nullopt;
         }
         for (std::size_t li = 0; li < loads.size(); ++li) {
-            for (const int replicaCount : replicaAxis) {
+            for (const Deployment &deployment : deployAxis) {
+                const int replicaCount = deployment.replicas;
                 for (const auto &router : routerAxis) {
                     SweepCell cell;
                     cell.system = system;
                     cell.replicaCount = replicaCount;
+                    cell.fleet = deployment.fleet;
                     cell.router = router;
                     cell.rps = spec.rpsPerReplica
                                    ? loads[li] * replicaCount
@@ -346,6 +395,8 @@ expandSweep(const SweepSpec &spec, std::string *error)
                     cell.spec.engine = spec.engine;
                     cell.spec.predictor = spec.predictor;
                     cell.spec.cluster.replicas = replicaCount;
+                    cell.spec.cluster.replicaEngines =
+                        deployment.engines;
                     if (!routing::routerPolicyByName(
                             router, &cell.spec.cluster.router)) {
                         if (error != nullptr)
@@ -362,7 +413,10 @@ expandSweep(const SweepSpec &spec, std::string *error)
                             std::ostringstream os;
                             os << "sweep cell \"" << system << "\" (rps "
                                << cell.rps << ", replicas "
-                               << replicaCount << ", router " << router
+                               << replicaCount;
+                            if (!cell.fleet.empty())
+                                os << ", fleet " << cell.fleet;
+                            os << ", router " << router
                                << ") is invalid:";
                             for (const auto &p : problems)
                                 os << "\n  - " << p;

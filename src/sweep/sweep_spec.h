@@ -6,8 +6,9 @@
  * policies. A SweepSpec names one such grid: an explicit list of
  * registry system names, and/or a cross-product built from a base
  * system and axes of registry modifier tokens (the same `base+mod`
- * grammar the CLI accepts), crossed with load (rps), replica-count,
- * and router axes. expandSweep() resolves it into concrete SweepCells
+ * grammar the CLI accepts), crossed with load (rps), replica-count
+ * (or heterogeneous fleet-preset), and router axes. expandSweep()
+ * resolves it into concrete SweepCells
  * — one fully validated core::SystemSpec per grid cell — which the
  * SweepRunner (sweep_runner.h) executes into one consolidated
  * BenchJson.
@@ -91,6 +92,15 @@ struct SweepSpec
     bool rpsPerReplica = false;
     /** Replica-count axis; empty means {1}. */
     std::vector<int> replicas;
+    /**
+     * Heterogeneous-fleet axis: model::tryFleetByName presets
+     * ("a40x4", "a100x2+a40x2", ...). Each entry becomes one axis
+     * value whose cells deploy that GPU mix (per-replica engines =
+     * the engine template with the preset's GPUs; replica count = the
+     * fleet size). Mutually exclusive with the `replicas` axis — a
+     * fleet already fixes the count. Empty = homogeneous sweep.
+     */
+    std::vector<std::string> fleets;
     /** Router axis (rr|jsq|p2c|affinity|affinity-cache); empty = jsq. */
     std::vector<std::string> routers;
 
@@ -117,6 +127,8 @@ struct SweepCell
     std::string system;
     double rps = 0.0;
     int replicaCount = 1;
+    /** Fleet-preset name of the cell ("" on homogeneous sweeps). */
+    std::string fleet;
     std::string router;
     /** Index of the shared trace this cell runs (SweepRunner). */
     std::size_t traceIndex = 0;

@@ -96,7 +96,10 @@ TEST(DataParallel, SpreadsLoadAcrossEngines)
     predict::LengthPredictor predictor(1.0);
     serving::DataParallelCluster cluster(
         simulator,
-        [&] { return makeEngine(simulator, pool, predictor); }, 4,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        4,
         routing::RouterPolicy::JoinShortestQueue);
 
     auto wl = workload::splitwiseLike();
@@ -129,7 +132,10 @@ TEST(DataParallel, RoundRobinAlternates)
     predict::LengthPredictor predictor(1.0);
     serving::DataParallelCluster cluster(
         simulator,
-        [&] { return makeEngine(simulator, pool, predictor); }, 2,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        2,
         routing::RouterPolicy::RoundRobin);
     workload::Trace trace;
     for (int i = 0; i < 10; ++i) {
@@ -152,7 +158,10 @@ TEST(DataParallel, AffinityPartitionsAdaptersAcrossReplicas)
     rcfg.spillMargin = 1 << 20; // no spillover: pure hashing
     serving::DataParallelCluster cluster(
         simulator,
-        [&] { return makeEngine(simulator, pool, predictor); }, 4,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        4,
         routing::RouterPolicy::AdapterAffinity, rcfg);
 
     auto wl = workload::splitwiseLike();
@@ -206,6 +215,91 @@ TEST(DataParallel, AffinityRoutingReducesAdapterPcieTraffic)
     EXPECT_GT(affinity.cacheHitRate, rr.cacheHitRate);
 }
 
+TEST(Heterogeneous, ExplicitHomogeneousOverridesMatchTheImplicitFleet)
+{
+    // Filling cluster.replicaEngines with copies of the base engine
+    // must be indistinguishable from leaving it empty — the resolved
+    // per-replica configs are identical, so the whole simulation is.
+    model::AdapterPool pool(model::llama7B(), 40);
+    auto spec = specFor("chameleon", model::llama7B(), model::a40());
+    spec.cluster.replicas = 3;
+    spec.cluster.router = routing::RouterPolicy::AdapterAffinityCacheAware;
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 18.0;
+    wl.durationSeconds = 40.0;
+    wl.numAdapters = 40;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    const auto implicit = core::runSpec(spec, &pool, trace);
+    spec.cluster.replicaEngines = {spec.engine, spec.engine, spec.engine};
+    const auto explicitFleet = core::runSpec(spec, &pool, trace);
+
+    EXPECT_EQ(implicit.stats.ttft.sorted(),
+              explicitFleet.stats.ttft.sorted());
+    EXPECT_EQ(implicit.pcieBytes, explicitFleet.pcieBytes);
+    EXPECT_EQ(implicit.perReplicaFinished,
+              explicitFleet.perReplicaFinished);
+    EXPECT_EQ(implicit.perReplicaServiceRate,
+              explicitFleet.perReplicaServiceRate);
+}
+
+TEST(Heterogeneous, ReplicasBuildFromTheirOwnEngineConfigs)
+{
+    model::AdapterPool pool(model::llama7B(), 20);
+    auto spec = specFor("chameleon", model::llama7B(), model::a40());
+    spec.cluster.replicas = 2;
+    serving::EngineConfig fast = spec.engine;
+    fast.gpu = model::a100(80);
+    spec.cluster.replicaEngines = {fast, spec.engine};
+
+    core::Runner runner(spec, &pool);
+    const auto &engines = runner.cluster().engines();
+    ASSERT_EQ(engines.size(), 2u);
+    EXPECT_EQ(engines[0]->config().gpu.name, "a100-80g");
+    EXPECT_EQ(engines[1]->config().gpu.name, "a40-48g");
+    // More memory on the A100 replica: capacity reflects its GPU.
+    EXPECT_GT(engines[0]->memory().capacity(),
+              engines[1]->memory().capacity());
+    // The nominal service rates order the replicas by hardware, and
+    // the cluster's routing weights are the max-normalised ratios.
+    const auto &rates = runner.cluster().serviceRates();
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_GT(rates[0], rates[1]);
+    EXPECT_DOUBLE_EQ(runner.cluster().serviceWeight(0), 1.0);
+    EXPECT_GT(runner.cluster().serviceWeight(1), 0.0);
+    EXPECT_LT(runner.cluster().serviceWeight(1), 1.0);
+}
+
+TEST(Heterogeneous, CapacityAwareRoutingFollowsTheFastReplicas)
+{
+    model::AdapterPool pool(model::llama7B(), 50);
+    auto spec = specFor("chameleon", model::llama7B(), model::a40());
+    spec.cluster.replicas = 2;
+    spec.cluster.router = routing::RouterPolicy::JoinShortestQueue;
+    serving::EngineConfig fast = spec.engine;
+    fast.gpu = model::a100(48);
+    spec.cluster.replicaEngines = {fast, spec.engine};
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 14.0;
+    wl.durationSeconds = 60.0;
+    wl.numAdapters = 50;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    const auto report = core::runSpec(spec, &pool, trace);
+    EXPECT_EQ(report.stats.finished,
+              static_cast<std::int64_t>(trace.size()));
+    ASSERT_EQ(report.perReplicaFinished.size(), 2u);
+    ASSERT_EQ(report.perReplicaServiceRate.size(), 2u);
+    EXPECT_GT(report.perReplicaServiceRate[0],
+              report.perReplicaServiceRate[1]);
+    // Weighted JSQ sends the larger share to the faster replica.
+    EXPECT_GT(report.perReplicaFinished[0], report.perReplicaFinished[1]);
+}
+
 TEST(DataParallel, AutoscalerGrowsAndDrainsTheCluster)
 {
     sim::Simulator simulator;
@@ -213,7 +307,10 @@ TEST(DataParallel, AutoscalerGrowsAndDrainsTheCluster)
     predict::LengthPredictor predictor(1.0);
     serving::DataParallelCluster cluster(
         simulator,
-        [&] { return makeEngine(simulator, pool, predictor); }, 1,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        1,
         routing::RouterPolicy::JoinShortestQueue);
 
     routing::AutoscalerConfig acfg;

@@ -25,6 +25,8 @@ struct FakeView : routing::ClusterView
 {
     std::vector<std::int64_t> loads;
     std::set<std::pair<std::size_t, model::AdapterId>> resident;
+    /** Per-replica service weights; empty = homogeneous (all 1.0). */
+    std::vector<double> weights;
 
     std::size_t replicaCount() const override { return loads.size(); }
 
@@ -38,6 +40,12 @@ struct FakeView : routing::ClusterView
     adapterResident(std::size_t i, model::AdapterId id) const override
     {
         return resident.count({i, id}) > 0;
+    }
+
+    double
+    serviceWeight(std::size_t i) const override
+    {
+        return weights.empty() ? 1.0 : weights[i];
     }
 };
 
@@ -272,6 +280,123 @@ TEST(AffinityRouter, RingTracksAutoscaledReplicaSet)
             EXPECT_EQ(now, before[id]) << "adapter " << id;
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Capacity-aware routing: heterogeneous service weights.
+// ---------------------------------------------------------------------
+
+TEST(JsqRouter, WeighsQueueDepthsByServiceRate)
+{
+    auto router =
+        routing::makeRouter(routing::RouterPolicy::JoinShortestQueue);
+    FakeView view;
+    const auto r = requestFor(model::kNoAdapter);
+    // Unweighted, replica 1 has the shorter queue...
+    view.loads = {2, 1};
+    EXPECT_EQ(router->route(r, view), 1u);
+    // ...but at quarter speed its one request counts like four.
+    view.weights = {1.0, 0.25};
+    EXPECT_EQ(router->route(r, view), 0u);
+    // Equal weighted loads tie-break to the lowest index as before.
+    view.loads = {2, 1};
+    view.weights = {1.0, 0.5};
+    EXPECT_EQ(router->route(r, view), 0u);
+}
+
+TEST(P2cRouter, WeighsSampledQueueDepthsByServiceRate)
+{
+    routing::RouterConfig config;
+    config.seed = 7;
+    auto router = routing::makeRouter(
+        routing::RouterPolicy::PowerOfTwoChoices, config);
+    FakeView view;
+    const auto r = requestFor(model::kNoAdapter);
+    // With two replicas both samples are {0, 1}; the longer raw queue
+    // wins once the short one belongs to a much slower replica.
+    view.loads = {3, 2};
+    view.weights = {1.0, 0.5};
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(router->route(r, view), 0u);
+}
+
+TEST(AffinityRouter, WeightedRingSharesTrackServiceWeights)
+{
+    auto router =
+        routing::makeRouter(routing::RouterPolicy::AdapterAffinity);
+    FakeView view;
+    view.loads = {0, 0, 0, 0};
+    view.weights = {1.0, 1.0, 0.25, 0.25};
+    std::map<std::size_t, int> share;
+    for (model::AdapterId id = 0; id < 2000; ++id) {
+        const auto first = router->route(requestFor(id), view);
+        // Still deterministic per adapter.
+        EXPECT_EQ(router->route(requestFor(id), view), first);
+        ++share[first];
+    }
+    // Every replica serves some adapters, but each full-speed replica
+    // owns a clear multiple of each quarter-speed one's share.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_GT(share[i], 0) << "replica " << i;
+    for (std::size_t fast : {0u, 1u}) {
+        for (std::size_t slow : {2u, 3u}) {
+            EXPECT_GT(share[fast], 2 * share[slow])
+                << "fast " << fast << " vs slow " << slow;
+        }
+    }
+}
+
+TEST(AffinityRouter, SpillThresholdIsCapacityNormalised)
+{
+    routing::RouterConfig config;
+    config.spillLoadFactor = 1.0;
+    config.spillMargin = 2;
+    auto router = routing::makeRouter(
+        routing::RouterPolicy::AdapterAffinity, config);
+    FakeView view;
+    view.loads = {0, 0, 0, 0};
+    view.weights = {1.0, 1.0, 1.0, 1.0};
+    const model::AdapterId adapter = 13;
+    const auto owner = router->route(requestFor(adapter), view);
+    // A queue the owner absorbs at full speed (depth 3 <= the bound
+    // of factor x mean + margin = 1 x 1.25 + 2)...
+    view.loads[owner] = 3;
+    view.loads[(owner + 1) % 4] = 2;
+    EXPECT_EQ(router->route(requestFor(adapter), view), owner);
+    // ...rejects it at quarter speed (weighted depth 12 > bound).
+    view.weights[owner] = 0.25;
+    EXPECT_NE(router->route(requestFor(adapter), view), owner);
+}
+
+TEST(ConsistentHash, WeightedResizeOnlyMovesTheReweightedKeys)
+{
+    routing::ConsistentHashRing ring(64);
+    ring.resize(4);
+    std::map<std::uint64_t, std::size_t> before;
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        before[key] = ring.owner(key);
+
+    // Halving replica 3's weight keeps a prefix of its points: keys
+    // owned by the other replicas must not move.
+    ring.resizeWeighted({1.0, 1.0, 1.0, 0.5});
+    int moved = 0;
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+        const auto owner = ring.owner(key);
+        if (before[key] != 3u)
+            EXPECT_EQ(owner, before[key]) << "key " << key;
+        else if (owner != 3u)
+            ++moved;
+    }
+    EXPECT_GT(moved, 0);
+
+    // Restoring the weight restores the original mapping exactly, and
+    // a same-weights resize is a no-op.
+    ring.resizeWeighted({1.0, 1.0, 1.0, 1.0});
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        EXPECT_EQ(ring.owner(key), before[key]);
+    ring.resizeWeighted({1.0, 1.0, 1.0, 1.0});
+    for (std::uint64_t key = 0; key < 1000; ++key)
+        EXPECT_EQ(ring.owner(key), before[key]);
 }
 
 TEST(LoadForecaster, TracksSteadyRate)

@@ -94,6 +94,19 @@ randomSpec(sim::Rng &rng)
     spec.predictor.seed = rng();
 
     spec.cluster.replicas = 1 + static_cast<int>(rng.nextBelow(6));
+    // Heterogeneous dimension: a third of the specs deploy a mixed
+    // fleet with per-replica engine overrides.
+    if (rng.nextBelow(3) == 0) {
+        for (int i = 0; i < spec.cluster.replicas; ++i) {
+            serving::EngineConfig cfg = spec.engine;
+            cfg.gpu = rng.nextBelow(2)
+                          ? model::a40()
+                          : model::a100(rng.nextBelow(2) ? 48 : 80);
+            cfg.maxRunning = 64 + static_cast<int>(rng.nextBelow(256));
+            cfg.cost.tpSyncMs = rng.nextDouble() * 20.0;
+            spec.cluster.replicaEngines.push_back(std::move(cfg));
+        }
+    }
     const routing::RouterPolicy routers[] = {
         routing::RouterPolicy::RoundRobin,
         routing::RouterPolicy::JoinShortestQueue,
@@ -195,6 +208,28 @@ TEST(SpecJson, ClusterDeploymentSurvivesRoundTrip)
     EXPECT_EQ(roundTrip(spec), spec);
 }
 
+TEST(SpecJson, HeteroFleetRoundTripsBitIdentically)
+{
+    auto spec = core::presets::chameleon();
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    spec.cluster.replicas = 3;
+    spec.cluster.router = routing::RouterPolicy::PowerOfTwoChoices;
+    serving::EngineConfig fast = spec.engine;
+    fast.gpu = model::a100(48);
+    serving::EngineConfig slow = spec.engine;
+    slow.maxRunning = 128;
+    spec.cluster.replicaEngines = {fast, fast, slow};
+    ASSERT_TRUE(spec.validate().empty());
+    EXPECT_EQ(roundTrip(spec), spec);
+    // The textual form is stable too: print -> parse -> print is
+    // byte-identical (the --dump-config | --config - contract).
+    const auto text = core::specToJson(spec);
+    const auto parsed = core::specFromJson(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(core::specToJson(*parsed), text);
+}
+
 // ---------------------------------------------------------------------
 // Partial configs apply onto defaults.
 // ---------------------------------------------------------------------
@@ -233,6 +268,55 @@ TEST(SpecJson, AcceptsModelAndGpuShorthands)
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(parsed->engine.model, model::llama13B());
     EXPECT_EQ(parsed->engine.gpu, model::a100(48));
+}
+
+TEST(SpecJson, ClusterReplicaOverridesApplyOntoTheBaseEngine)
+{
+    // "cluster.replicas" as an array: each entry (engine-override
+    // object or GPU-preset string) applies onto the parsed base
+    // engine, wherever the keys appear in the document.
+    const auto parsed = core::specFromJson(
+        R"({"cluster": {"replicas":)"
+        R"( ["a100-48", {"gpu": "a100", "max_running": 64}]},)"
+        R"( "engine": {"model": "llama-13b"}})");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->cluster.replicas, 2);
+    ASSERT_EQ(parsed->cluster.replicaEngines.size(), 2u);
+    EXPECT_EQ(parsed->cluster.replicaEngines[0].gpu, model::a100(48));
+    // Base-engine fields survive under the override...
+    EXPECT_EQ(parsed->cluster.replicaEngines[0].model,
+              model::llama13B());
+    EXPECT_EQ(parsed->cluster.replicaEngines[1].model,
+              model::llama13B());
+    // ...and any EngineConfig knob can differ per replica.
+    EXPECT_EQ(parsed->cluster.replicaEngines[1].gpu, model::a100(80));
+    EXPECT_EQ(parsed->cluster.replicaEngines[1].maxRunning, 64);
+}
+
+TEST(SpecJson, FleetShorthandExpandsToPerReplicaEngines)
+{
+    const auto parsed = core::specFromJson(
+        R"({"cluster": {"fleet": "a100x2+a40x1"}})");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->cluster.replicas, 3);
+    ASSERT_EQ(parsed->cluster.replicaEngines.size(), 3u);
+    EXPECT_EQ(parsed->cluster.replicaEngines[0].gpu, model::a100(80));
+    EXPECT_EQ(parsed->cluster.replicaEngines[1].gpu, model::a100(80));
+    EXPECT_EQ(parsed->cluster.replicaEngines[2].gpu, model::a40());
+    // The fleet is parse-time sugar: it dumps as the resolved
+    // per-replica array and round-trips from there.
+    EXPECT_EQ(roundTrip(*parsed), *parsed);
+}
+
+TEST(SpecJson, AcceptsLineCommentsInConfigs)
+{
+    const auto parsed = core::specFromJson(
+        "{\n"
+        "  // the GPU mix, one term per replica kind\n"
+        "  \"cluster\": {\"fleet\": \"a40x2\"} // two A40s\n"
+        "}\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->cluster.replicas, 2);
 }
 
 // ---------------------------------------------------------------------
@@ -318,6 +402,65 @@ TEST(SpecJson, RejectsSyntaxErrorsWithLineInfo)
     EXPECT_NE(error.find("line 1"), std::string::npos) << error;
 }
 
+TEST(SpecJson, RejectsBadFleetAndReplicaOverrides)
+{
+    // Unknown fleet presets name the key and teach the grammar.
+    const auto fleet = parseError(R"({"cluster": {"fleet": "h100x8"}})");
+    EXPECT_NE(fleet.find("cluster.fleet"), std::string::npos) << fleet;
+    EXPECT_NE(fleet.find("<gpu>x<count>"), std::string::npos) << fleet;
+    EXPECT_NE(fleet.find("a100"), std::string::npos) << fleet;
+
+    // A fleet beside an explicit replicas key would define the count
+    // twice; one of them would silently lose.
+    const auto both = parseError(
+        R"({"cluster": {"fleet": "a40x2", "replicas": 2}})");
+    EXPECT_NE(both.find("conflicts"), std::string::npos) << both;
+
+    // Array entries carry their index in the error path.
+    const auto gpu = parseError(
+        R"({"cluster": {"replicas": ["a40", "b200"]}})");
+    EXPECT_NE(gpu.find("cluster.replicas[1]"), std::string::npos) << gpu;
+    EXPECT_NE(gpu.find("a100"), std::string::npos) << gpu;
+    const auto key = parseError(
+        R"({"cluster": {"replicas": [{"gpuz": "a40"}]}})");
+    EXPECT_NE(key.find("cluster.replicas[0].gpuz"), std::string::npos)
+        << key;
+
+    // An empty list is neither a count nor a fleet.
+    const auto empty = parseError(R"({"cluster": {"replicas": []}})");
+    EXPECT_NE(empty.find("empty array"), std::string::npos) << empty;
+
+    // And the count form still rejects non-integers.
+    const auto type = parseError(R"({"cluster": {"replicas": 1.5}})");
+    EXPECT_NE(type.find("integer count or an array"), std::string::npos)
+        << type;
+}
+
+TEST(SpecValidate, ReplicaOverridesMustMatchTheReplicaCount)
+{
+    auto spec = core::presets::chameleon();
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    spec.cluster.replicas = 3;
+    spec.cluster.replicaEngines = {spec.engine, spec.engine};
+    const auto errors = spec.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("replicaEngines"), std::string::npos)
+        << errors[0];
+    EXPECT_NE(errors[0].find("one override per replica"),
+              std::string::npos)
+        << errors[0];
+
+    // Per-replica contradictions are named with their index.
+    spec.cluster.replicaEngines.push_back(spec.engine);
+    spec.cluster.replicaEngines[1].tpDegree = 0;
+    const auto tpErrors = spec.validate();
+    ASSERT_EQ(tpErrors.size(), 1u);
+    EXPECT_NE(tpErrors[0].find("replicaEngines[1].tpDegree"),
+              std::string::npos)
+        << tpErrors[0];
+}
+
 TEST(SpecJson, RejectsValidationContradictions)
 {
     // Parses fine, but GDSF eviction without the cache is contradictory;
@@ -367,6 +510,10 @@ TEST(SpecEquality, DistinguishesEveryAxis)
     auto cluster = base();
     cluster.cluster.replicas = 2;
     EXPECT_NE(cluster, base());
+
+    auto hetero = base();
+    hetero.cluster.replicaEngines = {hetero.engine};
+    EXPECT_NE(hetero, base());
 
     auto router = base();
     router.cluster.routerConfig.seed += 1;

@@ -174,6 +174,61 @@ TEST(SweepExpand, RpsPerReplicaScalesTheLoadAxis)
               routing::RouterPolicy::AdapterAffinity);
 }
 
+TEST(SweepExpand, FleetAxisDeploysHeterogeneousCells)
+{
+    const auto spec = parseSweep(R"({
+      "systems": ["chameleon"],
+      "fleets": ["a40x2", "a100x1+a40x1"],
+      "routers": ["jsq", "p2c"]
+    })");
+    std::string error;
+    const auto cells = sweep::expandSweep(spec, &error);
+    ASSERT_TRUE(cells.has_value()) << error;
+    ASSERT_EQ(cells->size(), 4u);
+    // The fleet axis sits where replicas would (routers innermost).
+    EXPECT_EQ((*cells)[0].fleet, "a40x2");
+    EXPECT_EQ((*cells)[0].router, "jsq");
+    EXPECT_EQ((*cells)[1].router, "p2c");
+    EXPECT_EQ((*cells)[2].fleet, "a100x1+a40x1");
+    // Each cell's replica count and per-replica engines come from its
+    // fleet preset, applied onto the sweep's engine template.
+    EXPECT_EQ((*cells)[0].replicaCount, 2);
+    ASSERT_EQ((*cells)[0].spec.cluster.replicaEngines.size(), 2u);
+    EXPECT_EQ((*cells)[0].spec.cluster.replicaEngines[0].gpu.name,
+              "a40-48g");
+    EXPECT_EQ((*cells)[2].replicaCount, 2);
+    EXPECT_EQ((*cells)[2].spec.cluster.replicaEngines[0].gpu.name,
+              "a100-80g");
+    EXPECT_EQ((*cells)[2].spec.cluster.replicaEngines[1].gpu.name,
+              "a40-48g");
+    EXPECT_EQ((*cells)[2].spec.cluster.replicaEngines[0].model.name,
+              spec.engine.model.name);
+    ASSERT_TRUE((*cells)[2].spec.validate().empty());
+}
+
+TEST(SweepJson, RejectsFleetsBesideReplicas)
+{
+    const auto error = sweepError(R"({
+      "systems": ["chameleon"],
+      "fleets": ["a40x2"], "replicas": [2]
+    })");
+    EXPECT_NE(error.find("fleets"), std::string::npos) << error;
+    EXPECT_NE(error.find("conflicts"), std::string::npos) << error;
+}
+
+TEST(SweepExpand, UnknownFleetFailsTeachingTheGrammar)
+{
+    const auto spec = parseSweep(R"({
+      "systems": ["chameleon"], "fleets": ["h100x8"]
+    })");
+    std::string error;
+    const auto cells = sweep::expandSweep(spec, &error);
+    EXPECT_FALSE(cells.has_value());
+    EXPECT_NE(error.find("h100x8"), std::string::npos) << error;
+    EXPECT_NE(error.find("<gpu>x<count>"), std::string::npos) << error;
+    EXPECT_NE(error.find("a100"), std::string::npos) << error;
+}
+
 TEST(SweepExpand, UnknownModifierTokenFailsWithGrammarMessage)
 {
     const auto spec = parseSweep(R"({

@@ -19,6 +19,8 @@
  *       --mem-gib 80 --adapters 200 --records-csv out.csv
  *   chameleon_sim --system chameleon-gdsf --replicas 4 --router affinity \
  *       --rps 34 --autoscale
+ *   chameleon_sim --system chameleon --fleet a100x2+a40x2 --router p2c \
+ *       --rps 30
  *
  * In --system mode, --seed drives the trace generator, the
  * output-length predictor, and the router's sampling stream, so a
@@ -137,6 +139,10 @@ main(int argc, char **argv)
                                 "output-length predictor accuracy");
     auto *replicas = flags.addInt("replicas", 1,
                                   "data-parallel engine replicas");
+    auto *fleet = flags.addString(
+        "fleet", "",
+        "heterogeneous replica fleet, e.g. a40x4 or a100x2+a40x2 "
+        "(defines the replica count; per-replica GPUs override --gpu)");
     auto *router = flags.addString(
         "router", "jsq",
         "cluster dispatch policy: rr|jsq|p2c|affinity|affinity-cache");
@@ -180,7 +186,7 @@ main(int argc, char **argv)
         // would misread as a run of the flagged configuration.
         for (const char *conflicting :
              {"system", "model", "gpu", "mem-gib", "tp", "predictor-acc",
-              "replicas", "router", "autoscale", "min-replicas",
+              "replicas", "fleet", "router", "autoscale", "min-replicas",
               "max-replicas", "replica-rps"}) {
             CHM_CHECK(!flagGiven(argc, argv, conflicting),
                       "--" << conflicting
@@ -224,11 +230,34 @@ main(int argc, char **argv)
 
         CHM_CHECK(*replicas >= 1, "--replicas must be >= 1");
         spec.cluster.replicas = static_cast<int>(*replicas);
-        CHM_CHECK(routing::routerPolicyByName(*router,
-                                              &spec.cluster.router),
-                  "unknown --router: " << *router << " (try "
-                                       << routing::routerPolicyNames()
-                                       << ")");
+        if (!fleet->empty()) {
+            // A fleet defines the replica count; a --replicas beside it
+            // would silently lose to one of the two.
+            if (flagGiven(argc, argv, "replicas")) {
+                std::fprintf(stderr,
+                             "--replicas conflicts with --fleet; the "
+                             "fleet preset already defines the replica "
+                             "count\n");
+                return 2;
+            }
+            std::vector<model::GpuSpec> gpus;
+            if (!model::tryFleetByName(*fleet, &gpus)) {
+                std::fprintf(stderr,
+                             "unknown --fleet '%s'; expected %s\n",
+                             fleet->c_str(),
+                             model::fleetGrammarHelp().c_str());
+                return 2;
+            }
+            spec.cluster.replicas = static_cast<int>(gpus.size());
+            spec.cluster.replicaEngines =
+                serving::fleetEngines(spec.engine, gpus);
+        }
+        if (!routing::routerPolicyByName(*router, &spec.cluster.router)) {
+            std::fprintf(stderr,
+                         "unknown --router '%s'; known: %s\n",
+                         router->c_str(), routing::routerPolicyNames());
+            return 2;
+        }
         spec.cluster.routerConfig.seed = static_cast<std::uint64_t>(*seed);
         spec.cluster.autoscale = *autoscale;
         spec.cluster.autoscaler.minReplicas =
@@ -313,6 +342,12 @@ main(int argc, char **argv)
                     spec.cluster.replicas,
                     routing::routerPolicyName(spec.cluster.router),
                     spec.cluster.autoscale ? ", autoscaling" : "");
+        if (!spec.cluster.replicaEngines.empty()) {
+            std::printf("fleet       :");
+            for (const auto &engine : spec.cluster.replicaEngines)
+                std::printf(" %s", engine.gpu.name.c_str());
+            std::printf("\n");
+        }
     }
     std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",
                 trace.size(), trace.meanRps(),
@@ -379,6 +414,10 @@ main(int argc, char **argv)
         for (const auto finished : report.perReplicaFinished)
             std::printf(" %lld", static_cast<long long>(finished));
         std::printf(" finished\n");
+        std::printf("svc rate    :");
+        for (const double rate : report.perReplicaServiceRate)
+            std::printf(" %.2f", rate);
+        std::printf(" req/s nominal (routing weights)\n");
     }
 
     if (!records_csv->empty()) {

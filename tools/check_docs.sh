@@ -4,14 +4,22 @@
 # 1. The preset table in src/chameleon/README.md must list exactly the
 #    systems `chameleon_sim --list-systems` reports — a preset added or
 #    renamed without a docs update fails the build.
-# 2. docs/ARCHITECTURE.md and bench/README.md must exist and be linked
+# 2. The spec-keys schema table in src/chameleon/README.md must list
+#    exactly the keys `chameleon_sim --dump-config` emits (plus rows
+#    marked parse-only) — a spec knob added without a docs update
+#    fails the build.
+# 3. docs/ARCHITECTURE.md and bench/README.md must exist and be linked
 #    from the root README.
+# 4. With a chameleon_sweep binary given, the shipped example sweeps
+#    must still expand (`--dry-run` smoke, hetero fleet included).
 #
-# Usage: tools/check_docs.sh <chameleon_sim-binary> <repo-root>
+# Usage: tools/check_docs.sh <chameleon_sim-binary> <repo-root> \
+#            [chameleon_sweep-binary]
 set -euo pipefail
 
 bin="${1:?usage: check_docs.sh <chameleon_sim-binary> <repo-root>}"
 root="${2:?usage: check_docs.sh <chameleon_sim-binary> <repo-root>}"
+sweep_bin="${3:-}"
 
 fail=0
 
@@ -33,6 +41,39 @@ if [ "$registry_names" != "$doc_names" ]; then
     fail=1
 fi
 
+# --- spec-keys table vs the keys --dump-config actually emits -------
+# The dump is pretty-printed one key per line at 2-space indentation,
+# so an indent-depth stack flattens it to dotted paths portably.
+dump_keys=$("$bin" --dump-config | awk '
+    /^[[:space:]]*"[^"]+":/ {
+        line = $0
+        n = 0
+        while (substr(line, n + 1, 1) == " ") n++
+        depth = n / 2
+        key = line
+        sub(/^[[:space:]]*"/, "", key)
+        sub(/".*$/, "", key)
+        stack[depth] = key
+        path = stack[1]
+        for (i = 2; i <= depth; i++) path = path "." stack[i]
+        print path
+    }' | sort)
+
+table_keys=$(awk '/<!-- spec-keys:begin -->/{f=1; next}
+                  /<!-- spec-keys:end -->/{f=0}
+                  f && /^\| `/ && !/parse-only/ \
+                      {gsub(/[|` ]/, "", $2); print $2}' \
+        "$root/src/chameleon/README.md" | sort)
+
+if [ "$dump_keys" != "$table_keys" ]; then
+    echo "FAIL: src/chameleon/README.md spec-keys table is out of sync" \
+         "with --dump-config:"
+    diff <(echo "$dump_keys") <(echo "$table_keys") |
+        sed 's/^</  only in --dump-config: /; s/^>/  only in README:      /' |
+        grep -v '^---' || true
+    fail=1
+fi
+
 for doc in docs/ARCHITECTURE.md bench/README.md; do
     if [ ! -f "$root/$doc" ]; then
         echo "FAIL: $doc is missing"
@@ -43,8 +84,20 @@ for doc in docs/ARCHITECTURE.md bench/README.md; do
     fi
 done
 
+# --- shipped sweep examples still expand (dry-run smoke) ------------
+if [ -n "$sweep_bin" ]; then
+    for sweep_json in "$root"/examples/sweeps/*.json; do
+        if ! "$sweep_bin" --dry-run --config "$sweep_json" > /dev/null
+        then
+            echo "FAIL: $sweep_json does not expand" \
+                 "(chameleon_sweep --dry-run)"
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "docs freshness OK ($(echo "$registry_names" | wc -l) presets" \
-     "documented)"
+echo "docs freshness OK ($(echo "$registry_names" | wc -l) presets," \
+     "$(echo "$dump_keys" | wc -l) spec keys documented)"
