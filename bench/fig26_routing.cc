@@ -13,8 +13,9 @@
  *
  * The policy x replicas grid is a sweep::SweepRunner run per skew
  * setting (replicas and routers are sweep axes; the load scales per
- * replica via rps_per_replica); only the autoscale on/off section
- * remains hand-rolled. Emits BENCH_routing.json for trend tracking.
+ * replica via rps_per_replica). The autoscale on/off section is the
+ * sweep `autoscale` axis over the same bursty workload — nothing is
+ * hand-rolled any more. Emits BENCH_routing.json for trend tracking.
  */
 
 #include <cstdio>
@@ -98,49 +99,51 @@ main()
         }
     }
 
-    // --- autoscaling: bursty load against a fixed-size cluster ---
-    // Autoscale on/off is not a sweep axis, so this section drives the
-    // Runner directly on the testbed.
-    auto tb = bench::makeTestbed(200);
+    // --- autoscaling: bursty load, on/off as a sweep axis ---
+    sweep::SweepSpec autoscaleGrid;
+    autoscaleGrid.name = "fig26_autoscale";
+    autoscaleGrid.systems = {"chameleon"};
+    autoscaleGrid.loads = {2.0 * kRpsPerReplica};
+    autoscaleGrid.replicas = {2};
+    autoscaleGrid.routers = {"affinity"};
+    autoscaleGrid.autoscale = {false, true};
+    autoscaleGrid.autoscaler.minReplicas = 2;
+    autoscaleGrid.autoscaler.maxReplicas = 6;
+    autoscaleGrid.autoscaler.replicaServiceRps = kRpsPerReplica;
+    autoscaleGrid.workload.durationSeconds = kTraceSeconds;
+    autoscaleGrid.workload.adapters = 200;
+    autoscaleGrid.workload.adapterPopularity = "powerlaw";
+    autoscaleGrid.workload.burstMultiplier = 4.0; // §3.1 bursty arrivals
+    autoscaleGrid.workload.burstPeriodSeconds = 60.0;
+    autoscaleGrid.workload.burstDurationSeconds = 15.0;
+    autoscaleGrid.engine.model = model::llama7B();
+    autoscaleGrid.engine.gpu = model::a40();
+
     std::printf("\n%-10s %9s %9s %9s %9s %12s\n", "mode", "start",
                 "peak", "ups", "downs", "p99ttft(s)");
-    auto wl = tb.wl;
-    wl.adapterPopularity = workload::Popularity::PowerLaw;
-    wl.rps = 2.0 * kRpsPerReplica;
-    wl.durationSeconds = kTraceSeconds;
-    wl.burstMultiplier = 4.0; // §3.1 bursty arrivals
-    wl.burstPeriodSeconds = 60.0;
-    wl.burstDurationSeconds = 15.0;
-    workload::TraceGenerator gen(wl, tb.pool.get());
-    const auto burstTrace = gen.generate();
-    for (const bool autoscale : {false, true}) {
-        auto spec = tb.spec("chameleon");
-        spec.cluster.replicas = 2;
-        spec.cluster.router = routing::RouterPolicy::AdapterAffinity;
-        spec.cluster.autoscale = autoscale;
-        spec.cluster.autoscaler.minReplicas = 2;
-        spec.cluster.autoscaler.maxReplicas = 6;
-        spec.cluster.autoscaler.replicaServiceRps = kRpsPerReplica;
-        const auto result = bench::run(tb, spec, burstTrace);
+    sweep::SweepRunner autoscaleRunner(autoscaleGrid);
+    for (const auto &result : autoscaleRunner.run()) {
+        const auto &cell = result.cell;
+        const auto &report = result.report;
         std::printf("%-10s %9d %9zu %9lld %9lld %12.3f\n",
-                    autoscale ? "autoscale" : "fixed", 2,
-                    result.peakReplicas,
-                    static_cast<long long>(result.scaleUps),
-                    static_cast<long long>(result.scaleDowns),
-                    result.stats.ttft.p99());
+                    cell.autoscale ? "autoscale" : "fixed",
+                    cell.replicaCount, report.peakReplicas,
+                    static_cast<long long>(report.scaleUps),
+                    static_cast<long long>(report.scaleDowns),
+                    report.stats.ttft.p99());
         json.row()
             .field("section", std::string("autoscale"))
-            .field("mode", std::string(autoscale ? "autoscale" : "fixed"))
-            .field("rps", wl.rps)
-            .field("burst_multiplier", wl.burstMultiplier)
-            .field("finished", result.stats.finished)
-            .field("p99_ttft_s", result.stats.ttft.p99())
+            .field("mode",
+                   std::string(cell.autoscale ? "autoscale" : "fixed"))
+            .field("rps", cell.rps)
+            .field("finished", report.stats.finished)
+            .field("p99_ttft_s", report.stats.ttft.p99())
             .field("peak_replicas",
-                   static_cast<std::int64_t>(result.peakReplicas))
+                   static_cast<std::int64_t>(report.peakReplicas))
             .field("final_active_replicas",
-                   static_cast<std::int64_t>(result.finalActiveReplicas))
-            .field("scale_ups", result.scaleUps)
-            .field("scale_downs", result.scaleDowns);
+                   static_cast<std::int64_t>(report.finalActiveReplicas))
+            .field("scale_ups", report.scaleUps)
+            .field("scale_downs", report.scaleDowns);
     }
 
     json.write("BENCH_routing.json");

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Figure 28 (extension) — what a scale-up actually costs.
+ *
+ * The autoscaler's forecast horizon only matters if capacity takes
+ * real time to arrive. This bench applies a load step (a sustained
+ * mid-trace burst) to an autoscaled cluster and measures the p99 TTFT
+ * penalty as the replica cold-start latency grows: every scale-up now
+ * pays the weight-load time over the PCIe/host-read path plus a boot
+ * constant (serving::ColdStartModel) before the new replica serves its
+ * first request.
+ *
+ * Two claims under test:
+ *  1. With bootMs = 0 the step is absorbed almost for free; the p99
+ *     penalty grows with the boot latency as arrivals pile up on the
+ *     pre-step replicas while the new ones are still loading weights.
+ *  2. On a mixed fleet, the hetero-aware scale-up policy (fastest:
+ *     instantiate the highest-capacity candidate) absorbs the same
+ *     step with fewer, bigger replicas — a lower p99 than the scalar
+ *     baseline (default: instantiate base-engine replicas), at equal
+ *     boot latency.
+ *
+ * Emits BENCH_cold_start.json.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "routing/autoscaler.h"
+#include "routing/router.h"
+#include "workload/trace_gen.h"
+
+using namespace chameleon;
+
+namespace {
+
+constexpr double kBaseRps = 9.0;
+constexpr double kStepMultiplier = 3.0;
+constexpr double kTraceSeconds = 240.0;
+
+core::SystemSpec
+autoscaledSpec(bench::Testbed &tb, double bootMs,
+               routing::ScaleUpPolicy policy, bool mixedFleet)
+{
+    auto spec = tb.spec("chameleon");
+    spec.cluster.replicas = 2;
+    spec.cluster.router = routing::RouterPolicy::JoinShortestQueue;
+    if (mixedFleet) {
+        // One A100 beside the base A40: the scale-up catalogue then
+        // contains both configs, so a non-default policy may choose.
+        serving::EngineConfig fast = spec.engine;
+        fast.gpu = model::a100(48);
+        spec.cluster.replicaEngines = {fast, spec.engine};
+    }
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.minReplicas = 2;
+    spec.cluster.autoscaler.maxReplicas = 8;
+    spec.cluster.autoscaler.replicaServiceRps = kBaseRps;
+    spec.cluster.autoscaler.downCooldownPeriods = 4;
+    spec.cluster.autoscaler.bootMs = bootMs;
+    spec.cluster.autoscaler.scaleUpPolicy = policy;
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 28 — replica cold start: boot latency vs tail TTFT",
+        "a load step against an autoscaled cluster; scale-ups pay "
+        "weight-load + boot before serving, so the p99 TTFT penalty "
+        "grows with boot latency and shrinks when the scale-up policy "
+        "instantiates the fastest candidate of a mixed fleet");
+
+    auto tb = bench::makeTestbed(100);
+    auto wl = tb.wl;
+    wl.rps = kBaseRps;
+    wl.durationSeconds = kTraceSeconds;
+    // The load step: 3x offered load over the middle of the trace.
+    wl.bursts.push_back(workload::Burst{60.0, 180.0, kStepMultiplier});
+    workload::TraceGenerator gen(wl, tb.pool.get());
+    const auto trace = gen.generate();
+
+    bench::BenchJson json("fig28_cold_start");
+
+    // --- 1. p99 TTFT vs boot latency (homogeneous, default policy) ---
+    std::printf("%-12s %9s %9s %9s %12s %12s %14s\n", "boot(ms)",
+                "finished", "peak", "boots", "boot_tot(s)", "p99ttft(s)",
+                "delayed_reqs");
+    for (const double bootMs : {0.0, 2000.0, 5000.0, 10000.0, 20000.0}) {
+        const auto spec = autoscaledSpec(
+            tb, bootMs, routing::ScaleUpPolicy::Default, false);
+        const auto report = bench::run(tb, spec, trace);
+        std::printf("%-12.0f %9lld %9zu %9lld %12.2f %12.3f %14lld\n",
+                    bootMs,
+                    static_cast<long long>(report.stats.finished),
+                    report.peakReplicas,
+                    static_cast<long long>(report.bootEvents),
+                    report.totalBootSeconds, report.stats.ttft.p99(),
+                    static_cast<long long>(report.requestsDelayedByBoot));
+        json.row()
+            .field("section", "boot_latency")
+            .field("boot_ms", bootMs)
+            .field("rps", wl.rps)
+            .field("step_multiplier", kStepMultiplier)
+            .field("finished", report.stats.finished)
+            .field("p50_ttft_s", report.stats.ttft.p50())
+            .field("p99_ttft_s", report.stats.ttft.p99())
+            .field("p99_e2e_s", report.stats.e2e.p99())
+            .field("peak_replicas",
+                   static_cast<std::int64_t>(report.peakReplicas))
+            .field("scale_ups", report.scaleUps)
+            .field("boot_events", report.bootEvents)
+            .field("total_boot_s", report.totalBootSeconds)
+            .field("requests_delayed_by_boot",
+                   report.requestsDelayedByBoot);
+    }
+
+    // --- 2. scale-up policy on a mixed fleet at fixed boot latency ---
+    constexpr double kPolicyBootMs = 10000.0;
+    std::printf("\n%-10s %9s %9s %9s %12s %12s %14s\n", "policy",
+                "finished", "peak", "boots", "boot_tot(s)", "p99ttft(s)",
+                "delayed_reqs");
+    for (const auto policy :
+         {routing::ScaleUpPolicy::Default, routing::ScaleUpPolicy::Cheapest,
+          routing::ScaleUpPolicy::Fastest}) {
+        const auto spec =
+            autoscaledSpec(tb, kPolicyBootMs, policy, true);
+        const auto report = bench::run(tb, spec, trace);
+        std::printf("%-10s %9lld %9zu %9lld %12.2f %12.3f %14lld\n",
+                    routing::scaleUpPolicyName(policy),
+                    static_cast<long long>(report.stats.finished),
+                    report.peakReplicas,
+                    static_cast<long long>(report.bootEvents),
+                    report.totalBootSeconds, report.stats.ttft.p99(),
+                    static_cast<long long>(report.requestsDelayedByBoot));
+        json.row()
+            .field("section", "scale_up_policy")
+            .field("policy", routing::scaleUpPolicyName(policy))
+            .field("boot_ms", kPolicyBootMs)
+            .field("rps", wl.rps)
+            .field("step_multiplier", kStepMultiplier)
+            .field("finished", report.stats.finished)
+            .field("p50_ttft_s", report.stats.ttft.p50())
+            .field("p99_ttft_s", report.stats.ttft.p99())
+            .field("peak_replicas",
+                   static_cast<std::int64_t>(report.peakReplicas))
+            .field("scale_ups", report.scaleUps)
+            .field("boot_events", report.bootEvents)
+            .field("total_boot_s", report.totalBootSeconds)
+            .field("requests_delayed_by_boot",
+                   report.requestsDelayedByBoot);
+    }
+
+    json.write("BENCH_cold_start.json");
+    return 0;
+}

@@ -180,6 +180,12 @@ clusterToJson(const ClusterSpec &c)
            JsonValue::makeInt(c.autoscaler.upCooldownPeriods));
     as.set("down_cooldown_periods",
            JsonValue::makeInt(c.autoscaler.downCooldownPeriods));
+    as.set("boot_ms", JsonValue::makeNumber(c.autoscaler.bootMs));
+    as.set("scale_up_policy",
+           JsonValue::makeString(routing::scaleUpPolicyName(
+               c.autoscaler.scaleUpPolicy)));
+    as.set("measured_rate_alpha",
+           JsonValue::makeNumber(c.autoscaler.measuredRateAlpha));
     o.set("autoscaler", std::move(as));
     return o;
 }
@@ -395,23 +401,8 @@ clusterFromJson(const JsonValue &v, const std::string &path,
     }
     r.getBool("autoscale", &out->autoscale);
     if (const JsonValue *as = r.child("autoscaler")) {
-        sim::JsonObjectReader ar(*as, path + ".autoscaler", error);
-        ar.getSize("min_replicas", &out->autoscaler.minReplicas);
-        ar.getSize("max_replicas", &out->autoscaler.maxReplicas);
-        ar.getDouble("eval_period_s", &out->autoscaler.evalPeriodSeconds);
-        ar.getDouble("high_watermark", &out->autoscaler.highWatermark);
-        ar.getDouble("low_watermark", &out->autoscaler.lowWatermark);
-        ar.getDouble("forecast_horizon_s",
-                     &out->autoscaler.forecastHorizonSeconds);
-        ar.getDouble("forecast_window_s",
-                     &out->autoscaler.forecastWindowSeconds);
-        ar.getDouble("replica_service_rps",
-                     &out->autoscaler.replicaServiceRps);
-        ar.getInt("up_cooldown_periods",
-                  &out->autoscaler.upCooldownPeriods);
-        ar.getInt("down_cooldown_periods",
-                  &out->autoscaler.downCooldownPeriods);
-        if (!ar.finish())
+        if (!autoscalerFromJson(*as, path + ".autoscaler",
+                                &out->autoscaler, error))
             return false;
     }
     return r.finish();
@@ -480,6 +471,28 @@ predictorFromJson(const JsonValue &obj, const std::string &path,
     r.getString("kind", &out->kind);
     r.getDouble("accuracy", &out->accuracy);
     r.getUint64("seed", &out->seed);
+    return r.finish();
+}
+
+bool
+autoscalerFromJson(const JsonValue &obj, const std::string &path,
+                   routing::AutoscalerConfig *out, std::string *error)
+{
+    sim::JsonObjectReader r(obj, path, error);
+    r.getSize("min_replicas", &out->minReplicas);
+    r.getSize("max_replicas", &out->maxReplicas);
+    r.getDouble("eval_period_s", &out->evalPeriodSeconds);
+    r.getDouble("high_watermark", &out->highWatermark);
+    r.getDouble("low_watermark", &out->lowWatermark);
+    r.getDouble("forecast_horizon_s", &out->forecastHorizonSeconds);
+    r.getDouble("forecast_window_s", &out->forecastWindowSeconds);
+    r.getDouble("replica_service_rps", &out->replicaServiceRps);
+    r.getInt("up_cooldown_periods", &out->upCooldownPeriods);
+    r.getInt("down_cooldown_periods", &out->downCooldownPeriods);
+    r.getDouble("boot_ms", &out->bootMs);
+    r.getEnum("scale_up_policy", &out->scaleUpPolicy,
+              routing::scaleUpPolicyByName, routing::scaleUpPolicyNames());
+    r.getDouble("measured_rate_alpha", &out->measuredRateAlpha);
     return r.finish();
 }
 

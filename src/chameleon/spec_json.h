@@ -72,6 +72,12 @@ bool engineFromJson(const sim::JsonValue &obj, const std::string &path,
 bool predictorFromJson(const sim::JsonValue &obj, const std::string &path,
                        PredictorSpec *out, std::string *error);
 
+/** Apply an "autoscaler" JSON object onto *out; as engineFromJson.
+ * Shared by the spec parser and the sweep "autoscaler" template. */
+bool autoscalerFromJson(const sim::JsonValue &obj, const std::string &path,
+                        routing::AutoscalerConfig *out,
+                        std::string *error);
+
 } // namespace chameleon::core
 
 #endif // CHAMELEON_CHAMELEON_SPEC_JSON_H

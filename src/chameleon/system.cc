@@ -170,8 +170,35 @@ Runner::Runner(SystemSpec spec, const model::AdapterPool *pool)
                                predictor_.get());
         },
         ccfg.replicas, routing::makeRouter(ccfg.router, ccfg.routerConfig));
-    if (ccfg.autoscale)
-        cluster_->enableAutoscaler(ccfg.autoscaler);
+    if (ccfg.autoscale) {
+        // replicaServiceRps rates the spec's base engine; per-replica
+        // capacity factors divide each replica's nominal rate by it.
+        cluster_->enableAutoscaler(
+            ccfg.autoscaler, serving::nominalServiceRate(spec_.engine));
+        if (ccfg.autoscaler.scaleUpPolicy !=
+            routing::ScaleUpPolicy::Default) {
+            // Catalogue for the hetero-aware scale-up policy: the
+            // distinct per-replica fleet configs plus the base engine.
+            std::vector<serving::EngineConfig> candidates;
+            candidates.push_back(spec_.engine);
+            for (const auto &engine : spec_.cluster.replicaEngines) {
+                bool known = false;
+                for (const auto &candidate : candidates)
+                    known = known || candidate == engine;
+                if (!known)
+                    candidates.push_back(engine);
+            }
+            cluster_->setScaleUpCandidates(
+                std::move(candidates),
+                [this](const serving::EngineConfig &config) {
+                    SystemSpec custom = spec_;
+                    custom.engine = config;
+                    custom.cluster.replicaEngines.clear();
+                    return buildEngine(custom, 0, pool_, sim_,
+                                       predictor_.get());
+                });
+        }
+    }
 }
 
 Runner::~Runner() = default;
@@ -213,10 +240,15 @@ Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
     }
     report.perReplicaFinished = cluster_->perReplicaFinished();
     report.perReplicaServiceRate = cluster_->serviceRates();
+    report.perReplicaEffectiveRate = cluster_->effectiveServiceRates();
     report.peakReplicas = engines.size();
     report.finalActiveReplicas = cluster_->activeReplicas();
     report.scaleUps = cluster_->scaleUps();
     report.scaleDowns = cluster_->scaleDowns();
+    const auto &boot = cluster_->bootStats();
+    report.bootEvents = boot.boots;
+    report.totalBootSeconds = sim::toSeconds(boot.totalBootTime);
+    report.requestsDelayedByBoot = boot.requestsDelayedByBoot;
     return report;
 }
 

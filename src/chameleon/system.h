@@ -69,12 +69,26 @@ struct RunReport
      * routing weighted the placement by.
      */
     std::vector<double> perReplicaServiceRate;
+    /**
+     * Service rates the routing weights actually used at the end of
+     * the run: the measured EWMA (serving::MeasuredRate) when
+     * cluster.autoscaler.measuredRateAlpha > 0, a copy of
+     * perReplicaServiceRate otherwise.
+     */
+    std::vector<double> perReplicaEffectiveRate;
     /** Replicas ever built and active count at the end of the run. */
     std::size_t peakReplicas = 0;
     std::size_t finalActiveReplicas = 0;
     /** Autoscaling events applied. */
     std::int64_t scaleUps = 0;
     std::int64_t scaleDowns = 0;
+    // --- cold-start accounting (zero while autoscaler.bootMs = 0) ---
+    /** Scale-up builds that paid a boot (weight-load + constant). */
+    std::int64_t bootEvents = 0;
+    /** Summed boot latency across those builds, seconds. */
+    double totalBootSeconds = 0.0;
+    /** Requests dispatched while >= 1 replica was still booting. */
+    std::int64_t requestsDelayedByBoot = 0;
 };
 
 /**

@@ -283,6 +283,21 @@ SystemSpec::validate() const
                << cluster.autoscaler.minReplicas << ")";
             err(os);
         }
+        if (cluster.autoscaler.bootMs < 0.0) {
+            std::ostringstream os;
+            os << "autoscaler.bootMs must be >= 0 (got "
+               << cluster.autoscaler.bootMs
+               << "); 0 disables the cold-start model";
+            err(os);
+        }
+        if (cluster.autoscaler.measuredRateAlpha < 0.0 ||
+            cluster.autoscaler.measuredRateAlpha > 1.0) {
+            std::ostringstream os;
+            os << "autoscaler.measuredRateAlpha must be within [0, 1] "
+               << "(got " << cluster.autoscaler.measuredRateAlpha
+               << "); 0 keeps the static nominal routing weights";
+            err(os);
+        }
     }
     return errors;
 }

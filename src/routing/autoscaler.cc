@@ -7,6 +7,37 @@
 
 namespace chameleon::routing {
 
+const char *
+scaleUpPolicyName(ScaleUpPolicy policy)
+{
+    switch (policy) {
+      case ScaleUpPolicy::Default: return "default";
+      case ScaleUpPolicy::Cheapest: return "cheapest";
+      case ScaleUpPolicy::Fastest: return "fastest";
+    }
+    return "?";
+}
+
+bool
+scaleUpPolicyByName(const std::string &name, ScaleUpPolicy *out)
+{
+    if (name == "default")
+        *out = ScaleUpPolicy::Default;
+    else if (name == "cheapest")
+        *out = ScaleUpPolicy::Cheapest;
+    else if (name == "fastest")
+        *out = ScaleUpPolicy::Fastest;
+    else
+        return false;
+    return true;
+}
+
+const char *
+scaleUpPolicyNames()
+{
+    return "default, cheapest, fastest";
+}
+
 Autoscaler::Autoscaler(AutoscalerConfig config)
     : config_(config),
       forecast_(config.forecastWindowSeconds)
@@ -16,6 +47,10 @@ Autoscaler::Autoscaler(AutoscalerConfig config)
               "maxReplicas < minReplicas");
     CHM_CHECK(config_.lowWatermark < config_.highWatermark,
               "watermarks must satisfy low < high");
+    CHM_CHECK(config_.bootMs >= 0.0, "bootMs must be >= 0");
+    CHM_CHECK(config_.measuredRateAlpha >= 0.0 &&
+                  config_.measuredRateAlpha <= 1.0,
+              "measuredRateAlpha must be within [0, 1]");
 }
 
 void
@@ -28,6 +63,22 @@ std::size_t
 Autoscaler::evaluate(std::size_t activeReplicas,
                      std::int64_t totalOutstanding, sim::SimTime now)
 {
+    // Homogeneous: every replica is the reference replica. Passing
+    // exact small integers through the capacity arithmetic keeps the
+    // decisions bit-identical to the historical scalar form.
+    CapacitySignals capacity;
+    capacity.activeCapacityFactor = static_cast<double>(
+        std::clamp(activeReplicas, config_.minReplicas,
+                   config_.maxReplicas));
+    capacity.nextReplicaFactor = 1.0;
+    return evaluate(activeReplicas, totalOutstanding, now, capacity);
+}
+
+std::size_t
+Autoscaler::evaluate(std::size_t activeReplicas,
+                     std::int64_t totalOutstanding, sim::SimTime now,
+                     const CapacitySignals &capacity)
+{
     activeReplicas = std::clamp(activeReplicas, config_.minReplicas,
                                 config_.maxReplicas);
     ++sinceUp_;
@@ -36,22 +87,40 @@ Autoscaler::evaluate(std::size_t activeReplicas,
         static_cast<double>(totalOutstanding) /
         static_cast<double>(activeReplicas);
 
-    // Forecast signal: replicas demanded by the predicted arrival rate.
-    std::size_t demand = 0;
+    // Forecast signal: demand in reference-replica units (the scalar
+    // replicaServiceRps rates the reference replica; the active set's
+    // aggregate capacity factor says how many reference replicas the
+    // fleet currently amounts to).
+    double demand = 0.0;
     if (config_.replicaServiceRps > 0.0) {
         const double rps = forecast_.forecastRps(
             now, config_.forecastHorizonSeconds);
-        demand = static_cast<std::size_t>(
-            std::ceil(rps / config_.replicaServiceRps));
+        demand = std::ceil(rps / config_.replicaServiceRps);
     }
+    lastDemand_ = demand;
 
     const bool queueHigh = perReplica > config_.highWatermark;
-    const bool demandHigh = demand > activeReplicas;
+    const bool demandHigh = demand > capacity.activeCapacityFactor;
     if ((queueHigh || demandHigh) && sinceUp_ >= config_.upCooldownPeriods &&
         activeReplicas < config_.maxReplicas) {
         std::size_t target = activeReplicas + 1;
-        if (demandHigh)
-            target = std::max(target, demand);
+        if (demandHigh) {
+            // Cover the shortfall with replicas of the capacity the
+            // scale-up policy would add (exactly demand - active
+            // replicas when every factor is 1.0).
+            const double shortfall =
+                demand - capacity.activeCapacityFactor;
+            const double nextFactor =
+                capacity.nextReplicaFactor > 0.0
+                    ? capacity.nextReplicaFactor
+                    : 1.0;
+            const double extra = std::ceil(shortfall / nextFactor);
+            if (extra > 0.0) {
+                target = std::max(
+                    target,
+                    activeReplicas + static_cast<std::size_t>(extra));
+            }
+        }
         target = std::min(target, config_.maxReplicas);
         sinceUp_ = 0;
         lowStreak_ = 0;
@@ -62,8 +131,8 @@ Autoscaler::evaluate(std::size_t activeReplicas,
     // Scale down only when both signals agree the cluster is oversized
     // and the condition persists.
     const bool queueLow = perReplica < config_.lowWatermark;
-    const bool demandLow =
-        config_.replicaServiceRps <= 0.0 || demand < activeReplicas;
+    const bool demandLow = config_.replicaServiceRps <= 0.0 ||
+                           demand < capacity.activeCapacityFactor;
     if (queueLow && demandLow && activeReplicas > config_.minReplicas) {
         if (++lowStreak_ >= config_.downCooldownPeriods) {
             lowStreak_ = 0;
@@ -88,7 +157,9 @@ operator==(const AutoscalerConfig &a, const AutoscalerConfig &b)
            a.forecastWindowSeconds == b.forecastWindowSeconds &&
            a.replicaServiceRps == b.replicaServiceRps &&
            a.upCooldownPeriods == b.upCooldownPeriods &&
-           a.downCooldownPeriods == b.downCooldownPeriods;
+           a.downCooldownPeriods == b.downCooldownPeriods &&
+           a.bootMs == b.bootMs && a.scaleUpPolicy == b.scaleUpPolicy &&
+           a.measuredRateAlpha == b.measuredRateAlpha;
 }
 
 } // namespace chameleon::routing

@@ -19,17 +19,53 @@
  * cooldown; scale-down requires the low signal to persist for
  * `downCooldownPeriods` consecutive evaluations, then drains one
  * replica at a time so a lull does not collapse the cluster.
+ *
+ * Heterogeneous fleets: `replicaServiceRps` rates the *reference*
+ * replica (the spec's base engine); every replica contributes to
+ * capacity in proportion to its nominal service rate over the
+ * reference's (its capacity factor — see CapacitySignals). Demand is
+ * computed in reference-replica units and compared against the active
+ * set's *aggregate* capacity factor, so two half-speed replicas absorb
+ * the same forecast as one reference replica. On a homogeneous fleet
+ * every factor is exactly 1.0 and the arithmetic reduces bit-for-bit
+ * to the scalar form used before capacity factors existed.
  */
 
 #ifndef CHAMELEON_ROUTING_AUTOSCALER_H
 #define CHAMELEON_ROUTING_AUTOSCALER_H
 
 #include <cstdint>
+#include <string>
 
 #include "predict/load_predictor.h"
 #include "simkit/time.h"
 
 namespace chameleon::routing {
+
+/**
+ * Which engine configuration a scale-up instantiates when the cluster
+ * has a catalogue of candidate configs (a heterogeneous fleet).
+ */
+enum class ScaleUpPolicy {
+    /** The engine factory's default for the next replica index (the
+     * pre-catalogue behaviour; homogeneous fleets always use this). */
+    Default,
+    /** Lowest-capacity candidate whose rate still covers the forecast
+     * shortfall (cheapest-that-meets-forecast; falls back to the
+     * fastest candidate when none suffices alone). */
+    Cheapest,
+    /** Highest-capacity candidate, unconditionally. */
+    Fastest,
+};
+
+/** Canonical short name (also accepted by scaleUpPolicyByName). */
+const char *scaleUpPolicyName(ScaleUpPolicy policy);
+
+/** Parse a policy name; returns false on unknown names. */
+bool scaleUpPolicyByName(const std::string &name, ScaleUpPolicy *out);
+
+/** Comma-separated policy names, for error messages. */
+const char *scaleUpPolicyNames();
 
 /** Watermarks, bounds and cadence of the autoscaler. */
 struct AutoscalerConfig
@@ -47,15 +83,34 @@ struct AutoscalerConfig
     /** Sliding window of the arrival-rate forecaster, seconds. */
     double forecastWindowSeconds = 60.0;
     /**
-     * Sustainable request rate of one replica, requests/s; converts the
-     * forecasted arrival rate into a replica demand. 0 disables the
-     * forecast signal and leaves only the watermarks.
+     * Sustainable request rate of one *reference* replica (the base
+     * engine), requests/s; converts the forecasted arrival rate into a
+     * demand in reference-replica units. 0 disables the forecast
+     * signal and leaves only the watermarks.
      */
     double replicaServiceRps = 0.0;
     /** Evaluations that must pass between consecutive scale-ups. */
     int upCooldownPeriods = 1;
     /** Consecutive low evaluations required before draining one. */
     int downCooldownPeriods = 3;
+    /**
+     * Cold-start boot constant, milliseconds: process start + runtime
+     * init paid by every *newly built* replica on top of its weight
+     * load (serving::ColdStartModel). 0 disables the cold-start model
+     * entirely — scale-ups activate instantly, the pre-cold-start
+     * behaviour pinned by tests/golden_trace_test.cc.
+     */
+    double bootMs = 0.0;
+    /** Which candidate engine config a scale-up instantiates. */
+    ScaleUpPolicy scaleUpPolicy = ScaleUpPolicy::Default;
+    /**
+     * EWMA weight of each newly observed per-replica completion rate
+     * (serving::MeasuredRate), blended into the routing weights
+     * (ClusterView::serviceWeight) so they self-correct under
+     * load-dependent batching/cache effects. 0 disables measurement —
+     * weights stay the static nominal estimates, bit-identically.
+     */
+    double measuredRateAlpha = 0.0;
 };
 
 /** Field-wise equality (spec round-trip tests). */
@@ -64,6 +119,20 @@ inline bool operator!=(const AutoscalerConfig &a, const AutoscalerConfig &b)
 {
     return !(a == b);
 }
+
+/**
+ * Capacity of the active set in reference-replica units, supplied by
+ * the cluster each evaluation. A replica's capacity factor is its
+ * nominal service rate divided by the reference (base-engine) rate;
+ * homogeneous fleets pass exactly 1.0 per replica.
+ */
+struct CapacitySignals
+{
+    /** Sum of the active (and still-booting) replicas' factors. */
+    double activeCapacityFactor = 0.0;
+    /** Factor of the replica the next scale-up step would add. */
+    double nextReplicaFactor = 1.0;
+};
 
 /** Decides the target active-replica count; owns the forecaster. */
 class Autoscaler
@@ -77,10 +146,25 @@ class Autoscaler
     /**
      * One evaluation: given the current active count and the total
      * outstanding requests across active replicas, return the new
-     * target count in [minReplicas, maxReplicas].
+     * target count in [minReplicas, maxReplicas]. The homogeneous
+     * convenience form — equivalent to capacity factors of exactly
+     * 1.0 per replica.
      */
     std::size_t evaluate(std::size_t activeReplicas,
                          std::int64_t totalOutstanding, sim::SimTime now);
+
+    /** Heterogeneity-aware evaluation (see CapacitySignals). */
+    std::size_t evaluate(std::size_t activeReplicas,
+                         std::int64_t totalOutstanding, sim::SimTime now,
+                         const CapacitySignals &capacity);
+
+    /**
+     * Forecast demand of the last evaluation, in reference-replica
+     * units (0 while the forecast signal is disabled). The cluster's
+     * scale-up policy sizes "cheapest that meets the forecast" from
+     * the shortfall demand - activeCapacityFactor.
+     */
+    double lastForecastDemand() const { return lastDemand_; }
 
     const AutoscalerConfig &config() const { return config_; }
     const predict::LoadForecaster &forecaster() const { return forecast_; }
@@ -92,6 +176,7 @@ class Autoscaler
     predict::LoadForecaster forecast_;
     int sinceUp_ = 1 << 20;   // evaluations since the last scale-up
     int lowStreak_ = 0;       // consecutive below-low evaluations
+    double lastDemand_ = 0.0; // forecast demand, reference units
     std::int64_t scaleUps_ = 0;
     std::int64_t scaleDowns_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "serving/cluster.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "simkit/check.h"
 
@@ -14,10 +15,14 @@ DataParallelCluster::DataParallelCluster(
 {
     CHM_CHECK(replicas >= 1, "cluster needs at least one engine");
     CHM_CHECK(router_ != nullptr, "cluster needs a router");
+    // Initial replicas start warm (the cluster exists before the trace
+    // begins); the cold-start model applies to scale-up builds only.
     for (int i = 0; i < replicas; ++i)
         buildReplica();
-    active_ = engines_.size();
-    router_->onReplicaCountChanged(active_);
+    provisioned_ = engines_.size();
+    for (std::size_t i = 0; i < provisioned_; ++i)
+        routable_.push_back(i);
+    router_->onReplicaCountChanged(provisioned_);
 }
 
 DataParallelCluster::DataParallelCluster(
@@ -30,19 +35,65 @@ DataParallelCluster::DataParallelCluster(
 
 void
 DataParallelCluster::enableAutoscaler(
-    const routing::AutoscalerConfig &config)
+    const routing::AutoscalerConfig &config, double referenceServiceRps)
 {
     CHM_CHECK(!traceSubmitted_,
               "enableAutoscaler must precede submitTrace");
-    autoscaler_ = std::make_unique<routing::Autoscaler>(config);
-    applyTarget(std::clamp(active_, config.minReplicas,
+    // Clamp into the bounds first, before the autoscaler and the
+    // cold-start model are installed: replicas provisioned to satisfy
+    // the configured floor are initial capacity — the cluster exists
+    // before the trace begins — and must start warm exactly like the
+    // constructor's builds; only simulation-time scale-ups boot.
+    applyTarget(std::clamp(provisioned_, config.minReplicas,
                            config.maxReplicas));
+    autoscaler_ = std::make_unique<routing::Autoscaler>(config);
+    coldStart_ = ColdStartModel(config.bootMs);
+    referenceRate_ =
+        referenceServiceRps > 0.0 ? referenceServiceRps : rates_.front();
+    if (config.measuredRateAlpha > 0.0)
+        enableMeasuredRates(config.measuredRateAlpha);
+}
+
+void
+DataParallelCluster::setScaleUpCandidates(
+    std::vector<EngineConfig> candidates, ConfigEngineFactory factory)
+{
+    CHM_CHECK(!candidates.empty(),
+              "scale-up catalogue must not be empty");
+    CHM_CHECK(factory != nullptr,
+              "scale-up catalogue needs a config factory");
+    candidates_ = std::move(candidates);
+    configFactory_ = std::move(factory);
+    candidateRates_.clear();
+    fastestCandidate_ = 0;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        candidateRates_.push_back(nominalServiceRate(candidates_[c]));
+        if (candidateRates_[c] > candidateRates_[fastestCandidate_])
+            fastestCandidate_ = c;
+    }
+}
+
+void
+DataParallelCluster::enableMeasuredRates(double alpha)
+{
+    CHM_CHECK(!traceSubmitted_,
+              "enableMeasuredRates must precede submitTrace");
+    CHM_CHECK(alpha >= 0.0 && alpha <= 1.0,
+              "measured-rate alpha must be within [0, 1]");
+    if (alpha <= 0.0)
+        return; // nominal weights, bit-identical streams
+    measuredAlpha_ = alpha;
+    measured_.clear();
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        measured_.emplace_back(alpha, rates_[i]);
+        installMeasuredRate(i);
+    }
 }
 
 std::int64_t
 DataParallelCluster::outstanding(std::size_t i) const
 {
-    return engines_[i]->outstanding();
+    return engines_[routable_[i]]->outstanding();
 }
 
 bool
@@ -51,7 +102,7 @@ DataParallelCluster::adapterResident(std::size_t i,
 {
     if (id == model::kNoAdapter)
         return true;
-    const ServingEngine &engine = *engines_[i];
+    const ServingEngine &engine = *engines_[routable_[i]];
     return engine.adapterManager().isResident(id);
 }
 
@@ -63,15 +114,172 @@ DataParallelCluster::serviceWeight(std::size_t i) const
     // drained replica leaves the active set. maxRate_ is maintained
     // by buildReplica: serviceWeight sits on the per-request dispatch
     // path, called once per replica per routing decision.
-    return rates_[i] / maxRate_;
+    const std::size_t engineIndex = routable_[i];
+    const double rate = measuredAlpha_ > 0.0
+                            ? measured_[engineIndex].rate()
+                            : rates_[engineIndex];
+    return rate / maxRate_;
+}
+
+std::vector<double>
+DataParallelCluster::effectiveServiceRates() const
+{
+    if (measuredAlpha_ <= 0.0)
+        return rates_;
+    std::vector<double> out;
+    out.reserve(measured_.size());
+    for (const auto &rate : measured_)
+        out.push_back(rate.rate());
+    return out;
+}
+
+void
+DataParallelCluster::installMeasuredRate(std::size_t index)
+{
+    engines_[index]->setCompletionListener(
+        [this, index](sim::SimTime now) {
+            measured_[index].onCompletion(now);
+        });
+}
+
+void
+DataParallelCluster::appendEngine(std::unique_ptr<ServingEngine> engine,
+                                  double nominalRate)
+{
+    engines_.push_back(std::move(engine));
+    rates_.push_back(nominalRate);
+    maxRate_ = std::max(maxRate_, nominalRate);
+    states_.push_back(ReplicaState::Active);
+    bootDeadline_.push_back(0);
+    if (measuredAlpha_ > 0.0) {
+        measured_.emplace_back(measuredAlpha_, nominalRate);
+        installMeasuredRate(engines_.size() - 1);
+    }
 }
 
 void
 DataParallelCluster::buildReplica()
 {
-    engines_.push_back(factory_(engines_.size()));
-    rates_.push_back(nominalServiceRate(engines_.back()->config()));
-    maxRate_ = std::max(maxRate_, rates_.back());
+    auto engine = factory_(engines_.size());
+    const double rate = nominalServiceRate(engine->config());
+    appendEngine(std::move(engine), rate);
+}
+
+/**
+ * Build one scale-up replica. The engine comes from the index factory
+ * (Default policy) or from the catalogue candidate the ScaleUpPolicy
+ * picks; with the cold-start model enabled it enters Booting and only
+ * becomes dispatchable at its boot deadline.
+ */
+void
+DataParallelCluster::buildScaleUpReplica()
+{
+    const routing::ScaleUpPolicy policy =
+        autoscaler_ != nullptr ? autoscaler_->config().scaleUpPolicy
+                               : routing::ScaleUpPolicy::Default;
+    if (policy == routing::ScaleUpPolicy::Default ||
+        candidates_.empty()) {
+        buildReplica();
+    } else {
+        // Forecast shortfall still uncovered, in reference-replica
+        // units (<= 0 for watermark-driven scale-ups).
+        double shortfall = 0.0;
+        if (autoscaler_ != nullptr) {
+            shortfall = autoscaler_->lastForecastDemand() -
+                        capacitySignals().activeCapacityFactor;
+        }
+        std::size_t pick = fastestCandidate_;
+        if (policy == routing::ScaleUpPolicy::Cheapest) {
+            // Cheapest-that-meets-forecast; when no single candidate
+            // covers the shortfall, keep the fastest and let the next
+            // build cover the rest.
+            const double needed = shortfall * referenceRate_;
+            double bestRate = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < candidates_.size(); ++c) {
+                if (candidateRates_[c] + 1e-12 >= needed &&
+                    candidateRates_[c] < bestRate) {
+                    bestRate = candidateRates_[c];
+                    pick = c;
+                }
+            }
+        }
+        appendEngine(configFactory_(candidates_[pick]),
+                     candidateRates_[pick]);
+    }
+
+    if (!coldStart_.enabled())
+        return;
+    const std::size_t index = engines_.size() - 1;
+    const sim::SimTime boot =
+        coldStart_.bootTime(engines_[index]->config());
+    states_[index] = ReplicaState::Booting;
+    bootDeadline_[index] = sim_.now() + boot;
+    ++bootStats_.boots;
+    bootStats_.totalBootTime += boot;
+    sim_.scheduleAfter(boot, [this, index] { onBootComplete(index); });
+}
+
+void
+DataParallelCluster::onBootComplete(std::size_t index)
+{
+    // The slot may have been drained mid-boot (and possibly not yet
+    // reactivated); only a still-Booting replica joins the active set.
+    if (states_[index] != ReplicaState::Booting)
+        return;
+    states_[index] = ReplicaState::Active;
+    syncRoutable();
+}
+
+void
+DataParallelCluster::syncRoutable()
+{
+    std::vector<std::size_t> routable;
+    std::size_t booting = 0;
+    routable.reserve(provisioned_);
+    for (std::size_t i = 0; i < provisioned_; ++i) {
+        if (states_[i] == ReplicaState::Active)
+            routable.push_back(i);
+        else
+            ++booting;
+    }
+    booting_ = booting;
+    if (routable != routable_) {
+        routable_ = std::move(routable);
+        router_->onReplicaCountChanged(routable_.size());
+    }
+}
+
+double
+DataParallelCluster::capacityFactor(std::size_t index) const
+{
+    return rates_[index] / referenceRate_;
+}
+
+routing::CapacitySignals
+DataParallelCluster::capacitySignals() const
+{
+    // Capacity in reference-replica units. Homogeneous fleets divide a
+    // rate by itself — every factor is exactly 1.0 and the sum exactly
+    // the provisioned count, which keeps the autoscaler's decisions
+    // bit-identical to the historical scalar arithmetic.
+    routing::CapacitySignals signals;
+    for (std::size_t i = 0; i < provisioned_; ++i)
+        signals.activeCapacityFactor += capacityFactor(i);
+    if (provisioned_ < engines_.size()) {
+        // Next step reactivates a drained replica of known capacity.
+        signals.nextReplicaFactor = capacityFactor(provisioned_);
+    } else if (autoscaler_ != nullptr && !candidates_.empty() &&
+               autoscaler_->config().scaleUpPolicy !=
+                   routing::ScaleUpPolicy::Default) {
+        // Both catalogue policies cover a shortfall at worst at the
+        // fastest candidate's pace (Cheapest falls back to it).
+        signals.nextReplicaFactor =
+            candidateRates_[fastestCandidate_] / referenceRate_;
+    } else {
+        // Default policy past the fleet list builds the base engine.
+        signals.nextReplicaFactor = 1.0;
+    }
+    return signals;
 }
 
 void
@@ -79,24 +287,53 @@ DataParallelCluster::dispatch(const workload::Request &request)
 {
     if (autoscaler_ != nullptr)
         autoscaler_->onArrival(sim_.now());
+    if (booting_ > 0)
+        ++bootStats_.requestsDelayedByBoot;
     const std::size_t pick = router_->route(request, *this);
-    CHM_CHECK(pick < active_, "router returned an inactive replica");
-    engines_[pick]->submit(request);
+    CHM_CHECK(pick < routable_.size(),
+              "router returned an inactive replica");
+    engines_[routable_[pick]]->submit(request);
 }
 
 void
 DataParallelCluster::applyTarget(std::size_t target)
 {
-    if (target == active_)
+    if (target == provisioned_)
         return;
-    if (target > active_) {
-        // Reactivate drained replicas first (their adapter caches are
-        // still warm), then build new engines from the factory.
-        while (engines_.size() < target)
-            buildReplica();
+    if (target > provisioned_) {
+        while (provisioned_ < target) {
+            if (provisioned_ < engines_.size()) {
+                // Reactivate drained replicas first (their adapter
+                // caches — and loaded weights — are still warm). A
+                // replica drained mid-boot resumes its original boot
+                // deadline instead of restarting the load.
+                const std::size_t index = provisioned_;
+                states_[index] = sim_.now() >= bootDeadline_[index]
+                                     ? ReplicaState::Active
+                                     : ReplicaState::Booting;
+            } else {
+                buildScaleUpReplica();
+            }
+            ++provisioned_;
+        }
+    } else {
+        // Drain from the top of the provisioned prefix; a Booting
+        // replica is cancelled (its pending boot event finds it
+        // Drained and does nothing), a working replica keeps burning
+        // its queue without receiving new dispatches.
+        while (provisioned_ > target) {
+            --provisioned_;
+            states_[provisioned_] = ReplicaState::Drained;
+        }
     }
-    active_ = target;
-    router_->onReplicaCountChanged(active_);
+    syncRoutable();
+}
+
+void
+DataParallelCluster::resize(std::size_t target)
+{
+    CHM_CHECK(target >= 1, "cluster cannot resize below one replica");
+    applyTarget(target);
 }
 
 void
@@ -109,7 +346,8 @@ DataParallelCluster::autoscaleTick(sim::SimTime until)
     std::int64_t total = 0;
     for (const auto &engine : engines_)
         total += engine->outstanding();
-    applyTarget(autoscaler_->evaluate(active_, total, sim_.now()));
+    applyTarget(autoscaler_->evaluate(provisioned_, total, sim_.now(),
+                                      capacitySignals()));
     const sim::SimTime period =
         sim::fromSeconds(autoscaler_->config().evalPeriodSeconds);
     if (sim_.now() + period <= until) {

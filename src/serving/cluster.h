@@ -18,13 +18,29 @@
  * cluster computes a nominal service rate per replica
  * (serving::nominalServiceRate) and reports the max-normalised ratios
  * through ClusterView::serviceWeight, which the capacity-aware routing
- * policies use to place work where the hardware can absorb it.
+ * policies use to place work where the hardware can absorb it. With
+ * measured rates enabled (enableMeasuredRates), each replica's weight
+ * instead tracks an online EWMA of its observed completion rate
+ * (serving::MeasuredRate), so the weights self-correct under
+ * load-dependent batching and cache effects.
  *
  * An optional routing::Autoscaler grows and drains the active replica
- * set at simulation time: new replicas are built on demand from the
- * engine factory, drained replicas stop receiving dispatches but finish
- * their outstanding work (and keep their warm adapter cache for a later
- * scale-up).
+ * set at simulation time. Each replica is in one of three states:
+ *
+ *   Active  — dispatchable; routers see exactly these replicas.
+ *   Booting — provisioned by a scale-up but still loading weights
+ *             (serving::ColdStartModel); counts toward the
+ *             autoscaler's capacity, receives no dispatches until its
+ *             boot deadline passes.
+ *   Drained — scaled down; finishes its outstanding work and keeps
+ *             its warm adapter cache for a later reactivation.
+ *
+ * New replicas are built on demand from the engine factory — or, on a
+ * heterogeneous fleet with a scale-up catalogue installed
+ * (setScaleUpCandidates), from the candidate engine configuration the
+ * routing::ScaleUpPolicy picks. With the cold-start model disabled
+ * (bootMs = 0) every scale-up activates synchronously, reproducing
+ * the pre-cold-start event streams bit-for-bit.
  */
 
 #ifndef CHAMELEON_SERVING_CLUSTER_H
@@ -36,7 +52,9 @@
 
 #include "routing/autoscaler.h"
 #include "routing/router.h"
+#include "serving/cold_start.h"
 #include "serving/engine.h"
+#include "serving/measured_rate.h"
 
 namespace chameleon::serving {
 
@@ -52,6 +70,27 @@ class DataParallelCluster : public routing::ClusterView
      */
     using EngineFactory =
         std::function<std::unique_ptr<ServingEngine>(std::size_t index)>;
+
+    /** Builds one engine from an explicit configuration (scale-up
+     * catalogue; see setScaleUpCandidates). */
+    using ConfigEngineFactory = std::function<std::unique_ptr<ServingEngine>(
+        const EngineConfig &config)>;
+
+    /** Lifecycle state of one replica slot. */
+    enum class ReplicaState { Active, Booting, Drained };
+
+    /** Cold-start accounting (all zero while bootMs = 0). */
+    struct BootStats
+    {
+        /** Scale-up builds that went through a Booting phase. */
+        std::int64_t boots = 0;
+        /** Summed boot latency across those builds. */
+        sim::SimTime totalBootTime = 0;
+        /** Requests dispatched while >= 1 replica was still booting —
+         * the arrivals the cluster served at reduced capacity because
+         * the forecast horizon lost the race against the boot. */
+        std::int64_t requestsDelayedByBoot = 0;
+    };
 
     /**
      * @param simulator shared event kernel
@@ -74,19 +113,54 @@ class DataParallelCluster : public routing::ClusterView
      * Enable predictor-driven autoscaling. Must be called before
      * submitTrace; evaluation events are scheduled over the trace span.
      * The initial replica count is clamped into the autoscaler bounds.
+     *
+     * @param referenceServiceRps nominal service rate of the
+     *        *reference* replica (the spec's base engine) that
+     *        config.replicaServiceRps describes; per-replica capacity
+     *        factors are nominal rates over this. 0 uses replica 0's
+     *        nominal rate — exact for homogeneous clusters.
      */
-    void enableAutoscaler(const routing::AutoscalerConfig &config);
+    void enableAutoscaler(const routing::AutoscalerConfig &config,
+                          double referenceServiceRps = 0.0);
+
+    /**
+     * Install the scale-up catalogue a non-default
+     * routing::ScaleUpPolicy chooses from: candidate engine
+     * configurations (typically the distinct fleet configs plus the
+     * base engine) and a factory that builds one. Without a catalogue
+     * every policy degrades to Default (the index factory).
+     */
+    void setScaleUpCandidates(std::vector<EngineConfig> candidates,
+                              ConfigEngineFactory factory);
+
+    /**
+     * Track per-replica measured completion rates with EWMA weight
+     * `alpha` and blend them into serviceWeight. Call before
+     * submitTrace; alpha = 0 is a no-op (nominal weights, unchanged
+     * event streams).
+     */
+    void enableMeasuredRates(double alpha);
+
+    /**
+     * Manually resize the provisioned replica set (the autoscaler's
+     * own entry point, public for tools and lifecycle tests). Grows by
+     * reactivating drained replicas, then building new ones — which
+     * boot first when the cold-start model is enabled; shrinks by
+     * draining from the top.
+     */
+    void resize(std::size_t target);
 
     /** Route every request of the trace at its arrival time. */
     void submitTrace(const workload::Trace &trace);
 
-    // --- routing::ClusterView (the active replica set) ---
-    std::size_t replicaCount() const override { return active_; }
+    // --- routing::ClusterView (the dispatchable replica set) ---
+    std::size_t replicaCount() const override { return routable_.size(); }
     std::int64_t outstanding(std::size_t i) const override;
     bool adapterResident(std::size_t i,
                          model::AdapterId id) const override;
-    /** Nominal service rate of replica i over the fleet maximum, so
-     * homogeneous clusters see exactly 1.0 everywhere. */
+    /** Service rate of dispatchable replica i over the fleet's maximum
+     * nominal rate — measured when enabled, nominal otherwise; exactly
+     * 1.0 everywhere on a homogeneous unmeasured cluster. */
     double serviceWeight(std::size_t i) const override;
 
     /**
@@ -97,17 +171,34 @@ class DataParallelCluster : public routing::ClusterView
      */
     const std::vector<double> &serviceRates() const { return rates_; }
 
-    /** All engines ever created, active or drained (for stats). */
+    /**
+     * Current service-rate estimates actually steering the routing
+     * weights, indexed like engines(): the measured EWMA when
+     * enableMeasuredRates is active, the nominal estimate otherwise.
+     */
+    std::vector<double> effectiveServiceRates() const;
+
+    /** All engines ever created, whatever their state (for stats). */
     const std::vector<std::unique_ptr<ServingEngine>> &engines() const
     {
         return engines_;
     }
 
-    /** Currently dispatchable replicas (prefix of engines()). */
-    std::size_t activeReplicas() const { return active_; }
+    /** Lifecycle state of replica i (indexed like engines()). */
+    ReplicaState replicaState(std::size_t i) const { return states_[i]; }
+
+    /** Provisioned replicas: active + booting (the autoscaler's view
+     * of capacity; a prefix of engines()). */
+    std::size_t activeReplicas() const { return provisioned_; }
+
+    /** Replicas currently loading weights (subset of provisioned). */
+    std::size_t bootingReplicas() const { return booting_; }
 
     const routing::Router &router() const { return *router_; }
     routing::Autoscaler *autoscaler() { return autoscaler_.get(); }
+
+    /** Cold-start accounting (zeros while the model is disabled). */
+    const BootStats &bootStats() const { return bootStats_; }
 
     /** Autoscaling events so far (0 when autoscaling is disabled). */
     std::int64_t scaleUps() const
@@ -144,18 +235,43 @@ class DataParallelCluster : public routing::ClusterView
 
   private:
     void dispatch(const workload::Request &request);
+    void appendEngine(std::unique_ptr<ServingEngine> engine,
+                      double nominalRate);
     void buildReplica();
+    void buildScaleUpReplica();
+    void installMeasuredRate(std::size_t index);
+    void onBootComplete(std::size_t index);
+    /** Recompute the dispatchable set; notifies the router if the
+     * mapping changed. */
+    void syncRoutable();
     void applyTarget(std::size_t target);
+    routing::CapacitySignals capacitySignals() const;
+    double capacityFactor(std::size_t index) const;
     void autoscaleTick(sim::SimTime until);
 
     sim::Simulator &sim_;
     EngineFactory factory_;
     std::unique_ptr<routing::Router> router_;
     std::unique_ptr<routing::Autoscaler> autoscaler_;
+    ColdStartModel coldStart_{0.0};
     std::vector<std::unique_ptr<ServingEngine>> engines_;
+    std::vector<ReplicaState> states_;  // aligned with engines_
+    std::vector<sim::SimTime> bootDeadline_; // 0 = booted at birth
     std::vector<double> rates_; // nominal rates, aligned with engines_
+    std::vector<MeasuredRate> measured_; // aligned when alpha > 0
+    double measuredAlpha_ = 0.0;
     double maxRate_ = 0.0;      // max of rates_ (dispatch-path cache)
-    std::size_t active_ = 0;
+    double referenceRate_ = 0.0; // capacity-factor denominator
+    /** Dispatchable view: view index -> engine index. */
+    std::vector<std::size_t> routable_;
+    std::size_t provisioned_ = 0; // active + booting prefix length
+    std::size_t booting_ = 0;
+    BootStats bootStats_;
+    // Scale-up catalogue (non-default ScaleUpPolicy).
+    std::vector<EngineConfig> candidates_;
+    std::vector<double> candidateRates_;
+    std::size_t fastestCandidate_ = 0; // argmax of candidateRates_
+    ConfigEngineFactory configFactory_;
     bool traceSubmitted_ = false;
 };
 

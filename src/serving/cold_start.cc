@@ -1,0 +1,31 @@
+#include "serving/cold_start.h"
+
+#include "model/cost_model.h"
+#include "simkit/check.h"
+
+namespace chameleon::serving {
+
+ColdStartModel::ColdStartModel(double bootMs) : bootMs_(bootMs)
+{
+    CHM_CHECK(bootMs_ >= 0.0, "bootMs must be >= 0 (0 disables)");
+}
+
+sim::SimTime
+ColdStartModel::weightLoadTime(const EngineConfig &config) const
+{
+    if (!enabled())
+        return 0;
+    const model::CostModel cost(config.model, config.gpu,
+                                config.tpDegree, config.cost);
+    return cost.adapterLoadTime(config.model.weightsBytes());
+}
+
+sim::SimTime
+ColdStartModel::bootTime(const EngineConfig &config) const
+{
+    if (!enabled())
+        return 0;
+    return weightLoadTime(config) + sim::fromMillis(bootMs_);
+}
+
+} // namespace chameleon::serving

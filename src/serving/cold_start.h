@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Replica cold-start model: what a scale-up actually costs.
+ *
+ * Before this model, an autoscaler scale-up instantiated a fresh
+ * engine that began serving in the same event — free capacity, which
+ * made every forecast horizon trivially beatable. In reality a new
+ * replica must read the base-model weights from host memory over the
+ * PCIe/host-read path and pay a process/runtime boot constant before
+ * it can serve its first token.
+ *
+ * The model derives the weight-load term from the engine's own
+ * analytic cost model (model::CostModel::adapterLoadTime applied to
+ * the full weights byte count — the same per-transfer setup, link
+ * bandwidth and tensor-parallel synchronisation charged for adapter
+ * fetches, §3.2) and adds the configurable boot constant
+ * (routing::AutoscalerConfig::bootMs). A booting replica sits in the
+ * cluster's `Booting` state: it counts toward provisioned capacity
+ * (so the autoscaler does not double-scale) but receives no
+ * dispatches until its boot deadline passes.
+ *
+ * bootMs = 0 disables the model entirely: scale-ups activate
+ * synchronously in the scale-up event, reproducing the pre-cold-start
+ * event streams bit-for-bit (tests/golden_trace_test.cc).
+ */
+
+#ifndef CHAMELEON_SERVING_COLD_START_H
+#define CHAMELEON_SERVING_COLD_START_H
+
+#include "serving/engine.h"
+#include "simkit/time.h"
+
+namespace chameleon::serving {
+
+/** Boot-latency model for newly built replicas. */
+class ColdStartModel
+{
+  public:
+    /** @param bootMs boot constant, milliseconds; 0 disables. */
+    explicit ColdStartModel(double bootMs = 0.0);
+
+    /** Is the cold-start model active (bootMs > 0)? */
+    bool enabled() const { return bootMs_ > 0.0; }
+
+    /**
+     * Boot latency of a replica built with `config`: weight-load time
+     * over the PCIe/host-read path plus the boot constant. Exactly 0
+     * when the model is disabled.
+     */
+    sim::SimTime bootTime(const EngineConfig &config) const;
+
+    /** The weight-load term alone (0 when disabled), for reporting. */
+    sim::SimTime weightLoadTime(const EngineConfig &config) const;
+
+  private:
+    double bootMs_;
+};
+
+} // namespace chameleon::serving
+
+#endif // CHAMELEON_SERVING_COLD_START_H

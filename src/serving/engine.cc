@@ -476,6 +476,8 @@ ServingEngine::finishRequest(LiveRequest *r)
     stats_.queueDelay.add(sim::toSeconds(r->queueDelay()));
     stats_.records.push_back(makeRecord(*r));
     ++stats_.finished;
+    if (onFinish_)
+        onFinish_(sim_.now());
     predictor_->observe(r->req);
     scheduler_->onRequestFinished(r);
 }

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -147,6 +148,17 @@ class ServingEngine
      */
     void setAdapterManager(std::unique_ptr<AdapterManager> manager);
 
+    /**
+     * Observe request completions (the cluster's measured service
+     * rates). Called synchronously inside the finishing event with the
+     * completion timestamp; installing one never alters the event
+     * stream. Null (the default) disables the notification.
+     */
+    void setCompletionListener(std::function<void(sim::SimTime)> listener)
+    {
+        onFinish_ = std::move(listener);
+    }
+
     /** Submit every request in the trace at its arrival time. */
     void submitTrace(const workload::Trace &trace);
 
@@ -221,6 +233,7 @@ class ServingEngine
     std::unique_ptr<Scheduler> scheduler_;
     std::unique_ptr<AdapterManager> adapterMgr_;
     predict::OutputPredictor *predictor_;
+    std::function<void(sim::SimTime)> onFinish_;
 
     std::deque<std::unique_ptr<LiveRequest>> requests_; // stable storage
     std::vector<LiveRequest *> prefilling_;

@@ -1,0 +1,50 @@
+#include "serving/measured_rate.h"
+
+#include "simkit/check.h"
+
+namespace chameleon::serving {
+
+MeasuredRate::MeasuredRate(double alpha, double nominalRps)
+    : alpha_(alpha), nominalRps_(nominalRps)
+{
+    CHM_CHECK(alpha_ >= 0.0 && alpha_ <= 1.0,
+              "measured-rate alpha must be within [0, 1]");
+    CHM_CHECK(nominalRps_ > 0.0, "nominal rate must be > 0");
+}
+
+void
+MeasuredRate::onCompletion(sim::SimTime now)
+{
+    ++completions_;
+    if (alpha_ <= 0.0)
+        return;
+    if (completions_ == 1) {
+        // First completion only arms the interval clock.
+        lastCompletion_ = now;
+        return;
+    }
+    const double dt = sim::toSeconds(now - lastCompletion_);
+    lastCompletion_ = now;
+    if (dt <= 0.0) {
+        // Same-timestamp completions (one batch iteration finishing
+        // several requests) carry no interval information.
+        return;
+    }
+    if (ewmaIntervalSeconds_ <= 0.0) {
+        // Seed the EWMA at the nominal interval so the estimate blends
+        // from the static value instead of jumping to the first sample.
+        ewmaIntervalSeconds_ = 1.0 / nominalRps_;
+    }
+    ewmaIntervalSeconds_ =
+        alpha_ * dt + (1.0 - alpha_) * ewmaIntervalSeconds_;
+}
+
+double
+MeasuredRate::rate() const
+{
+    if (alpha_ <= 0.0 || ewmaIntervalSeconds_ <= 0.0)
+        return nominalRps_;
+    return 1.0 / ewmaIntervalSeconds_;
+}
+
+} // namespace chameleon::serving

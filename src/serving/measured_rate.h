@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Online per-replica service-rate measurement.
+ *
+ * serving::nominalServiceRate is a static, hardware-derived estimate:
+ * it ranks an A100 above an A40 but knows nothing about what the
+ * replica is actually achieving under load — batching efficiency,
+ * adapter-cache behaviour and queue composition all move the real
+ * completion rate. MeasuredRate tracks that real rate online: an
+ * exponentially weighted moving average over the observed
+ * inter-completion intervals, seeded at the nominal rate so the
+ * estimate starts sane and *blends* toward the observation as
+ * completions accumulate.
+ *
+ * The EWMA runs on intervals, not instantaneous rates (1/dt): the
+ * inverse of the smoothed interval converges to the true rate on a
+ * steady stream, whereas smoothing 1/dt directly over-weights short
+ * gaps (Jensen). With alpha = 0 no observation is ever admitted and
+ * rate() returns the nominal seed forever — the cluster's routing
+ * weights then stay bit-identical to the static estimates
+ * (tests/measured_rate_test.cc pins both properties).
+ */
+
+#ifndef CHAMELEON_SERVING_MEASURED_RATE_H
+#define CHAMELEON_SERVING_MEASURED_RATE_H
+
+#include <cstdint>
+
+#include "simkit/time.h"
+
+namespace chameleon::serving {
+
+/** EWMA of one replica's observed completion rate, requests/s. */
+class MeasuredRate
+{
+  public:
+    /**
+     * @param alpha EWMA weight of each new interval sample in [0, 1];
+     *        0 freezes the estimate at the nominal seed.
+     * @param nominalRps the static estimate the EWMA starts from
+     *        (serving::nominalServiceRate of the replica's config).
+     */
+    MeasuredRate(double alpha, double nominalRps);
+
+    /** One request finished on this replica at `now`. */
+    void onCompletion(sim::SimTime now);
+
+    /** Current rate estimate, requests/s. */
+    double rate() const;
+
+    /** Completions observed so far (the first arms the interval). */
+    std::int64_t completions() const { return completions_; }
+
+  private:
+    double alpha_;
+    double nominalRps_;
+    /** Smoothed inter-completion interval, seconds; <= 0 = no sample. */
+    double ewmaIntervalSeconds_ = 0.0;
+    sim::SimTime lastCompletion_ = 0;
+    std::int64_t completions_ = 0;
+};
+
+} // namespace chameleon::serving
+
+#endif // CHAMELEON_SERVING_MEASURED_RATE_H

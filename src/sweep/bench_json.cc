@@ -24,6 +24,14 @@ BenchJson::row()
 }
 
 BenchJson &
+BenchJson::field(const std::string &key, bool value)
+{
+    CHM_CHECK(!rows_.empty(), "field() before row()");
+    rows_.back().push_back(Field{key, value ? "true" : "false"});
+    return *this;
+}
+
+BenchJson &
 BenchJson::field(const std::string &key, double value)
 {
     CHM_CHECK(!rows_.empty(), "field() before row()");

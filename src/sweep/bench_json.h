@@ -27,11 +27,17 @@ class BenchJson
     /** Start a new row; subsequent field() calls fill it. */
     BenchJson &row();
 
+    BenchJson &field(const std::string &key, bool value);
     BenchJson &field(const std::string &key, double value);
     BenchJson &field(const std::string &key, std::int64_t value);
     /** Full uint64 range (seeds print unsigned, not wrapped). */
     BenchJson &field(const std::string &key, std::uint64_t value);
     BenchJson &field(const std::string &key, const std::string &value);
+    /** Literals stay strings (not bools) despite the bool overload. */
+    BenchJson &field(const std::string &key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
 
     std::size_t rowCount() const { return rows_.size(); }
 

@@ -91,6 +91,7 @@ SweepRunner::appendRows(BenchJson &json,
             .field("replicas", static_cast<std::int64_t>(cell.replicaCount))
             .field("fleet", cell.fleet)
             .field("router", cell.router)
+            .field("autoscale", cell.autoscale)
             .field("trace_seed", cell.traceSeed)
             .field("submitted", s.submitted)
             .field("finished", s.finished)
@@ -113,7 +114,11 @@ SweepRunner::appendRows(BenchJson &json,
             .field("peak_replicas",
                    static_cast<std::int64_t>(report.peakReplicas))
             .field("scale_ups", report.scaleUps)
-            .field("scale_downs", report.scaleDowns);
+            .field("scale_downs", report.scaleDowns)
+            .field("boot_events", report.bootEvents)
+            .field("total_boot_s", report.totalBootSeconds)
+            .field("requests_delayed_by_boot",
+                   report.requestsDelayedByBoot);
     }
 }
 

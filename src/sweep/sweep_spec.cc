@@ -99,6 +99,27 @@ intList(sim::JsonObjectReader &r, const std::string &key,
 }
 
 bool
+boolList(sim::JsonObjectReader &r, const std::string &key,
+         std::vector<bool> *out)
+{
+    const JsonValue *v = r.child(key);
+    if (v == nullptr)
+        return r.ok();
+    if (!v->isArray())
+        return r.fail(key, "expects an array of booleans");
+    if (v->items().empty())
+        return r.fail(key, "must not be an empty array (omit the key "
+                           "to use the default)");
+    out->clear();
+    for (const auto &item : v->items()) {
+        if (!item.isBool())
+            return r.fail(key, "expects an array of booleans");
+        out->push_back(item.asBool());
+    }
+    return true;
+}
+
+bool
 workloadFromJson(const JsonValue &v, SweepWorkload *out,
                  std::string *error)
 {
@@ -207,6 +228,13 @@ sweepFromJson(const std::string &text, std::string *error)
                /*allowEmpty=*/false);
     stringList(r, "routers", &spec.routers,
                /*allowEmpty=*/false);
+    if (!boolList(r, "autoscale", &spec.autoscale))
+        return failure();
+    if (const JsonValue *a = r.child("autoscaler")) {
+        if (!core::autoscalerFromJson(*a, "autoscaler", &spec.autoscaler,
+                                      error))
+            return failure();
+    }
     if (const JsonValue *w = r.child("workload")) {
         if (!workloadFromJson(*w, &spec.workload, error))
             return failure();
@@ -321,6 +349,9 @@ expandSweep(const SweepSpec &spec, std::string *error)
     const std::vector<std::string> routerAxis =
         spec.routers.empty() ? std::vector<std::string>{"jsq"}
                              : spec.routers;
+    const std::vector<bool> autoscaleAxis =
+        spec.autoscale.empty() ? std::vector<bool>{false}
+                               : spec.autoscale;
 
     // The deployment axis: either homogeneous replica counts or
     // heterogeneous fleet presets (mutually exclusive — a fleet
@@ -380,11 +411,13 @@ expandSweep(const SweepSpec &spec, std::string *error)
             for (const Deployment &deployment : deployAxis) {
                 const int replicaCount = deployment.replicas;
                 for (const auto &router : routerAxis) {
+                  for (const bool autoscale : autoscaleAxis) {
                     SweepCell cell;
                     cell.system = system;
                     cell.replicaCount = replicaCount;
                     cell.fleet = deployment.fleet;
                     cell.router = router;
+                    cell.autoscale = autoscale;
                     cell.rps = spec.rpsPerReplica
                                    ? loads[li] * replicaCount
                                    : loads[li];
@@ -406,6 +439,9 @@ expandSweep(const SweepSpec &spec, std::string *error)
                         return std::nullopt;
                     }
                     cell.spec.cluster.routerConfig.seed = spec.seed;
+                    cell.spec.cluster.autoscale = autoscale;
+                    if (autoscale)
+                        cell.spec.cluster.autoscaler = spec.autoscaler;
 
                     const auto problems = cell.spec.validate();
                     if (!problems.empty()) {
@@ -416,8 +452,10 @@ expandSweep(const SweepSpec &spec, std::string *error)
                                << replicaCount;
                             if (!cell.fleet.empty())
                                 os << ", fleet " << cell.fleet;
-                            os << ", router " << router
-                               << ") is invalid:";
+                            os << ", router " << router;
+                            if (autoscale)
+                                os << ", autoscale";
+                            os << ") is invalid:";
                             for (const auto &p : problems)
                                 os << "\n  - " << p;
                             *error = os.str();
@@ -438,6 +476,7 @@ expandSweep(const SweepSpec &spec, std::string *error)
                         traceKeys.push_back(key);
                     cell.traceIndex = index;
                     cells.push_back(std::move(cell));
+                  }
                 }
             }
         }

@@ -103,6 +103,15 @@ struct SweepSpec
     std::vector<std::string> fleets;
     /** Router axis (rr|jsq|p2c|affinity|affinity-cache); empty = jsq. */
     std::vector<std::string> routers;
+    /**
+     * Autoscale axis: each entry is one axis value (cells with `true`
+     * enable predictor-driven autoscaling under the `autoscaler`
+     * template below). Empty = {false} — a fixed-size sweep. The
+     * fig26 autoscale on/off section is exactly `[false, true]`.
+     */
+    std::vector<bool> autoscale;
+    /** Autoscaler template stamped onto every autoscaling cell. */
+    routing::AutoscalerConfig autoscaler{};
 
     SweepWorkload workload;
     /** Hardware template stamped onto every cell. */
@@ -130,6 +139,8 @@ struct SweepCell
     /** Fleet-preset name of the cell ("" on homogeneous sweeps). */
     std::string fleet;
     std::string router;
+    /** Autoscale-axis value of the cell. */
+    bool autoscale = false;
     /** Index of the shared trace this cell runs (SweepRunner). */
     std::size_t traceIndex = 0;
     /** Seed the cell's trace is generated with. */
@@ -147,9 +158,9 @@ std::optional<SweepSpec> sweepFromJson(const std::string &text,
 
 /**
  * Expand the spec into concrete cells: (systems + grid cross-product)
- * x loads x replicas x routers, in that nesting order (system
- * outermost). Resolves every system name through the global registry
- * and validates every cell spec; returns std::nullopt with an
+ * x loads x replicas x routers x autoscale, in that nesting order
+ * (system outermost). Resolves every system name through the global
+ * registry and validates every cell spec; returns std::nullopt with an
  * actionable message naming the offending cell on failure.
  */
 std::optional<std::vector<SweepCell>> expandSweep(

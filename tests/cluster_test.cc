@@ -300,6 +300,241 @@ TEST(Heterogeneous, CapacityAwareRoutingFollowsTheFastReplicas)
     EXPECT_GT(report.perReplicaFinished[0], report.perReplicaFinished[1]);
 }
 
+TEST(DataParallel, DrainedReplicaFinishesInFlightWorkWithoutNewDispatches)
+{
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 20);
+    predict::LengthPredictor predictor(1.0);
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        2,
+        routing::RouterPolicy::RoundRobin);
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 10.0;
+    wl.durationSeconds = 40.0;
+    wl.numAdapters = 20;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+    cluster.submitTrace(trace);
+
+    // Let both replicas accumulate in-flight work, then drain one.
+    simulator.runUntil(10 * sim::kSec);
+    ASSERT_GT(cluster.engines()[1]->outstanding(), 0);
+    cluster.resize(1);
+    EXPECT_EQ(cluster.activeReplicas(), 1u);
+    EXPECT_EQ(cluster.replicaState(1),
+              serving::DataParallelCluster::ReplicaState::Drained);
+
+    simulator.run();
+    cluster.finalize();
+    // Nothing in flight was dropped...
+    EXPECT_EQ(cluster.mergedStats().finished,
+              static_cast<std::int64_t>(trace.size()));
+    EXPECT_GT(cluster.engines()[1]->stats().finished, 0);
+    // ...and the drained replica received no dispatch after the drain.
+    for (const auto &record : cluster.engines()[1]->stats().records)
+        EXPECT_LE(record.arrival, 10 * sim::kSec);
+}
+
+TEST(DataParallel, ScaleUpBootsBeforeServingAndResumesAfterMidBootDrain)
+{
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 20);
+    predict::LengthPredictor predictor(1.0);
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        1,
+        routing::RouterPolicy::JoinShortestQueue);
+
+    // Inert watermarks: the test drives scaling through resize() so
+    // every transition happens at a chosen instant.
+    routing::AutoscalerConfig acfg;
+    acfg.minReplicas = 1;
+    acfg.maxReplicas = 4;
+    acfg.lowWatermark = 0.0;
+    acfg.highWatermark = 1e18;
+    acfg.bootMs = 60000.0; // + weight-load: deadline in (60 s, 75 s)
+    cluster.enableAutoscaler(acfg);
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 6.0;
+    wl.durationSeconds = 30.0;
+    wl.numAdapters = 20;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+    cluster.submitTrace(trace);
+
+    using State = serving::DataParallelCluster::ReplicaState;
+    simulator.runUntil(5 * sim::kSec);
+    cluster.resize(2);
+    // The new replica is provisioned but not dispatchable: it boots.
+    EXPECT_EQ(cluster.activeReplicas(), 2u);
+    EXPECT_EQ(cluster.bootingReplicas(), 1u);
+    EXPECT_EQ(cluster.replicaCount(), 1u);
+    EXPECT_EQ(cluster.replicaState(1), State::Booting);
+    EXPECT_EQ(cluster.bootStats().boots, 1);
+    EXPECT_GT(cluster.bootStats().totalBootTime, 60 * sim::kSec);
+
+    // Drain it mid-boot...
+    simulator.runUntil(10 * sim::kSec);
+    cluster.resize(1);
+    EXPECT_EQ(cluster.replicaState(1), State::Drained);
+    // ...and reactivate before the deadline: the boot resumes (no
+    // second boot is paid) instead of restarting.
+    simulator.runUntil(20 * sim::kSec);
+    cluster.resize(2);
+    EXPECT_EQ(cluster.replicaState(1), State::Booting);
+    EXPECT_EQ(cluster.bootStats().boots, 1);
+
+    // Requests dispatched while it boots are counted as delayed.
+    simulator.runUntil(30 * sim::kSec);
+    EXPECT_GT(cluster.bootStats().requestsDelayedByBoot, 0);
+
+    // At the deadline it joins the dispatchable set.
+    simulator.runUntil(90 * sim::kSec);
+    EXPECT_EQ(cluster.replicaState(1), State::Active);
+    EXPECT_EQ(cluster.bootingReplicas(), 0u);
+    EXPECT_EQ(cluster.replicaCount(), 2u);
+
+    // A later reactivation after the weights are loaded is instant.
+    cluster.resize(1);
+    cluster.resize(2);
+    EXPECT_EQ(cluster.replicaState(1), State::Active);
+    EXPECT_EQ(cluster.bootStats().boots, 1);
+
+    simulator.run();
+    cluster.finalize();
+    EXPECT_EQ(cluster.mergedStats().finished,
+              static_cast<std::int64_t>(trace.size()));
+}
+
+TEST(DataParallel, MinReplicaClampProvisionsWarmInitialCapacity)
+{
+    // enableAutoscaler's clamp up to minReplicas is initial capacity
+    // (the cluster exists before the trace begins): those builds must
+    // not boot even with the cold-start model enabled — only
+    // simulation-time scale-ups pay it.
+    sim::Simulator simulator;
+    model::AdapterPool pool(model::llama7B(), 20);
+    predict::LengthPredictor predictor(1.0);
+    serving::DataParallelCluster cluster(
+        simulator,
+        [&](std::size_t) {
+            return makeEngine(simulator, pool, predictor);
+        },
+        1,
+        routing::RouterPolicy::JoinShortestQueue);
+
+    routing::AutoscalerConfig acfg;
+    acfg.minReplicas = 3;
+    acfg.maxReplicas = 4;
+    acfg.bootMs = 60000.0;
+    cluster.enableAutoscaler(acfg);
+    EXPECT_EQ(cluster.activeReplicas(), 3u);
+    EXPECT_EQ(cluster.replicaCount(), 3u); // dispatchable immediately
+    EXPECT_EQ(cluster.bootingReplicas(), 0u);
+    EXPECT_EQ(cluster.bootStats().boots, 0);
+}
+
+TEST(ColdStart, BootTimeIsWeightLoadPlusConstantAndZeroWhenDisabled)
+{
+    serving::EngineConfig cfg;
+    cfg.model = model::llama7B();
+    cfg.gpu = model::a40();
+
+    const serving::ColdStartModel disabled(0.0);
+    EXPECT_FALSE(disabled.enabled());
+    EXPECT_EQ(disabled.bootTime(cfg), 0);
+
+    const serving::ColdStartModel enabled(5000.0);
+    EXPECT_TRUE(enabled.enabled());
+    // Weight load dominates: ~13 GB over a ~10.5 GB/s link is over a
+    // second on top of the 5 s constant.
+    EXPECT_GT(enabled.bootTime(cfg), sim::fromMillis(6000.0));
+    EXPECT_EQ(enabled.bootTime(cfg),
+              enabled.weightLoadTime(cfg) + sim::fromMillis(5000.0));
+
+    // A bigger model boots slower on the same link.
+    serving::EngineConfig big = cfg;
+    big.model = model::llama13B();
+    EXPECT_GT(enabled.bootTime(big), enabled.bootTime(cfg));
+}
+
+TEST(Heterogeneous, FastestScaleUpPolicyInstantiatesTheFastCandidate)
+{
+    // Mixed fleet {A100, A40}; a bursty overload forces scale-ups.
+    model::AdapterPool pool(model::llama7B(), 30);
+    auto spec = specFor("chameleon", model::llama7B(), model::a40());
+    spec.cluster.replicas = 2;
+    serving::EngineConfig fast = spec.engine;
+    fast.gpu = model::a100(48);
+    spec.cluster.replicaEngines = {fast, spec.engine};
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.minReplicas = 2;
+    spec.cluster.autoscaler.maxReplicas = 6;
+    spec.cluster.autoscaler.replicaServiceRps = 6.0;
+    spec.cluster.autoscaler.scaleUpPolicy =
+        routing::ScaleUpPolicy::Fastest;
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 10.0;
+    wl.durationSeconds = 90.0;
+    wl.numAdapters = 30;
+    wl.bursts.push_back(workload::Burst{10.0, 60.0, 4.0});
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    core::Runner runner(spec, &pool);
+    const auto report = runner.run(trace);
+    EXPECT_EQ(report.stats.finished,
+              static_cast<std::int64_t>(trace.size()));
+    ASSERT_GT(report.scaleUps, 0);
+    const auto &engines = runner.cluster().engines();
+    ASSERT_GT(engines.size(), 2u);
+    // Every replica the policy instantiated is the fast candidate (the
+    // default policy would have built base-engine A40s here).
+    for (std::size_t i = 2; i < engines.size(); ++i)
+        EXPECT_EQ(engines[i]->config().gpu.name, "a100-48g") << i;
+}
+
+TEST(Heterogeneous, MeasuredRatesBlendIntoTheRoutingWeights)
+{
+    model::AdapterPool pool(model::llama7B(), 30);
+    auto spec = specFor("chameleon", model::llama7B(), model::a40());
+    spec.cluster.replicas = 2;
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.minReplicas = 2;
+    spec.cluster.autoscaler.maxReplicas = 2;
+    spec.cluster.autoscaler.measuredRateAlpha = 0.2;
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 12.0;
+    wl.durationSeconds = 60.0;
+    wl.numAdapters = 30;
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    core::Runner runner(spec, &pool);
+    const auto report = runner.run(trace);
+    EXPECT_EQ(report.stats.finished,
+              static_cast<std::int64_t>(trace.size()));
+    ASSERT_EQ(report.perReplicaEffectiveRate.size(), 2u);
+    // The measured estimates moved off the static nominal values (a
+    // batching engine completes far more than one isolated request per
+    // isolated-E2E interval), and the cluster view reflects them.
+    EXPECT_NE(report.perReplicaEffectiveRate,
+              report.perReplicaServiceRate);
+    EXPECT_GT(report.perReplicaEffectiveRate[0],
+              report.perReplicaServiceRate[0]);
+}
+
 TEST(DataParallel, AutoscalerGrowsAndDrainsTheCluster)
 {
     sim::Simulator simulator;

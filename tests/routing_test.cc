@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -474,4 +475,137 @@ TEST(Autoscaler, ForecastDemandJumpsDirectlyToTheNeededReplicas)
         scaler.onArrival(t += sim::kSec / 40);
     EXPECT_EQ(scaler.evaluate(1, 0, t), 8u);
     EXPECT_EQ(scaler.scaleUps(), 1);
+    EXPECT_GE(scaler.lastForecastDemand(), 8.0);
+}
+
+TEST(Autoscaler, ClampsTheActiveCountIntoItsBounds)
+{
+    routing::AutoscalerConfig config;
+    config.minReplicas = 2;
+    config.maxReplicas = 4;
+    routing::Autoscaler scaler(config);
+    // Idle cluster reported outside the bounds: the target comes back
+    // clamped from both ends (evaluate never honours an out-of-range
+    // count, matching enableAutoscaler's initial clamp).
+    EXPECT_EQ(scaler.evaluate(1, 0, sim::kSec), 2u);
+    EXPECT_EQ(scaler.evaluate(9, 1000, 2 * sim::kSec), 4u);
+}
+
+TEST(Autoscaler, NonPositiveServiceRpsFallsBackToWatermarksOnly)
+{
+    routing::AutoscalerConfig config;
+    config.minReplicas = 1;
+    config.maxReplicas = 8;
+    config.replicaServiceRps = 0.0; // forecast signal disabled
+    config.upCooldownPeriods = 0;
+    config.highWatermark = 10.0;
+    config.downCooldownPeriods = 1;
+    routing::Autoscaler scaler(config);
+
+    // A flood of arrivals alone must not trigger the forecast path...
+    sim::SimTime t = 0;
+    for (int i = 0; i < 500; ++i)
+        scaler.onArrival(t += sim::kSec / 50);
+    EXPECT_EQ(scaler.evaluate(1, 0, t), 1u);
+    EXPECT_DOUBLE_EQ(scaler.lastForecastDemand(), 0.0);
+    // ...while the queue watermark still scales one step at a time.
+    EXPECT_EQ(scaler.evaluate(1, 20, t += sim::kSec), 2u);
+    // And a quiet queue scales down without a demand veto.
+    EXPECT_EQ(scaler.evaluate(2, 0, t += sim::kSec), 1u);
+}
+
+TEST(Autoscaler, AggregateCapacityDrivesDemandOnAMixedFleet)
+{
+    // One fresh scaler per sub-case so every evaluation sees the
+    // identical ~30 rps forecast (demand = ceil(rps / 5) units,
+    // captured below rather than pinned to the forecaster's rounding).
+    double demand = 0.0;
+    const auto evaluateWith =
+        [&demand](const routing::CapacitySignals &capacity) {
+            routing::AutoscalerConfig config;
+            config.minReplicas = 1;
+            config.maxReplicas = 16;
+            config.replicaServiceRps = 5.0;
+            config.forecastWindowSeconds = 10.0;
+            config.forecastHorizonSeconds = 0.0;
+            config.upCooldownPeriods = 0;
+            routing::Autoscaler scaler(config);
+            sim::SimTime t = 0;
+            for (int i = 0; i < 300; ++i)
+                scaler.onArrival(t += sim::kSec / 30);
+            const std::size_t target = scaler.evaluate(2, 0, t, capacity);
+            demand = scaler.lastForecastDemand();
+            return target;
+        };
+
+    // Two replicas that amount to 8 reference units absorb the ~6-7
+    // unit demand: no scale-up even though the count (2) is far below
+    // the unit demand.
+    routing::CapacitySignals big;
+    big.activeCapacityFactor = 8.0;
+    big.nextReplicaFactor = 1.0;
+    EXPECT_EQ(evaluateWith(big), 2u);
+    ASSERT_GE(demand, 6.0);
+    ASSERT_LE(demand, 7.0);
+
+    // The same two replicas at an aggregate of 1.0 units fall short;
+    // the shortfall is covered by 2.5-unit replicas...
+    routing::CapacitySignals small;
+    small.activeCapacityFactor = 1.0;
+    small.nextReplicaFactor = 2.5;
+    EXPECT_EQ(evaluateWith(small),
+              2u + static_cast<std::size_t>(
+                       std::ceil((demand - 1.0) / 2.5)));
+
+    // ...and needs proportionally more reference-speed ones.
+    routing::CapacitySignals unit;
+    unit.activeCapacityFactor = 1.0;
+    unit.nextReplicaFactor = 1.0;
+    EXPECT_EQ(evaluateWith(unit),
+              2u + static_cast<std::size_t>(demand - 1.0));
+}
+
+TEST(Autoscaler, MixedFleetSurplusVetoesTheQueueScaleDown)
+{
+    routing::AutoscalerConfig config;
+    config.minReplicas = 1;
+    config.maxReplicas = 8;
+    config.replicaServiceRps = 5.0;
+    config.forecastWindowSeconds = 10.0;
+    config.forecastHorizonSeconds = 0.0;
+    config.downCooldownPeriods = 1;
+    routing::Autoscaler scaler(config);
+
+    // 12 rps: demand = ceil(12 / 5) = 3 reference units.
+    sim::SimTime t = 0;
+    for (int i = 0; i < 120; ++i)
+        scaler.onArrival(t += sim::kSec / 12);
+
+    // Two fast replicas (aggregate 4.0 > demand 3): surplus capacity,
+    // an idle queue may drain one.
+    routing::CapacitySignals surplus;
+    surplus.activeCapacityFactor = 4.0;
+    surplus.nextReplicaFactor = 2.0;
+    EXPECT_EQ(scaler.evaluate(2, 0, t, surplus), 1u);
+    // Two slow replicas (aggregate 2.0 < demand 3): the demand signal
+    // vetoes the scale-down the idle queue asked for.
+    routing::CapacitySignals deficit;
+    deficit.activeCapacityFactor = 2.0;
+    deficit.nextReplicaFactor = 1.0;
+    EXPECT_EQ(scaler.evaluate(2, 0, t += sim::kSec, deficit), 2u);
+}
+
+TEST(ScaleUpPolicy, NamesRoundTrip)
+{
+    using routing::ScaleUpPolicy;
+    for (const auto policy :
+         {ScaleUpPolicy::Default, ScaleUpPolicy::Cheapest,
+          ScaleUpPolicy::Fastest}) {
+        ScaleUpPolicy parsed;
+        ASSERT_TRUE(routing::scaleUpPolicyByName(
+            routing::scaleUpPolicyName(policy), &parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    ScaleUpPolicy parsed;
+    EXPECT_FALSE(routing::scaleUpPolicyByName("warp", &parsed));
 }

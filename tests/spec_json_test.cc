@@ -126,6 +126,14 @@ randomSpec(sim::Rng &rng)
             spec.cluster.autoscaler.minReplicas + rng.nextBelow(6);
         spec.cluster.autoscaler.replicaServiceRps =
             rng.nextDouble() * 20.0;
+        spec.cluster.autoscaler.bootMs = rng.nextDouble() * 30000.0;
+        const routing::ScaleUpPolicy policies[] = {
+            routing::ScaleUpPolicy::Default,
+            routing::ScaleUpPolicy::Cheapest,
+            routing::ScaleUpPolicy::Fastest};
+        spec.cluster.autoscaler.scaleUpPolicy =
+            policies[rng.nextBelow(3)];
+        spec.cluster.autoscaler.measuredRateAlpha = rng.nextDouble();
     }
 
     const core::ReservationPolicy reservations[] = {
@@ -206,6 +214,63 @@ TEST(SpecJson, ClusterDeploymentSurvivesRoundTrip)
     spec.cluster.autoscaler.replicaServiceRps = 8.5;
     ASSERT_TRUE(spec.validate().empty());
     EXPECT_EQ(roundTrip(spec), spec);
+}
+
+TEST(SpecJson, AutoscalerRealismKnobsSurviveRoundTrip)
+{
+    auto spec = core::presets::chameleon();
+    spec.cluster.replicas = 2;
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.replicaServiceRps = 8.5;
+    spec.cluster.autoscaler.bootMs = 12500.0;
+    spec.cluster.autoscaler.scaleUpPolicy =
+        routing::ScaleUpPolicy::Cheapest;
+    spec.cluster.autoscaler.measuredRateAlpha = 0.25;
+    ASSERT_TRUE(spec.validate().empty());
+    EXPECT_EQ(roundTrip(spec), spec);
+    // Textual stability (the --dump-config | --config - contract).
+    const auto text = core::specToJson(spec);
+    const auto parsed = core::specFromJson(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(core::specToJson(*parsed), text);
+    // The keys parse from hand-written JSON too, not only from dumps.
+    const auto fromText = core::specFromJson(
+        R"({"cluster": {"replicas": 2, "autoscale": true, "autoscaler":)"
+        R"( {"boot_ms": 4000, "scale_up_policy": "fastest",)"
+        R"(  "measured_rate_alpha": 0.5}}})");
+    ASSERT_TRUE(fromText.has_value());
+    EXPECT_EQ(fromText->cluster.autoscaler.bootMs, 4000.0);
+    EXPECT_EQ(fromText->cluster.autoscaler.scaleUpPolicy,
+              routing::ScaleUpPolicy::Fastest);
+    EXPECT_EQ(fromText->cluster.autoscaler.measuredRateAlpha, 0.5);
+}
+
+TEST(SpecJson, RejectsMalformedAutoscalerRealismKnobs)
+{
+    // Unknown enum value: the error names the path and the options.
+    const auto policy = parseError(
+        R"({"cluster": {"autoscaler": {"scale_up_policy": "warp"}}})");
+    EXPECT_NE(policy.find("cluster.autoscaler.scale_up_policy"),
+              std::string::npos)
+        << policy;
+    EXPECT_NE(policy.find("cheapest"), std::string::npos) << policy;
+    // Type mismatch on boot_ms.
+    const auto boot = parseError(
+        R"({"cluster": {"autoscaler": {"boot_ms": "soon"}}})");
+    EXPECT_NE(boot.find("cluster.autoscaler.boot_ms"),
+              std::string::npos)
+        << boot;
+    // Out-of-domain values parse but fail validation, naming the knob.
+    const auto negativeBoot = parseError(
+        R"({"cluster": {"replicas": 2, "autoscale": true,)"
+        R"( "autoscaler": {"boot_ms": -1}}})");
+    EXPECT_NE(negativeBoot.find("bootMs"), std::string::npos)
+        << negativeBoot;
+    const auto alpha = parseError(
+        R"({"cluster": {"replicas": 2, "autoscale": true,)"
+        R"( "autoscaler": {"measured_rate_alpha": 1.5}}})");
+    EXPECT_NE(alpha.find("measuredRateAlpha"), std::string::npos)
+        << alpha;
 }
 
 TEST(SpecJson, HeteroFleetRoundTripsBitIdentically)

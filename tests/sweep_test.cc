@@ -89,7 +89,7 @@ TEST(SweepJson, RejectsExplicitlyEmptyAxisArrays)
 {
     // An empty axis silently replaced by a default would run a grid
     // the author never wrote; "systems": [] stays legal (grid-only).
-    for (const char *axis : {"loads", "replicas", "routers"}) {
+    for (const char *axis : {"loads", "replicas", "routers", "autoscale"}) {
         const auto error = sweepError(
             std::string(R"({"systems": ["slora"], ")") + axis +
             R"(": []})");
@@ -108,6 +108,60 @@ TEST(SweepJson, RejectsBadWorkloadPreset)
         R"({"systems": ["slora"], "workload": {"preset": "azure"}})");
     EXPECT_NE(error.find("workload.preset"), std::string::npos) << error;
     EXPECT_NE(error.find("splitwise"), std::string::npos) << error;
+}
+
+TEST(SweepJson, AutoscaleAxisAndTemplateLoadAndExpand)
+{
+    const auto spec = parseSweep(R"({
+      "systems": ["chameleon"],
+      "loads": [6.0],
+      "replicas": [2],
+      "autoscale": [false, true],
+      "autoscaler": {"min_replicas": 2, "max_replicas": 6,
+                     "replica_service_rps": 8.5, "boot_ms": 4000,
+                     "scale_up_policy": "fastest",
+                     "measured_rate_alpha": 0.3}
+    })");
+    ASSERT_EQ(spec.autoscale.size(), 2u);
+    EXPECT_EQ(spec.autoscaler.maxReplicas, 6u);
+    EXPECT_EQ(spec.autoscaler.bootMs, 4000.0);
+    EXPECT_EQ(spec.autoscaler.scaleUpPolicy,
+              routing::ScaleUpPolicy::Fastest);
+
+    std::string error;
+    const auto cells = sweep::expandSweep(spec, &error);
+    ASSERT_TRUE(cells.has_value()) << error;
+    ASSERT_EQ(cells->size(), 2u);
+    // Off-cell: a fixed cluster untouched by the autoscaler template.
+    EXPECT_FALSE((*cells)[0].autoscale);
+    EXPECT_FALSE((*cells)[0].spec.cluster.autoscale);
+    // On-cell: autoscaling with the template stamped in.
+    EXPECT_TRUE((*cells)[1].autoscale);
+    EXPECT_TRUE((*cells)[1].spec.cluster.autoscale);
+    EXPECT_EQ((*cells)[1].spec.cluster.autoscaler, spec.autoscaler);
+    // Both cells share the trace: identical arrivals, on/off compared.
+    EXPECT_EQ((*cells)[0].traceIndex, (*cells)[1].traceIndex);
+}
+
+TEST(SweepJson, AutoscaleAxisRejectsNonBooleans)
+{
+    const auto error = sweepError(
+        R"({"systems": ["slora"], "autoscale": [1, 0]})");
+    EXPECT_NE(error.find("autoscale"), std::string::npos) << error;
+    EXPECT_NE(error.find("boolean"), std::string::npos) << error;
+}
+
+TEST(SweepExpand, InvalidAutoscalerTemplateNamesTheCell)
+{
+    auto spec = parseSweep(R"({
+      "systems": ["chameleon"],
+      "autoscale": [true],
+      "autoscaler": {"min_replicas": 4, "max_replicas": 2}
+    })");
+    std::string error;
+    EXPECT_FALSE(sweep::expandSweep(spec, &error).has_value());
+    EXPECT_NE(error.find("autoscale"), std::string::npos) << error;
+    EXPECT_NE(error.find("maxReplicas"), std::string::npos) << error;
 }
 
 // ---------------------------------------------------------------------

@@ -21,6 +21,9 @@
  *       --rps 34 --autoscale
  *   chameleon_sim --system chameleon --fleet a100x2+a40x2 --router p2c \
  *       --rps 30
+ *   chameleon_sim --system chameleon --fleet a100-48x1+a40x1 --autoscale \
+ *       --autoscale-boot-ms 8000 --autoscale-up-policy fastest \
+ *       --autoscale-alpha 0.2 --rps 24
  *
  * In --system mode, --seed drives the trace generator, the
  * output-length predictor, and the router's sampling stream, so a
@@ -154,7 +157,19 @@ main(int argc, char **argv)
                                       "autoscaler upper bound");
     auto *replica_rps = flags.addDouble(
         "replica-rps", 8.0,
-        "per-replica service capacity for the autoscaler forecast");
+        "service capacity of one base-engine replica for the "
+        "autoscaler forecast");
+    auto *boot_ms = flags.addDouble(
+        "autoscale-boot-ms", 0.0,
+        "replica cold-start boot constant, ms (adds the weight-load "
+        "time from the cost model; 0 = instant scale-ups)");
+    auto *up_policy = flags.addString(
+        "autoscale-up-policy", "default",
+        "engine config a scale-up instantiates: default|cheapest|fastest");
+    auto *measured_alpha = flags.addDouble(
+        "autoscale-alpha", 0.0,
+        "EWMA weight of measured per-replica service rates blended "
+        "into the routing weights (0 = static nominal weights)");
     auto *trace_in = flags.addString("trace", "",
                                      "load trace from CSV instead");
     auto *trace_out = flags.addString("save-trace", "",
@@ -187,7 +202,8 @@ main(int argc, char **argv)
         for (const char *conflicting :
              {"system", "model", "gpu", "mem-gib", "tp", "predictor-acc",
               "replicas", "fleet", "router", "autoscale", "min-replicas",
-              "max-replicas", "replica-rps"}) {
+              "max-replicas", "replica-rps", "autoscale-boot-ms",
+              "autoscale-up-policy", "autoscale-alpha"}) {
             CHM_CHECK(!flagGiven(argc, argv, conflicting),
                       "--" << conflicting
                            << " conflicts with --config; edit the "
@@ -265,6 +281,16 @@ main(int argc, char **argv)
         spec.cluster.autoscaler.maxReplicas =
             static_cast<std::size_t>(*max_replicas);
         spec.cluster.autoscaler.replicaServiceRps = *replica_rps;
+        spec.cluster.autoscaler.bootMs = *boot_ms;
+        if (!routing::scaleUpPolicyByName(
+                *up_policy, &spec.cluster.autoscaler.scaleUpPolicy)) {
+            std::fprintf(stderr,
+                         "unknown --autoscale-up-policy '%s'; known: %s\n",
+                         up_policy->c_str(),
+                         routing::scaleUpPolicyNames());
+            return 2;
+        }
+        spec.cluster.autoscaler.measuredRateAlpha = *measured_alpha;
         // Cluster-only flags silently doing nothing would misread as a
         // valid run of the requested policy.
         CHM_CHECK(spec.cluster.replicas > 1 || spec.cluster.autoscale ||
@@ -272,9 +298,11 @@ main(int argc, char **argv)
                   "--router requires --replicas > 1 or --autoscale");
         CHM_CHECK(spec.cluster.autoscale ||
                       (*min_replicas == 1 && *max_replicas == 8 &&
-                       *replica_rps == 8.0),
-                  "--min-replicas/--max-replicas/--replica-rps require "
-                  "--autoscale");
+                       *replica_rps == 8.0 && *boot_ms == 0.0 &&
+                       *up_policy == "default" && *measured_alpha == 0.0),
+                  "--min-replicas/--max-replicas/--replica-rps/"
+                  "--autoscale-boot-ms/--autoscale-up-policy/"
+                  "--autoscale-alpha require --autoscale");
     }
     const bool clusterRun =
         spec.cluster.replicas > 1 || spec.cluster.autoscale;
@@ -418,6 +446,21 @@ main(int argc, char **argv)
         for (const double rate : report.perReplicaServiceRate)
             std::printf(" %.2f", rate);
         std::printf(" req/s nominal (routing weights)\n");
+        if (report.perReplicaEffectiveRate !=
+            report.perReplicaServiceRate) {
+            std::printf("measured    :");
+            for (const double rate : report.perReplicaEffectiveRate)
+                std::printf(" %.2f", rate);
+            std::printf(" req/s EWMA (weights in effect)\n");
+        }
+        if (report.bootEvents > 0) {
+            std::printf("cold start  : %lld boots, %.2f s total boot "
+                        "time, %lld requests dispatched while booting\n",
+                        static_cast<long long>(report.bootEvents),
+                        report.totalBootSeconds,
+                        static_cast<long long>(
+                            report.requestsDelayedByBoot));
+        }
     }
 
     if (!records_csv->empty()) {
