@@ -3,9 +3,16 @@
  * Micro-benchmarks (google-benchmark) for the core data structures:
  * event kernel throughput, eviction scoring, 1-D K-means, quota
  * assignment, WRS computation, and the paged KV allocator.
+ *
+ * Besides the usual console table, the binary writes
+ * BENCH_micro_core.json (sweep::BenchJson rows: name, iterations,
+ * time_per_op_ns, items_per_second) so CI can archive the core perf
+ * trajectory alongside the figure benches.
  */
 
 #include <benchmark/benchmark.h>
+
+#include "sweep/bench_json.h"
 
 #include "chameleon/eviction.h"
 #include "chameleon/kmeans.h"
@@ -115,6 +122,55 @@ BM_KvCacheReserveRelease(benchmark::State &state)
 }
 BENCHMARK(BM_KvCacheReserveRelease);
 
+/**
+ * Console output as usual, plus one BenchJson row per iteration run
+ * (aggregates and errored runs are skipped — rows track raw repetition
+ * results, like the sweep documents do).
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonCaptureReporter(sweep::BenchJson *json) : json_(json) {}
+
+    void ReportRuns(const std::vector<Run> &reports) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(reports);
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            auto &row = json_->row();
+            row.field("name", run.benchmark_name());
+            row.field("iterations",
+                      static_cast<std::int64_t>(run.iterations));
+            const double perOp =
+                run.iterations
+                    ? run.real_accumulated_time /
+                          static_cast<double>(run.iterations)
+                    : 0.0;
+            row.field("time_per_op_ns", perOp * 1e9);
+            const auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end())
+                row.field("items_per_second",
+                          static_cast<double>(items->second));
+        }
+    }
+
+  private:
+    sweep::BenchJson *json_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    sweep::BenchJson json("micro_core");
+    JsonCaptureReporter reporter(&json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    json.write("BENCH_micro_core.json");
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_recorder.h"
 #include "simkit/check.h"
 
 namespace chameleon::core {
@@ -132,6 +133,11 @@ CacheManager::evictUntilFree(std::int64_t bytes, bool includePinned,
         mem_.freeAdapterCache(pool_.spec(vid).bytes);
         ve.state = State::NotResident;
         ++evictions_;
+        if (trace_ != nullptr) {
+            trace_->instant(tracePid_, obs::Lane::Cache, "evict", now,
+                            {{"adapter", vid},
+                             {"bytes", pool_.spec(vid).bytes}});
+        }
     }
     return true;
 }
@@ -205,6 +211,14 @@ CacheManager::startLoad(AdapterId id, Entry &e, LoadKind kind, SimTime now)
       case LoadKind::PredictivePrefetch:
         ++predictiveLoads_;
         break;
+    }
+    if (trace_ != nullptr) {
+        const char *event = kind == LoadKind::Demand ? "demand_load"
+                            : kind == LoadKind::QueuedPrefetch
+                                ? "queued_prefetch"
+                                : "predictive_prefetch";
+        trace_->instant(tracePid_, obs::Lane::Cache, event, now,
+                        {{"adapter", id}, {"bytes", bytes}});
     }
     e.state = State::Loading;
     e.prefetched = kind != LoadKind::Demand;

@@ -82,6 +82,13 @@ class CacheManager : public serving::AdapterManager
     std::int64_t misses() const override { return misses_; }
     std::int64_t cachedBytes() const override;
 
+    /** Record evictions and transfer starts on the Cache lane. */
+    void setTraceRecorder(obs::TraceRecorder *recorder, int pid) override
+    {
+        trace_ = recorder;
+        tracePid_ = pid;
+    }
+
     /** Cached (idle, evictable) adapter count. */
     std::size_t cachedCount() const;
     /** Total evictions performed. */
@@ -153,6 +160,8 @@ class CacheManager : public serving::AdapterManager
     std::int64_t predictiveLoads_ = 0;
     /** Most recent simulation time observed (tryFreeMemory has no now). */
     sim::SimTime lastNow_ = 0;
+    obs::TraceRecorder *trace_ = nullptr;
+    int tracePid_ = 0;
 };
 
 } // namespace chameleon::core

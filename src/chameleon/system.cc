@@ -249,7 +249,111 @@ Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
     report.bootEvents = boot.boots;
     report.totalBootSeconds = sim::toSeconds(boot.totalBootTime);
     report.requestsDelayedByBoot = boot.requestsDelayedByBoot;
+
+    obs::MetricsRegistry registry;
+    fillRunMetrics(registry, *cluster_, report);
+    report.metrics = registry.snapshot();
     return report;
+}
+
+namespace {
+
+/** Feed every sample of a PercentileTracker into a histogram. */
+void
+fillHistogram(obs::Histogram &histogram,
+              const sim::PercentileTracker &tracker)
+{
+    for (const double v : tracker.sorted())
+        histogram.add(v);
+}
+
+} // namespace
+
+void
+fillRunMetrics(obs::MetricsRegistry &registry,
+               const serving::DataParallelCluster &cluster,
+               const RunReport &report)
+{
+    const auto &engines = cluster.engines();
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        const std::string prefix = "replica" + std::to_string(i) + ".";
+        const serving::EngineStats &s = engines[i]->stats();
+        auto count = [&](const char *name, std::int64_t value) {
+            registry.counter(prefix + name).inc(value);
+        };
+        count("requests.submitted", s.submitted);
+        count("requests.finished", s.finished);
+        count("requests.preemptions", s.preemptions);
+        count("requests.squashes", s.squashes);
+        count("requests.bypasses", s.bypasses);
+        count("engine.iterations", s.iterations);
+        count("engine.prefill_tokens", s.prefillTokens);
+        count("engine.decode_tokens", s.decodeTokens);
+        registry.gauge(prefix + "engine.busy_seconds")
+            .set(sim::toSeconds(s.busyTime));
+        registry.gauge(prefix + "engine.mean_batch_size")
+            .set(s.iterations
+                     ? static_cast<double>(s.batchSizeAccum) /
+                           static_cast<double>(s.iterations)
+                     : 0.0);
+        if (i < report.perReplicaServiceRate.size()) {
+            registry.gauge(prefix + "engine.service_rate_rps")
+                .set(report.perReplicaServiceRate[i]);
+        }
+        count("cache.hits", s.adapterHits);
+        count("cache.misses", s.adapterMisses);
+        registry.gauge(prefix + "cache.hit_rate").set(s.cacheHitRate());
+        if (const auto *cache = dynamic_cast<const CacheManager *>(
+                &engines[i]->adapterManager())) {
+            count("cache.evictions", cache->evictions());
+            count("cache.demand_loads", cache->demandLoads());
+            count("cache.queued_loads", cache->queuedLoads());
+            count("cache.predictive_loads", cache->predictiveLoads());
+        }
+        count("pcie.bytes", engines[i]->pcieLink().totalBytes());
+        count("pcie.transfers", engines[i]->pcieLink().totalTransfers());
+        fillHistogram(registry.histogram(prefix + "latency.ttft_s"),
+                      s.ttft);
+        fillHistogram(registry.histogram(prefix + "latency.e2e_s"),
+                      s.e2e);
+        fillHistogram(
+            registry.histogram(prefix + "latency.queue_delay_s"),
+            s.queueDelay);
+        fillHistogram(
+            registry.histogram(prefix + "latency.load_stall_ms"),
+            s.loadStall);
+    }
+
+    const serving::EngineStats &total = report.stats;
+    registry.counter("cluster.requests.submitted").inc(total.submitted);
+    registry.counter("cluster.requests.finished").inc(total.finished);
+    registry.counter("cluster.requests.preemptions")
+        .inc(total.preemptions);
+    registry.counter("cluster.requests.squashes").inc(total.squashes);
+    registry.counter("cluster.requests.bypasses").inc(total.bypasses);
+    registry.gauge("cluster.cache.hit_rate").set(report.cacheHitRate);
+    registry.counter("cluster.cache.evictions")
+        .inc(report.cacheEvictions);
+    registry.counter("cluster.pcie.bytes").inc(report.pcieBytes);
+    registry.counter("cluster.pcie.transfers").inc(report.pcieTransfers);
+    registry.counter("cluster.scaling.scale_ups").inc(report.scaleUps);
+    registry.counter("cluster.scaling.scale_downs")
+        .inc(report.scaleDowns);
+    registry.counter("cluster.scaling.boots").inc(report.bootEvents);
+    registry.gauge("cluster.scaling.boot_seconds")
+        .set(report.totalBootSeconds);
+    registry.counter("cluster.scaling.requests_delayed_by_boot")
+        .inc(report.requestsDelayedByBoot);
+    registry.counter("cluster.replicas.peak")
+        .inc(static_cast<std::int64_t>(report.peakReplicas));
+    registry.counter("cluster.replicas.final_active")
+        .inc(static_cast<std::int64_t>(report.finalActiveReplicas));
+    fillHistogram(registry.histogram("cluster.latency.ttft_s"),
+                  total.ttft);
+    fillHistogram(registry.histogram("cluster.latency.e2e_s"),
+                  total.e2e);
+    fillHistogram(registry.histogram("cluster.latency.queue_delay_s"),
+                  total.queueDelay);
 }
 
 RunReport

@@ -23,6 +23,8 @@
 #include "chameleon/mlq_scheduler.h"
 #include "chameleon/system_registry.h"
 #include "chameleon/system_spec.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "predict/output_predictor.h"
 #include "routing/autoscaler.h"
 #include "routing/router.h"
@@ -89,6 +91,15 @@ struct RunReport
     double totalBootSeconds = 0.0;
     /** Requests dispatched while >= 1 replica was still booting. */
     std::int64_t requestsDelayedByBoot = 0;
+
+    /**
+     * Hierarchical metrics snapshot (obs::MetricsRegistry populated by
+     * core::fillRunMetrics): per-replica request/engine/cache counters
+     * and latency histograms under "replica<i>.*", cluster-wide
+     * aggregates under "cluster.*". Always populated by Runner::run;
+     * dump() is the --metrics-out document.
+     */
+    sim::JsonValue metrics;
 };
 
 /**
@@ -118,6 +129,18 @@ class Runner
     const SystemSpec &spec() const { return spec_; }
 
     /**
+     * Attach a span recorder to the whole system (engines, router,
+     * autoscaler, caches — see DataParallelCluster::setTraceRecorder).
+     * Call before run(); the caller owns the recorder and exports it
+     * (TraceRecorder::writeJson) after the run. Detached (the default)
+     * the run's event streams are bit-identical to an untraced run.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder)
+    {
+        cluster_->setTraceRecorder(recorder);
+    }
+
+    /**
      * Run a trace to completion (with a drain window after the last
      * arrival) and collect results.
      */
@@ -131,6 +154,20 @@ class Runner
     std::unique_ptr<predict::OutputPredictor> predictor_;
     std::unique_ptr<serving::DataParallelCluster> cluster_;
 };
+
+/**
+ * Populate `registry` with the end-of-run metrics of a finalised
+ * cluster + report: per-replica counters and latency histograms under
+ * "replica<i>.*" (requests, engine, cache, pcie, latency groups) and
+ * cluster-wide aggregates under "cluster.*". Reads authoritative
+ * end-of-run stats only — it never samples during the simulation, so
+ * metrics can never perturb event streams. Runner::run calls this to
+ * fill RunReport::metrics; tools and tests may call it on their own
+ * registry for richer exports.
+ */
+void fillRunMetrics(obs::MetricsRegistry &registry,
+                    const serving::DataParallelCluster &cluster,
+                    const RunReport &report);
 
 /** One-shot convenience wrapper. */
 RunReport runSpec(const SystemSpec &spec, const model::AdapterPool *pool,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_recorder.h"
 #include "simkit/check.h"
 
 namespace chameleon::routing {
@@ -87,6 +88,22 @@ Autoscaler::evaluate(std::size_t activeReplicas,
         static_cast<double>(totalOutstanding) /
         static_cast<double>(activeReplicas);
 
+    // Every return funnels through here so the trace sees each
+    // evaluation's inputs and verdict, not just the scale events.
+    const auto decided = [&](std::size_t target) {
+        if (trace_ != nullptr) {
+            trace_->instant(obs::kClusterPid, obs::Lane::Control,
+                            "autoscale_eval", now,
+                            {{"active", activeReplicas},
+                             {"target", target},
+                             {"outstanding", totalOutstanding},
+                             {"demand", lastDemand_},
+                             {"capacity",
+                              capacity.activeCapacityFactor}});
+        }
+        return target;
+    };
+
     // Forecast signal: demand in reference-replica units (the scalar
     // replicaServiceRps rates the reference replica; the active set's
     // aggregate capacity factor says how many reference replicas the
@@ -125,7 +142,7 @@ Autoscaler::evaluate(std::size_t activeReplicas,
         sinceUp_ = 0;
         lowStreak_ = 0;
         ++scaleUps_;
-        return target;
+        return decided(target);
     }
 
     // Scale down only when both signals agree the cluster is oversized
@@ -137,12 +154,12 @@ Autoscaler::evaluate(std::size_t activeReplicas,
         if (++lowStreak_ >= config_.downCooldownPeriods) {
             lowStreak_ = 0;
             ++scaleDowns_;
-            return activeReplicas - 1;
+            return decided(activeReplicas - 1);
         }
     } else {
         lowStreak_ = 0;
     }
-    return activeReplicas;
+    return decided(activeReplicas);
 }
 
 bool

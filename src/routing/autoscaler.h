@@ -40,6 +40,10 @@
 #include "predict/load_predictor.h"
 #include "simkit/time.h"
 
+namespace chameleon::obs {
+class TraceRecorder;
+}
+
 namespace chameleon::routing {
 
 /**
@@ -171,7 +175,15 @@ class Autoscaler
     std::int64_t scaleUps() const { return scaleUps_; }
     std::int64_t scaleDowns() const { return scaleDowns_; }
 
+    /** Record an "autoscale_eval" instant (demand vs capacity, target)
+     * per evaluation; null (the default) disables emission. */
+    void setTraceRecorder(obs::TraceRecorder *recorder)
+    {
+        trace_ = recorder;
+    }
+
   private:
+    obs::TraceRecorder *trace_ = nullptr;
     AutoscalerConfig config_;
     predict::LoadForecaster forecast_;
     int sinceUp_ = 1 << 20;   // evaluations since the last scale-up

@@ -4,9 +4,11 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace_recorder.h"
 #include "routing/consistent_hash.h"
 #include "simkit/check.h"
 #include "simkit/rng.h"
+#include "simkit/simulator.h"
 
 namespace chameleon::routing {
 
@@ -197,8 +199,16 @@ class AdapterAffinityRouter final : public Router
                     bestLoad = load;
                 }
             }
-            if (best < n && bestLoad <= limit)
+            if (best < n && bestLoad <= limit) {
+                if (trace_ != nullptr) {
+                    trace_->instant(obs::kClusterPid,
+                                    obs::Lane::Control,
+                                    "route_cache_hit", clock_->now(),
+                                    {{"adapter", request.adapter},
+                                     {"replica", best}});
+                }
                 return best;
+            }
         }
         // Hash path: the owner serves unless overloaded (the common
         // case — avoid materialising the preference list for it).
@@ -209,11 +219,28 @@ class AdapterAffinityRouter final : public Router
         // Spillover: walk the owner's ring successors.
         const auto prefs = ring_.preferenceList(key, n);
         for (const std::size_t replica : prefs) {
-            if (weightedLoad(view, replica) <= limit)
+            if (weightedLoad(view, replica) <= limit) {
+                if (trace_ != nullptr) {
+                    trace_->instant(obs::kClusterPid,
+                                    obs::Lane::Control, "route_spill",
+                                    clock_->now(),
+                                    {{"adapter", request.adapter},
+                                     {"owner", owner},
+                                     {"replica", replica}});
+                }
                 return replica;
+            }
         }
         // Everything is overloaded; degrade to least-loaded.
-        return leastLoaded(view);
+        const std::size_t fallback = leastLoaded(view);
+        if (trace_ != nullptr) {
+            trace_->instant(obs::kClusterPid, obs::Lane::Control,
+                            "route_spill", clock_->now(),
+                            {{"adapter", request.adapter},
+                             {"owner", owner},
+                             {"replica", fallback}});
+        }
+        return fallback;
     }
 
     void

@@ -42,6 +42,13 @@
 #include "model/adapter.h"
 #include "workload/request.h"
 
+namespace chameleon::obs {
+class TraceRecorder;
+}
+namespace chameleon::sim {
+class Simulator;
+}
+
 namespace chameleon::routing {
 
 /** Read-only view of the dispatchable replicas, indexed [0, count). */
@@ -146,6 +153,23 @@ class Router
     {
         (void)activeReplicas;
     }
+
+    /**
+     * Attach the span recorder for routing-decision instants. route()
+     * has no time argument, so the clock rides along for timestamps;
+     * policies that emit nothing simply never read the members. Null
+     * (the default) disables emission.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder,
+                          const sim::Simulator *clock)
+    {
+        trace_ = recorder;
+        clock_ = clock;
+    }
+
+  protected:
+    obs::TraceRecorder *trace_ = nullptr;
+    const sim::Simulator *clock_ = nullptr;
 };
 
 /** Build a router for the policy. */

@@ -20,6 +20,10 @@
 #include "model/adapter.h"
 #include "simkit/time.h"
 
+namespace chameleon::obs {
+class TraceRecorder;
+}
+
 namespace chameleon::serving {
 
 /** Residency/transfer policy for LoRA adapters on one engine. */
@@ -72,6 +76,18 @@ class AdapterManager
      * adapters, so it succeeds only if memory is already free.
      */
     virtual bool tryFreeMemory(std::int64_t bytes) = 0;
+
+    /**
+     * Attach the span recorder under which this manager's engine
+     * records (`pid` is the engine's trace process). Default: ignore —
+     * the baseline manager emits no events; observation never alters
+     * behaviour either way.
+     */
+    virtual void setTraceRecorder(obs::TraceRecorder *recorder, int pid)
+    {
+        (void)recorder;
+        (void)pid;
+    }
 
     /** Residency checks that needed no transfer (cache/residency hits). */
     virtual std::int64_t hits() const = 0;

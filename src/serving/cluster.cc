@@ -47,6 +47,7 @@ DataParallelCluster::enableAutoscaler(
     applyTarget(std::clamp(provisioned_, config.minReplicas,
                            config.maxReplicas));
     autoscaler_ = std::make_unique<routing::Autoscaler>(config);
+    autoscaler_->setTraceRecorder(trace_);
     coldStart_ = ColdStartModel(config.bootMs);
     referenceRate_ =
         referenceServiceRps > 0.0 ? referenceServiceRps : rates_.front();
@@ -134,6 +135,40 @@ DataParallelCluster::effectiveServiceRates() const
 }
 
 void
+DataParallelCluster::setTraceRecorder(obs::TraceRecorder *recorder)
+{
+    trace_ = recorder;
+    if (autoscaler_ != nullptr)
+        autoscaler_->setTraceRecorder(recorder);
+    if (recorder == nullptr) {
+        router_->setTraceRecorder(nullptr, nullptr);
+        for (auto &engine : engines_)
+            engine->setTraceRecorder(nullptr, 0);
+        return;
+    }
+    recorder->processName(obs::kClusterPid, "cluster");
+    recorder->threadName(obs::kClusterPid, obs::Lane::Control,
+                         "control");
+    router_->setTraceRecorder(recorder, &sim_);
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        wireEngineTrace(i);
+}
+
+/** Name replica `index`'s trace process and attach its engine. */
+void
+DataParallelCluster::wireEngineTrace(std::size_t index)
+{
+    const int pid = obs::pidForReplica(index);
+    trace_->processName(pid, "replica" + std::to_string(index) + " [" +
+                                 engines_[index]->config().gpu.name +
+                                 "]");
+    trace_->threadName(pid, obs::Lane::Engine, "engine");
+    trace_->threadName(pid, obs::Lane::Requests, "requests");
+    trace_->threadName(pid, obs::Lane::Cache, "adapter-cache");
+    engines_[index]->setTraceRecorder(trace_, pid);
+}
+
+void
 DataParallelCluster::installMeasuredRate(std::size_t index)
 {
     engines_[index]->setCompletionListener(
@@ -155,6 +190,8 @@ DataParallelCluster::appendEngine(std::unique_ptr<ServingEngine> engine,
         measured_.emplace_back(measuredAlpha_, nominalRate);
         installMeasuredRate(engines_.size() - 1);
     }
+    if (trace_ != nullptr)
+        wireEngineTrace(engines_.size() - 1);
 }
 
 void
@@ -207,15 +244,28 @@ DataParallelCluster::buildScaleUpReplica()
                      candidateRates_[pick]);
     }
 
+    const std::size_t index = engines_.size() - 1;
+    if (trace_ != nullptr) {
+        trace_->instant(obs::kClusterPid, obs::Lane::Control, "scale_up",
+                        sim_.now(),
+                        {{"replica", index},
+                         {"gpu", engines_[index]->config().gpu.name}});
+    }
     if (!coldStart_.enabled())
         return;
-    const std::size_t index = engines_.size() - 1;
     const sim::SimTime boot =
         coldStart_.bootTime(engines_[index]->config());
     states_[index] = ReplicaState::Booting;
     bootDeadline_[index] = sim_.now() + boot;
     ++bootStats_.boots;
     bootStats_.totalBootTime += boot;
+    if (trace_ != nullptr) {
+        // The boot duration is known at schedule time, so the span is a
+        // complete event up front. A drain can cancel the boot
+        // mid-span; the cancellation shows as the "drain" instant.
+        trace_->complete(obs::pidForReplica(index), obs::Lane::Engine,
+                         "boot", sim_.now(), boot);
+    }
     sim_.scheduleAfter(boot, [this, index] { onBootComplete(index); });
 }
 
@@ -292,6 +342,13 @@ DataParallelCluster::dispatch(const workload::Request &request)
     const std::size_t pick = router_->route(request, *this);
     CHM_CHECK(pick < routable_.size(),
               "router returned an inactive replica");
+    if (trace_ != nullptr) {
+        trace_->instant(obs::kClusterPid, obs::Lane::Control,
+                        "dispatch", sim_.now(),
+                        {{"request", request.id},
+                         {"adapter", request.adapter},
+                         {"replica", routable_[pick]}});
+    }
     engines_[routable_[pick]]->submit(request);
 }
 
@@ -311,6 +368,11 @@ DataParallelCluster::applyTarget(std::size_t target)
                 states_[index] = sim_.now() >= bootDeadline_[index]
                                      ? ReplicaState::Active
                                      : ReplicaState::Booting;
+                if (trace_ != nullptr) {
+                    trace_->instant(obs::kClusterPid,
+                                    obs::Lane::Control, "reactivate",
+                                    sim_.now(), {{"replica", index}});
+                }
             } else {
                 buildScaleUpReplica();
             }
@@ -324,6 +386,11 @@ DataParallelCluster::applyTarget(std::size_t target)
         while (provisioned_ > target) {
             --provisioned_;
             states_[provisioned_] = ReplicaState::Drained;
+            if (trace_ != nullptr) {
+                trace_->instant(obs::kClusterPid, obs::Lane::Control,
+                                "drain", sim_.now(),
+                                {{"replica", provisioned_}});
+            }
         }
     }
     syncRoutable();

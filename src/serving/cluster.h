@@ -150,6 +150,16 @@ class DataParallelCluster : public routing::ClusterView
      */
     void resize(std::size_t target);
 
+    /**
+     * Attach the span recorder to the whole cluster: names the trace
+     * processes (pid 0 = control plane, pid i+1 = replica i), wires
+     * every existing engine (and, through it, its adapter manager),
+     * the router, and the autoscaler; engines built later by scale-ups
+     * are wired at creation. Call before submitTrace. Null detaches
+     * everything.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder);
+
     /** Route every request of the trace at its arrival time. */
     void submitTrace(const workload::Trace &trace);
 
@@ -237,6 +247,7 @@ class DataParallelCluster : public routing::ClusterView
     void dispatch(const workload::Request &request);
     void appendEngine(std::unique_ptr<ServingEngine> engine,
                       double nominalRate);
+    void wireEngineTrace(std::size_t index);
     void buildReplica();
     void buildScaleUpReplica();
     void installMeasuredRate(std::size_t index);
@@ -251,6 +262,7 @@ class DataParallelCluster : public routing::ClusterView
 
     sim::Simulator &sim_;
     EngineFactory factory_;
+    obs::TraceRecorder *trace_ = nullptr;
     std::unique_ptr<routing::Router> router_;
     std::unique_ptr<routing::Autoscaler> autoscaler_;
     ColdStartModel coldStart_{0.0};

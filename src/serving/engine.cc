@@ -77,6 +77,17 @@ ServingEngine::setAdapterManager(std::unique_ptr<AdapterManager> manager)
 {
     CHM_CHECK(adapterMgr_ == nullptr, "adapter manager already installed");
     adapterMgr_ = std::move(manager);
+    if (trace_ != nullptr)
+        adapterMgr_->setTraceRecorder(trace_, tracePid_);
+}
+
+void
+ServingEngine::setTraceRecorder(obs::TraceRecorder *recorder, int pid)
+{
+    trace_ = recorder;
+    tracePid_ = pid;
+    if (adapterMgr_ != nullptr)
+        adapterMgr_->setTraceRecorder(recorder, pid);
 }
 
 void
@@ -224,9 +235,21 @@ ServingEngine::makeContext()
     ctx.squashForBypass = [this](LiveRequest *r) {
         ++stats_.squashes;
         ++r->squashCount;
+        if (trace_ != nullptr) {
+            trace_->instant(tracePid_, obs::Lane::Engine, "squash",
+                            sim_.now(),
+                            {{"request", r->req.id},
+                             {"adapter", r->req.adapter}});
+        }
         squash(r);
     };
-    ctx.noteBypass = [this] { ++stats_.bypasses; };
+    ctx.noteBypass = [this] {
+        ++stats_.bypasses;
+        if (trace_ != nullptr) {
+            trace_->instant(tracePid_, obs::Lane::Engine, "bypass",
+                            sim_.now());
+        }
+    };
     return ctx;
 }
 
@@ -244,6 +267,16 @@ ServingEngine::sampleMemory()
     stats_.memKv.record(now, static_cast<double>(mem_->kvBytes()));
     stats_.memAdapterCache.record(
         now, static_cast<double>(adapterMgr_->cachedBytes()));
+    if (trace_ != nullptr) {
+        trace_->counter(tracePid_, "memory_bytes", now,
+                        {{"kv", mem_->kvBytes()},
+                         {"adapter_cache", adapterMgr_->cachedBytes()},
+                         {"used", mem_->capacity() - mem_->freeBytes()}});
+        trace_->counter(tracePid_, "requests", now,
+                        {{"running", running_.size()},
+                         {"prefilling", prefilling_.size()},
+                         {"waiting", scheduler_->waitingCount()}});
+    }
 }
 
 void
@@ -371,6 +404,12 @@ ServingEngine::preemptForMemory()
     LiveRequest *victim = running_.back();
     ++stats_.preemptions;
     ++victim->preemptCount;
+    if (trace_ != nullptr) {
+        trace_->instant(tracePid_, obs::Lane::Engine, "preempt",
+                        sim_.now(),
+                        {{"request", victim->req.id},
+                         {"generated", victim->generated}});
+    }
     squash(victim);
 }
 
@@ -476,10 +515,62 @@ ServingEngine::finishRequest(LiveRequest *r)
     stats_.queueDelay.add(sim::toSeconds(r->queueDelay()));
     stats_.records.push_back(makeRecord(*r));
     ++stats_.finished;
+    if (trace_ != nullptr)
+        emitRequestTrace(r);
     if (onFinish_)
         onFinish_(sim_.now());
     predictor_->observe(r->req);
     scheduler_->onRequestFinished(r);
+}
+
+/**
+ * Write the request's lifecycle as async spans (category "request",
+ * id = request id) from its recorded timestamps: one enclosing span
+ * plus queue wait -> adapter fetch -> prefill -> decode phases. Emitted
+ * retrospectively at finish time, so tracing schedules nothing and the
+ * simulation's event sequence is untouched.
+ */
+void
+ServingEngine::emitRequestTrace(const LiveRequest *r)
+{
+    const char *cat = "request";
+    const auto id = static_cast<std::int64_t>(r->req.id);
+    trace_->asyncBegin(tracePid_, cat, id, "request", r->arrival,
+                       {{"input", r->req.inputTokens},
+                        {"output", r->req.outputTokens},
+                        {"adapter", r->req.adapter},
+                        {"rank", r->rank},
+                        {"squashes", r->squashCount},
+                        {"preempts", r->preemptCount}});
+    const SimTime admit =
+        r->admitTime == sim::kTimeNever ? r->arrival : r->admitTime;
+    if (admit > r->arrival) {
+        trace_->asyncBegin(tracePid_, cat, id, "queue_wait", r->arrival);
+        trace_->asyncEnd(tracePid_, cat, id, "queue_wait", admit);
+    }
+    // The stall is the portion of the (final) adapter transfer this
+    // request actually waited on after admission.
+    SimTime prefillStart = admit;
+    if (r->adapterStall > 0) {
+        trace_->asyncBegin(tracePid_, cat, id, "adapter_fetch", admit,
+                           {{"stall_us", r->adapterStall}});
+        trace_->asyncEnd(tracePid_, cat, id, "adapter_fetch",
+                         admit + r->adapterStall);
+        prefillStart = admit + r->adapterStall;
+    }
+    if (r->firstTokenTime > prefillStart) {
+        trace_->asyncBegin(tracePid_, cat, id, "prefill", prefillStart,
+                           {{"tokens", r->req.inputTokens}});
+        trace_->asyncEnd(tracePid_, cat, id, "prefill",
+                         r->firstTokenTime);
+    }
+    if (r->finishTime > r->firstTokenTime) {
+        trace_->asyncBegin(tracePid_, cat, id, "decode",
+                           r->firstTokenTime,
+                           {{"tokens", r->req.outputTokens}});
+        trace_->asyncEnd(tracePid_, cat, id, "decode", r->finishTime);
+    }
+    trace_->asyncEnd(tracePid_, cat, id, "request", r->finishTime);
 }
 
 void

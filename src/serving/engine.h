@@ -33,6 +33,7 @@
 #include "gpu/kv_cache.h"
 #include "gpu/pcie_link.h"
 #include "model/cost_model.h"
+#include "obs/trace_recorder.h"
 #include "predict/output_predictor.h"
 #include "serving/adapter_manager.h"
 #include "serving/metrics.h"
@@ -159,6 +160,17 @@ class ServingEngine
         onFinish_ = std::move(listener);
     }
 
+    /**
+     * Attach the span recorder; the engine records under trace process
+     * `pid` and propagates the attachment to its adapter manager. Null
+     * detaches (the default — no events, identical event streams).
+     * Emission is retrospective where possible: a request's phase spans
+     * (queue wait, adapter fetch, prefill, decode) are written from its
+     * timestamps when it finishes, so tracing adds no simulation
+     * events.
+     */
+    void setTraceRecorder(obs::TraceRecorder *recorder, int pid);
+
     /** Submit every request in the trace at its arrival time. */
     void submitTrace(const workload::Trace &trace);
 
@@ -217,6 +229,7 @@ class ServingEngine
                          std::vector<std::int64_t> prefillTaken);
     ReserveResult tryReserve(LiveRequest *r);
     void finishRequest(LiveRequest *r);
+    void emitRequestTrace(const LiveRequest *r);
     void releaseResources(LiveRequest *r);
     bool growKv(LiveRequest *r);
     void preemptForMemory();
@@ -234,6 +247,8 @@ class ServingEngine
     std::unique_ptr<AdapterManager> adapterMgr_;
     predict::OutputPredictor *predictor_;
     std::function<void(sim::SimTime)> onFinish_;
+    obs::TraceRecorder *trace_ = nullptr;
+    int tracePid_ = 0;
 
     std::deque<std::unique_ptr<LiveRequest>> requests_; // stable storage
     std::vector<LiveRequest *> prefilling_;

@@ -39,4 +39,28 @@ logMessage(LogLevel level, const std::string &msg)
     std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
 }
 
+bool
+logLevelByName(const std::string &name, LogLevel *out)
+{
+    if (name == "error")
+        *out = LogLevel::Error;
+    else if (name == "warn")
+        *out = LogLevel::Warn;
+    else if (name == "info")
+        *out = LogLevel::Info;
+    else if (name == "debug")
+        *out = LogLevel::Debug;
+    else if (name == "trace")
+        *out = LogLevel::Trace;
+    else
+        return false;
+    return true;
+}
+
+const char *
+logLevelNames()
+{
+    return "error, warn, info, debug, trace";
+}
+
 } // namespace chameleon::sim

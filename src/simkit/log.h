@@ -27,6 +27,15 @@ LogLevel logLevel();
 /** Emit a message at the given level (used by the macros below). */
 void logMessage(LogLevel level, const std::string &msg);
 
+/**
+ * Parse a level from its lowercase name ("error", "warn", "info",
+ * "debug", "trace"). Returns false (out untouched) on unknown names.
+ */
+bool logLevelByName(const std::string &name, LogLevel *out);
+
+/** The names logLevelByName accepts, for flag help/error messages. */
+const char *logLevelNames();
+
 } // namespace chameleon::sim
 
 #define CHM_LOG(level, msg)                                                   \
@@ -39,8 +48,10 @@ void logMessage(LogLevel level, const std::string &msg);
         }                                                                     \
     } while (0)
 
+#define CHM_ERROR(msg) CHM_LOG(::chameleon::sim::LogLevel::Error, msg)
 #define CHM_WARN(msg) CHM_LOG(::chameleon::sim::LogLevel::Warn, msg)
 #define CHM_INFO(msg) CHM_LOG(::chameleon::sim::LogLevel::Info, msg)
 #define CHM_DEBUG(msg) CHM_LOG(::chameleon::sim::LogLevel::Debug, msg)
+#define CHM_TRACE(msg) CHM_LOG(::chameleon::sim::LogLevel::Trace, msg)
 
 #endif // CHAMELEON_SIMKIT_LOG_H

@@ -24,6 +24,8 @@
  *   chameleon_sim --system chameleon --fleet a100-48x1+a40x1 --autoscale \
  *       --autoscale-boot-ms 8000 --autoscale-up-policy fastest \
  *       --autoscale-alpha 0.2 --rps 24
+ *   chameleon_sim --system chameleon --replicas 4 --router affinity \
+ *       --rps 30 --trace-out trace.json --metrics-out metrics.json
  *
  * In --system mode, --seed drives the trace generator, the
  * output-length predictor, and the router's sampling stream, so a
@@ -51,6 +53,7 @@
 #include "routing/router.h"
 #include "serving/slo.h"
 #include "simkit/flags.h"
+#include "simkit/log.h"
 #include "workload/trace_gen.h"
 
 using namespace chameleon;
@@ -172,12 +175,30 @@ main(int argc, char **argv)
         "into the routing weights (0 = static nominal weights)");
     auto *trace_in = flags.addString("trace", "",
                                      "load trace from CSV instead");
-    auto *trace_out = flags.addString("save-trace", "",
-                                      "write the generated trace as CSV");
+    auto *save_trace = flags.addString("save-trace", "",
+                                       "write the generated trace as CSV");
     auto *records_csv = flags.addString("records-csv", "",
                                         "write per-request records as CSV");
+    auto *trace_out = flags.addString(
+        "trace-out", "",
+        "write a Chrome trace-event JSON of the run (open in Perfetto "
+        "or chrome://tracing)");
+    auto *metrics_out = flags.addString(
+        "metrics-out", "",
+        "write the hierarchical metrics snapshot as JSON");
+    auto *log_level = flags.addString(
+        "log-level", "warn",
+        "stderr log threshold: error|warn|info|debug|trace");
     if (!flags.parse(argc, argv))
         return 2;
+
+    sim::LogLevel level;
+    if (!sim::logLevelByName(*log_level, &level)) {
+        std::fprintf(stderr, "unknown --log-level '%s'; known: %s\n",
+                     log_level->c_str(), sim::logLevelNames());
+        return 2;
+    }
+    sim::setLogLevel(level);
 
     if (*list_systems) {
         listSystems();
@@ -340,8 +361,8 @@ main(int argc, char **argv)
         workload::TraceGenerator gen(wl, pool.get());
         trace = gen.generate();
     }
-    if (!trace_out->empty())
-        trace.saveCsv(*trace_out);
+    if (!save_trace->empty())
+        trace.saveCsv(*save_trace);
 
     model::CostModel cost(spec.engine.model, spec.engine.gpu,
                           spec.engine.tpDegree, spec.engine.cost);
@@ -382,16 +403,21 @@ main(int argc, char **argv)
                 sim::toSeconds(trace.duration()));
     std::printf("TTFT SLO    : %.2f s (5x mean isolated latency)\n\n", slo);
 
-    const core::RunReport report = core::runSpec(spec, pool.get(), trace);
+    core::Runner runner(spec, pool.get());
+    obs::TraceRecorder recorder;
+    if (!trace_out->empty())
+        runner.setTraceRecorder(&recorder);
+    const core::RunReport report = runner.run(trace);
     const auto &s = report.stats;
 
     std::printf("finished    : %lld / %lld (%lld preempts, %lld squashes, "
-                "%lld bypasses)\n",
+                "%lld bypasses, %.1f%% cache hits)\n",
                 static_cast<long long>(s.finished),
                 static_cast<long long>(s.submitted),
                 static_cast<long long>(s.preemptions),
                 static_cast<long long>(s.squashes),
-                static_cast<long long>(s.bypasses));
+                static_cast<long long>(s.bypasses),
+                100.0 * s.cacheHitRate());
     std::printf("TTFT        : p50 %.3f s, p90 %.3f s, p99 %.3f s  %s\n",
                 s.ttft.p50(), s.ttft.p90(), s.ttft.p99(),
                 s.ttft.p99() <= slo ? "(meets SLO)" : "(VIOLATES SLO)");
@@ -467,6 +493,19 @@ main(int argc, char **argv)
         writeRecordsCsv(*records_csv, s.records);
         std::printf("\nper-request records written to %s\n",
                     records_csv->c_str());
+    }
+    if (!trace_out->empty()) {
+        recorder.writeJson(*trace_out);
+        std::printf("\ntrace (%zu events) written to %s — open in "
+                    "Perfetto or chrome://tracing\n",
+                    recorder.size(), trace_out->c_str());
+    }
+    if (!metrics_out->empty()) {
+        std::ofstream out(*metrics_out);
+        CHM_CHECK(out.good(), "cannot open " << *metrics_out);
+        out << report.metrics.dump() << '\n';
+        std::printf("metrics snapshot written to %s\n",
+                    metrics_out->c_str());
     }
     return 0;
 }

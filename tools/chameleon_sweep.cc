@@ -17,6 +17,8 @@
  */
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "simkit/flags.h"
@@ -37,6 +39,10 @@ main(int argc, char **argv)
         "threads", 0, "override worker threads (0 = use the file's)");
     auto *dry_run = flags.addBool(
         "dry-run", false, "expand and list the cells without running");
+    auto *metrics_dir = flags.addString(
+        "metrics-dir", "",
+        "also dump each cell's metrics snapshot as "
+        "DIR/metrics_cell<N>.json (N = cell index in the grid order)");
     if (!flags.parse(argc, argv))
         return 2;
 
@@ -119,5 +125,20 @@ main(int argc, char **argv)
     sweep::BenchJson json(runner.spec().name);
     sweep::SweepRunner::appendRows(json, results);
     json.write(runner.spec().outputPath());
+
+    if (!metrics_dir->empty()) {
+        std::filesystem::create_directories(*metrics_dir);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto path = std::filesystem::path(*metrics_dir) /
+                              ("metrics_cell" + std::to_string(i) +
+                               ".json");
+            std::ofstream outFile(path);
+            CHM_CHECK(outFile.good(), "cannot open " << path.string());
+            outFile << results[i].report.metrics.dump() << '\n';
+        }
+        std::printf("\nper-cell metrics written to %s/metrics_cell"
+                    "<0..%zu>.json\n",
+                    metrics_dir->c_str(), results.size() - 1);
+    }
     return 0;
 }
