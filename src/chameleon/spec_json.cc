@@ -190,6 +190,23 @@ clusterToJson(const ClusterSpec &c)
     return o;
 }
 
+JsonValue
+tenancyToJson(const TenancySpec &t)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("tenants", JsonValue::makeInt(t.tenants));
+    JsonValue weights = JsonValue::makeArray();
+    for (const double w : t.weights)
+        weights.push(JsonValue::makeNumber(w));
+    o.set("weights", std::move(weights));
+    JsonValue slos = JsonValue::makeArray();
+    for (const double m : t.sloMultipliers)
+        slos.push(JsonValue::makeNumber(m));
+    o.set("slo_multipliers", std::move(slos));
+    o.set("drr_quantum_tokens", JsonValue::makeInt(t.drrQuantumTokens));
+    return o;
+}
+
 // ---------------------------------------------------------------------
 // Parsing.
 // ---------------------------------------------------------------------
@@ -282,7 +299,7 @@ schedulerFromJson(const JsonValue &v, const std::string &path,
 {
     sim::JsonObjectReader r(v, path, error);
     r.getEnum("policy", &out->policy, schedulerPolicyByName,
-              "fifo, sjf, mlq");
+              "fifo, sjf, mlq, wfq, drr");
     r.getDouble("sjf_aging_per_second", &out->sjfAgingPerSecond);
     r.getDouble("slo_seconds", &out->sloSeconds);
     getSeconds(r, "refresh_period_s", &out->refreshPeriod);
@@ -304,6 +321,39 @@ adaptersFromJson(const JsonValue &v, const std::string &path,
               "chameleon, lru, fairshare, gdsf");
     r.getBool("predictive_prefetch", &out->predictivePrefetch);
     r.getSize("prefetch_top_k", &out->prefetchTopK);
+    return r.finish();
+}
+
+/** An array of numbers; empty allowed (= "use the defaults"). */
+bool
+numberList(sim::JsonObjectReader &r, const std::string &key,
+           std::vector<double> *out)
+{
+    const JsonValue *v = r.child(key);
+    if (v == nullptr)
+        return r.ok();
+    if (!v->isArray())
+        return r.fail(key, "expects an array of numbers");
+    out->clear();
+    for (const auto &item : v->items()) {
+        if (!item.isNumber())
+            return r.fail(key, "expects an array of numbers");
+        out->push_back(item.asNumber());
+    }
+    return true;
+}
+
+bool
+tenancyFromJson(const JsonValue &v, const std::string &path,
+                TenancySpec *out, std::string *error)
+{
+    sim::JsonObjectReader r(v, path, error);
+    r.getInt("tenants", &out->tenants);
+    if (!numberList(r, "weights", &out->weights))
+        return false;
+    if (!numberList(r, "slo_multipliers", &out->sloMultipliers))
+        return false;
+    r.getInt64("drr_quantum_tokens", &out->drrQuantumTokens);
     return r.finish();
 }
 
@@ -420,6 +470,7 @@ specToJsonValue(const SystemSpec &spec)
     root.set("adapters", adaptersToJson(spec.adapters));
     root.set("predictor", predictorToJson(spec.predictor));
     root.set("cluster", clusterToJson(spec.cluster));
+    root.set("tenancy", tenancyToJson(spec.tenancy));
     root.set("reservation",
              JsonValue::makeString(reservationPolicyName(spec.reservation)));
     root.set("chunked_prefill", JsonValue::makeBool(spec.chunkedPrefill));
@@ -542,6 +593,10 @@ specFromJsonValue(const JsonValue &root, std::string *error)
     if (const JsonValue *c = r.child("cluster")) {
         if (!clusterFromJson(*c, "cluster", spec.engine, &spec.cluster,
                              error))
+            return specParseFailure(error);
+    }
+    if (const JsonValue *t = r.child("tenancy")) {
+        if (!tenancyFromJson(*t, "tenancy", &spec.tenancy, error))
             return specParseFailure(error);
     }
     r.getEnum("reservation", &spec.reservation, reservationPolicyByName,

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <sstream>
 
+#include <map>
+
 #include "predict/history_predictor.h"
 #include "predict/length_predictor.h"
 #include "serving/fifo_scheduler.h"
 #include "serving/sjf_scheduler.h"
+#include "serving/slo.h"
 #include "serving/slora_adapter_manager.h"
 #include "simkit/check.h"
+#include "tenancy/drr_scheduler.h"
+#include "tenancy/tenant_table.h"
+#include "tenancy/wfq_scheduler.h"
 
 namespace chameleon::core {
 
@@ -27,6 +33,19 @@ placeholderPool()
     static const model::AdapterPool pool(model::llama7B(),
                                          std::vector<int>{8});
     return pool;
+}
+
+/** Tenant weights/SLO scales from the spec's tenancy axis. */
+tenancy::TenantTable
+buildTenantTable(const TenancySpec &spec)
+{
+    tenancy::TenantTable table(spec.tenants);
+    for (std::size_t i = 0; i < spec.weights.size(); ++i)
+        table.setWeight(static_cast<tenancy::TenantId>(i), spec.weights[i]);
+    for (std::size_t i = 0; i < spec.sloMultipliers.size(); ++i)
+        table.setSloMultiplier(static_cast<tenancy::TenantId>(i),
+                               spec.sloMultipliers[i]);
+    return table;
 }
 
 std::unique_ptr<predict::OutputPredictor>
@@ -97,6 +116,14 @@ buildEngine(const SystemSpec &spec, std::size_t replica,
         scheduler = std::make_unique<MlqScheduler>(mcfg, pool);
         break;
       }
+      case SchedulerPolicy::Wfq:
+        scheduler = std::make_unique<tenancy::WfqScheduler>(
+            buildTenantTable(spec.tenancy));
+        break;
+      case SchedulerPolicy::Drr:
+        scheduler = std::make_unique<tenancy::DrrScheduler>(
+            buildTenantTable(spec.tenancy), spec.tenancy.drrQuantumTokens);
+        break;
     }
 
     auto engine = std::make_unique<ServingEngine>(
@@ -250,6 +277,63 @@ Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
     report.totalBootSeconds = sim::toSeconds(boot.totalBootTime);
     report.requestsDelayedByBoot = boot.requestsDelayedByBoot;
 
+    // --- per-tenant accounting (post-simulation: pure record reads) ---
+    const model::CostModel cost(spec_.engine.model, spec_.engine.gpu,
+                                spec_.engine.tpDegree, spec_.engine.cost);
+    if (sloMultiplier_ > 0.0 && !trace.empty()) {
+        report.sloMultiplier = sloMultiplier_;
+        report.sloSeconds = sim::toSeconds(
+            serving::computeSlo(trace, cost, pool_, sloMultiplier_));
+    }
+    std::map<workload::TenantId, std::vector<serving::RequestRecord>>
+        byTenant;
+    for (const auto &rec : report.stats.records)
+        byTenant[rec.tenant].push_back(rec);
+    std::vector<double> weightedService;
+    std::int64_t metOverall = 0;
+    for (const auto &[tenant, records] : byTenant) {
+        TenantReport tr;
+        tr.tenant = tenant;
+        tr.finished = static_cast<std::int64_t>(records.size());
+        sim::PercentileTracker ttft;
+        sim::PercentileTracker e2e;
+        for (const auto &rec : records) {
+            ttft.add(sim::toSeconds(rec.ttft));
+            e2e.add(sim::toSeconds(rec.e2e));
+        }
+        tr.p50TtftSeconds = ttft.p50();
+        tr.p99TtftSeconds = ttft.p99();
+        tr.p50E2eSeconds = e2e.p50();
+        tr.p99E2eSeconds = e2e.p99();
+        const auto slowdown = serving::slowdowns(records, cost, pool_);
+        tr.meanSlowdown = slowdown.mean();
+        tr.p99Slowdown = slowdown.p99();
+        if (report.sloSeconds > 0.0) {
+            tr.sloSeconds = report.sloSeconds *
+                            spec_.tenancy.sloMultiplierFor(tenant);
+            std::int64_t met = 0;
+            for (const auto &rec : records) {
+                if (sim::toSeconds(rec.ttft) <= tr.sloSeconds)
+                    ++met;
+            }
+            metOverall += met;
+            tr.sloAttainment = static_cast<double>(met) /
+                               static_cast<double>(records.size());
+        }
+        // Service per unit weight, not slowdown: FIFO equalises delay
+        // (equal misery scores a perfect raw-slowdown index) while a
+        // fair scheduler concentrates delay on the over-demanding
+        // tenant; what WFQ/DRR equalise is weighted service.
+        weightedService.push_back(static_cast<double>(tr.finished) /
+                                  spec_.tenancy.weightFor(tenant));
+        report.tenants.push_back(tr);
+    }
+    report.fairnessIndex = tenancy::jainIndex(weightedService);
+    if (report.sloSeconds > 0.0 && report.stats.finished > 0) {
+        report.sloAttainment = static_cast<double>(metOverall) /
+                               static_cast<double>(report.stats.finished);
+    }
+
     obs::MetricsRegistry registry;
     fillRunMetrics(registry, *cluster_, report);
     report.metrics = registry.snapshot();
@@ -354,6 +438,34 @@ fillRunMetrics(obs::MetricsRegistry &registry,
                   total.e2e);
     fillHistogram(registry.histogram("cluster.latency.queue_delay_s"),
                   total.queueDelay);
+
+    // Tenancy groups: one "tenant.<id>.*" slice per tenant with
+    // finished requests, plus the fleet-wide fairness index.
+    registry.gauge("cluster.fairness.jain_index")
+        .set(report.fairnessIndex);
+    if (report.sloAttainment >= 0.0) {
+        registry.gauge("cluster.slo.seconds").set(report.sloSeconds);
+        registry.gauge("cluster.slo.attainment")
+            .set(report.sloAttainment);
+    }
+    for (const auto &t : report.tenants) {
+        const std::string prefix =
+            "tenant." + std::to_string(t.tenant) + ".";
+        registry.counter(prefix + "requests.finished").inc(t.finished);
+        registry.gauge(prefix + "latency.p50_ttft_s")
+            .set(t.p50TtftSeconds);
+        registry.gauge(prefix + "latency.p99_ttft_s")
+            .set(t.p99TtftSeconds);
+        registry.gauge(prefix + "latency.p50_e2e_s").set(t.p50E2eSeconds);
+        registry.gauge(prefix + "latency.p99_e2e_s").set(t.p99E2eSeconds);
+        registry.gauge(prefix + "slowdown.mean").set(t.meanSlowdown);
+        registry.gauge(prefix + "slowdown.p99").set(t.p99Slowdown);
+        if (t.sloAttainment >= 0.0) {
+            registry.gauge(prefix + "slo.seconds").set(t.sloSeconds);
+            registry.gauge(prefix + "slo.attainment")
+                .set(t.sloAttainment);
+        }
+    }
 }
 
 RunReport

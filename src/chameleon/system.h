@@ -41,9 +41,61 @@ namespace chameleon::core {
  * in-engine time series are only populated for single-replica runs;
  * cluster-wide percentiles are rebuilt over all replicas' samples.
  */
+/**
+ * Per-tenant outcome slice of one run, computed from the finished
+ * request records (post-simulation — the accounting can never perturb
+ * event streams). SLO attainment is the fraction of finished requests
+ * whose TTFT met the resolved per-tenant SLO; -1 when the SLO is
+ * disabled (Runner::setSloMultiplier(0)).
+ */
+struct TenantReport
+{
+    workload::TenantId tenant = 0;
+    std::int64_t finished = 0;
+    double p50TtftSeconds = 0.0;
+    double p99TtftSeconds = 0.0;
+    double p50E2eSeconds = 0.0;
+    double p99E2eSeconds = 0.0;
+    /** Observed E2E / isolated E2E over this tenant's requests. */
+    double meanSlowdown = 0.0;
+    double p99Slowdown = 0.0;
+    /** Resolved TTFT SLO for this tenant, seconds (0 = disabled). */
+    double sloSeconds = 0.0;
+    /** Fraction of requests with TTFT <= sloSeconds; -1 = disabled. */
+    double sloAttainment = -1.0;
+};
+
 struct RunReport
 {
     serving::EngineStats stats;
+
+    /**
+     * Per-tenant slices ordered by tenant id (one entry per tenant with
+     * at least one finished request; anonymous runs get a single
+     * tenant-0 entry).
+     */
+    std::vector<TenantReport> tenants;
+    /**
+     * Jain's fairness index over per-tenant weighted service — finished
+     * requests per unit scheduler weight, the served-IOs-per-weight
+     * convention of fairness-scheduler suites: 1.0 when every tenant
+     * receives service proportional to its weight, approaching 1/n when
+     * one tenant captures it all. 1.0 for empty runs. A raw-slowdown
+     * index would invert the ranking: FIFO equalises queueing *delay*
+     * across tenants (equal misery), while a fair scheduler deliberately
+     * concentrates delay on the over-demanding tenant; service per
+     * weight is the quantity WFQ/DRR actually equalise. Under a storm
+     * the contrast shows while the backlog is live (bounded drain
+     * window); a fully drained run converges to the trace's demand mix
+     * for every scheduler.
+     */
+    double fairnessIndex = 1.0;
+    /** Global TTFT SLO used for attainment, seconds (0 = disabled). */
+    double sloSeconds = 0.0;
+    /** The multiplier the SLO was derived with (0 = disabled). */
+    double sloMultiplier = 0.0;
+    /** Overall SLO attainment across all requests; -1 = disabled. */
+    double sloAttainment = -1.0;
 
     /** Host->GPU adapter traffic summed over replicas. */
     std::int64_t pcieBytes = 0;
@@ -141,6 +193,14 @@ class Runner
     }
 
     /**
+     * Scale the TTFT SLO used for attainment reporting (the paper's
+     * default is 5x the mean isolated latency, §5.1); 0 disables SLO
+     * accounting (attainments report -1). Call before run().
+     */
+    void setSloMultiplier(double multiplier) { sloMultiplier_ = multiplier; }
+    double sloMultiplier() const { return sloMultiplier_; }
+
+    /**
      * Run a trace to completion (with a drain window after the last
      * arrival) and collect results.
      */
@@ -153,6 +213,7 @@ class Runner
     sim::Simulator sim_;
     std::unique_ptr<predict::OutputPredictor> predictor_;
     std::unique_ptr<serving::DataParallelCluster> cluster_;
+    double sloMultiplier_ = 5.0;
 };
 
 /**

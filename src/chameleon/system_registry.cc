@@ -105,6 +105,10 @@ SystemRegistry::applyModifier(SystemSpec &spec, const std::string &token,
         spec.scheduler.policy = SchedulerPolicy::Sjf;
     } else if (token == "mlq") {
         spec.scheduler.policy = SchedulerPolicy::Mlq;
+    } else if (token == "wfq") {
+        spec.scheduler.policy = SchedulerPolicy::Wfq;
+    } else if (token == "drr") {
+        spec.scheduler.policy = SchedulerPolicy::Drr;
     // Adapter-management axis.
     } else if (token == "cache") {
         spec.adapters.policy = AdapterPolicy::ChameleonCache;
@@ -226,10 +230,10 @@ std::vector<std::string>
 SystemRegistry::modifierHelp()
 {
     return {"lru",     "fairshare", "gdsf",       "paper",
-            "fifo",    "sjf",       "mlq",        "cache",
-            "ondemand", "prefetch[K]", "noprefetch", "bypass",
-            "nobypass", "static",   "dynamic",    "history",
-            "bert",    "chunked[N]"};
+            "fifo",    "sjf",       "mlq",        "wfq",
+            "drr",     "cache",     "ondemand",   "prefetch[K]",
+            "noprefetch", "bypass", "nobypass",   "static",
+            "dynamic", "history",   "bert",       "chunked[N]"};
 }
 
 } // namespace chameleon::core

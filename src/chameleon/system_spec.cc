@@ -11,6 +11,8 @@ schedulerPolicyName(SchedulerPolicy policy)
       case SchedulerPolicy::Fifo: return "fifo";
       case SchedulerPolicy::Sjf: return "sjf";
       case SchedulerPolicy::Mlq: return "mlq";
+      case SchedulerPolicy::Wfq: return "wfq";
+      case SchedulerPolicy::Drr: return "drr";
     }
     return "?";
 }
@@ -58,6 +60,10 @@ schedulerPolicyByName(const std::string &name, SchedulerPolicy *out)
         *out = SchedulerPolicy::Sjf;
     else if (name == "mlq")
         *out = SchedulerPolicy::Mlq;
+    else if (name == "wfq")
+        *out = SchedulerPolicy::Wfq;
+    else if (name == "drr")
+        *out = SchedulerPolicy::Drr;
     else
         return false;
     return true;
@@ -114,6 +120,22 @@ allEvictionPolicies()
         EvictionKind::Paper, EvictionKind::Lru,
         EvictionKind::FairShare, EvictionKind::Gdsf};
     return all;
+}
+
+double
+TenancySpec::weightFor(int tenant) const
+{
+    if (tenant < 0 || tenant >= static_cast<int>(weights.size()))
+        return 1.0;
+    return weights[static_cast<std::size_t>(tenant)];
+}
+
+double
+TenancySpec::sloMultiplierFor(int tenant) const
+{
+    if (tenant < 0 || tenant >= static_cast<int>(sloMultipliers.size()))
+        return 1.0;
+    return sloMultipliers[static_cast<std::size_t>(tenant)];
 }
 
 SystemSpec &
@@ -268,6 +290,53 @@ SystemSpec::validate() const
            << scheduler.sloSeconds << ")";
         err(os);
     }
+    if (tenancy.tenants < 1) {
+        std::ostringstream os;
+        os << "tenancy.tenants must be >= 1 (got " << tenancy.tenants
+           << "); 1 means the anonymous single-tenant default";
+        err(os);
+    }
+    if (!tenancy.weights.empty() &&
+        static_cast<int>(tenancy.weights.size()) != tenancy.tenants) {
+        std::ostringstream os;
+        os << "tenancy.weights has " << tenancy.weights.size()
+           << " entries but tenancy.tenants = " << tenancy.tenants
+           << "; give one weight per tenant (or clear the list for "
+           << "equal weights)";
+        err(os);
+    }
+    for (std::size_t i = 0; i < tenancy.weights.size(); ++i) {
+        if (tenancy.weights[i] <= 0.0) {
+            std::ostringstream os;
+            os << "tenancy.weights[" << i << "] must be > 0 (got "
+               << tenancy.weights[i] << ")";
+            err(os);
+        }
+    }
+    if (!tenancy.sloMultipliers.empty() &&
+        static_cast<int>(tenancy.sloMultipliers.size()) !=
+            tenancy.tenants) {
+        std::ostringstream os;
+        os << "tenancy.sloMultipliers has " << tenancy.sloMultipliers.size()
+           << " entries but tenancy.tenants = " << tenancy.tenants
+           << "; give one multiplier per tenant (or clear the list)";
+        err(os);
+    }
+    for (std::size_t i = 0; i < tenancy.sloMultipliers.size(); ++i) {
+        if (tenancy.sloMultipliers[i] <= 0.0) {
+            std::ostringstream os;
+            os << "tenancy.sloMultipliers[" << i << "] must be > 0 (got "
+               << tenancy.sloMultipliers[i] << ")";
+            err(os);
+        }
+    }
+    if (tenancy.drrQuantumTokens <= 0) {
+        std::ostringstream os;
+        os << "tenancy.drrQuantumTokens must be > 0 (got "
+           << tenancy.drrQuantumTokens << "); it is the per-round DRR "
+           << "credit in prefill tokens";
+        err(os);
+    }
     if (cluster.autoscale) {
         if (cluster.autoscaler.minReplicas < 1) {
             errors.push_back(
@@ -337,12 +406,20 @@ operator==(const ClusterSpec &a, const ClusterSpec &b)
 }
 
 bool
+operator==(const TenancySpec &a, const TenancySpec &b)
+{
+    return a.tenants == b.tenants && a.weights == b.weights &&
+           a.sloMultipliers == b.sloMultipliers &&
+           a.drrQuantumTokens == b.drrQuantumTokens;
+}
+
+bool
 operator==(const SystemSpec &a, const SystemSpec &b)
 {
     return a.name == b.name && a.engine == b.engine &&
            a.scheduler == b.scheduler && a.adapters == b.adapters &&
            a.predictor == b.predictor && a.cluster == b.cluster &&
-           a.reservation == b.reservation &&
+           a.tenancy == b.tenancy && a.reservation == b.reservation &&
            a.chunkedPrefill == b.chunkedPrefill &&
            a.chunkTokens == b.chunkTokens;
 }

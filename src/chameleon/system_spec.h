@@ -32,6 +32,8 @@ enum class SchedulerPolicy {
     Fifo, ///< Arrival order (S-LoRA's scheduler).
     Sjf,  ///< Predicted-shortest-first (uServe [46]).
     Mlq,  ///< Chameleon multi-level queues with quotas (§4.3).
+    Wfq,  ///< Weighted fair queueing across tenants (tenancy layer).
+    Drr,  ///< Deficit round robin across tenants (tenancy layer).
 };
 
 /** How adapters are moved to / kept in GPU memory. */
@@ -112,6 +114,31 @@ struct AdapterSpec
     std::size_t prefetchTopK = 0;
 };
 
+/**
+ * Tenancy axis: who shares the system and on what terms. With the
+ * default (1 tenant, no overrides) the axis is inert: every request
+ * carries the anonymous tenant 0 and all schedulers behave exactly as
+ * before the tenancy layer existed. The WFQ/DRR scheduler policies and
+ * the per-tenant report/metrics groups read their weights and SLO
+ * scales from here.
+ */
+struct TenancySpec
+{
+    /** Declared tenant count (trace generation + reporting hint). */
+    int tenants = 1;
+    /** Per-tenant scheduler weights; empty = all 1.0. */
+    std::vector<double> weights;
+    /** Per-tenant scale on the global TTFT SLO; empty = all 1.0. */
+    std::vector<double> sloMultipliers;
+    /** DRR quantum in prefill tokens (scaled by the tenant weight). */
+    std::int64_t drrQuantumTokens = 512;
+
+    /** Weight for `tenant`, defaulting to 1.0 beyond the table. */
+    double weightFor(int tenant) const;
+    /** SLO scale for `tenant`, defaulting to 1.0 beyond the table. */
+    double sloMultiplierFor(int tenant) const;
+};
+
 /** Deployment axis: data-parallel replicas behind a global router. */
 struct ClusterSpec
 {
@@ -156,6 +183,7 @@ struct SystemSpec
     AdapterSpec adapters{};
     PredictorSpec predictor{};
     ClusterSpec cluster{};
+    TenancySpec tenancy{};
 
     ReservationPolicy reservation = ReservationPolicy::Auto;
 
@@ -207,6 +235,7 @@ bool operator==(const PredictorSpec &a, const PredictorSpec &b);
 bool operator==(const SchedulerSpec &a, const SchedulerSpec &b);
 bool operator==(const AdapterSpec &a, const AdapterSpec &b);
 bool operator==(const ClusterSpec &a, const ClusterSpec &b);
+bool operator==(const TenancySpec &a, const TenancySpec &b);
 bool operator==(const SystemSpec &a, const SystemSpec &b);
 inline bool operator!=(const PredictorSpec &a, const PredictorSpec &b)
 {
@@ -221,6 +250,10 @@ inline bool operator!=(const AdapterSpec &a, const AdapterSpec &b)
     return !(a == b);
 }
 inline bool operator!=(const ClusterSpec &a, const ClusterSpec &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const TenancySpec &a, const TenancySpec &b)
 {
     return !(a == b);
 }

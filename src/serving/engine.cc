@@ -539,9 +539,16 @@ ServingEngine::emitRequestTrace(const LiveRequest *r)
                        {{"input", r->req.inputTokens},
                         {"output", r->req.outputTokens},
                         {"adapter", r->req.adapter},
+                        {"tenant", r->req.tenant},
                         {"rank", r->rank},
                         {"squashes", r->squashCount},
                         {"preempts", r->preemptCount}});
+    // Per-tenant completion lanes: one counter track per tenant, so a
+    // Perfetto timeline shows each tenant's progress under a storm.
+    const std::string lane =
+        "tenant" + std::to_string(r->req.tenant) + "_finished";
+    trace_->counter(tracePid_, lane.c_str(), r->finishTime,
+                    {{"finished", ++tenantFinished_[r->req.tenant]}});
     const SimTime admit =
         r->admitTime == sim::kTimeNever ? r->arrival : r->admitTime;
     if (admit > r->arrival) {

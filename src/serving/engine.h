@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -249,6 +250,9 @@ class ServingEngine
     std::function<void(sim::SimTime)> onFinish_;
     obs::TraceRecorder *trace_ = nullptr;
     int tracePid_ = 0;
+    /** Per-tenant finished counts for the tenant counter lanes (only
+     *  touched while a recorder is attached). */
+    std::map<workload::TenantId, std::int64_t> tenantFinished_;
 
     std::deque<std::unique_ptr<LiveRequest>> requests_; // stable storage
     std::vector<LiveRequest *> prefilling_;

@@ -14,6 +14,7 @@ makeRecord(const LiveRequest &r)
     rec.inputTokens = r.req.inputTokens;
     rec.outputTokens = r.req.outputTokens;
     rec.adapter = r.req.adapter;
+    rec.tenant = r.req.tenant;
     rec.rank = r.rank;
     rec.ttft = r.firstTokenTime - r.arrival;
     rec.e2e = r.finishTime - r.arrival;

@@ -13,6 +13,7 @@
 #include "simkit/stats.h"
 #include "simkit/time.h"
 #include "simkit/timeseries.h"
+#include "workload/request.h"
 
 namespace chameleon::serving {
 
@@ -24,6 +25,7 @@ struct RequestRecord
     std::int64_t inputTokens = 0;
     std::int64_t outputTokens = 0;
     model::AdapterId adapter = model::kNoAdapter;
+    workload::TenantId tenant = workload::kAnonymousTenant;
     int rank = 0;
     sim::SimTime ttft = 0;
     sim::SimTime e2e = 0;

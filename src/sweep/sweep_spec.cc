@@ -141,8 +141,19 @@ workloadFromJson(const JsonValue &v, SweepWorkload *out,
     getOptDouble("burst_multiplier", &out->burstMultiplier);
     getOptDouble("burst_period_s", &out->burstPeriodSeconds);
     getOptDouble("burst_duration_s", &out->burstDurationSeconds);
+    r.getInt("tenants", &out->tenants);
+    r.getDouble("tenant_storm", &out->tenantStorm);
     if (!r.finish())
         return false;
+    if (out->tenants < 1) {
+        return r.fail("tenants", "must be >= 1 (1 = the anonymous "
+                                 "single-tenant default)");
+    }
+    if (out->tenantStorm > 1.0 && out->tenants < 2) {
+        return r.fail("tenant_storm",
+                      "needs \"tenants\" >= 2; a storm is one tenant "
+                      "bursting against the others");
+    }
     if (out->preset != "splitwise" && out->preset != "wildchat" &&
         out->preset != "lmsys") {
         return r.fail("preset", "unknown value \"" + out->preset +
@@ -318,6 +329,15 @@ cellTraceConfig(const SweepSpec &spec, double rps, std::uint64_t traceSeed)
         wl.burstPeriodSeconds = *spec.workload.burstPeriodSeconds;
     if (spec.workload.burstDurationSeconds.has_value())
         wl.burstDurationSeconds = *spec.workload.burstDurationSeconds;
+    wl.numTenants = spec.workload.tenants;
+    if (spec.workload.tenantStorm > 1.0) {
+        // The noisy neighbour: tenant 0 bursts for the middle half of
+        // the trace, leaving clean head/tail windows for comparison.
+        wl.stormTenant = 0;
+        wl.stormMultiplier = spec.workload.tenantStorm;
+        wl.stormStartSeconds = 0.25 * wl.durationSeconds;
+        wl.stormEndSeconds = 0.75 * wl.durationSeconds;
+    }
     wl.seed = traceSeed;
     return wl;
 }
@@ -427,6 +447,7 @@ expandSweep(const SweepSpec &spec, std::string *error)
                     cell.spec = *base;
                     cell.spec.engine = spec.engine;
                     cell.spec.predictor = spec.predictor;
+                    cell.spec.tenancy.tenants = spec.workload.tenants;
                     cell.spec.cluster.replicas = replicaCount;
                     cell.spec.cluster.replicaEngines =
                         deployment.engines;

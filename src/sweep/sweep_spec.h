@@ -72,6 +72,22 @@ struct SweepWorkload
     std::optional<double> burstMultiplier;
     std::optional<double> burstPeriodSeconds;
     std::optional<double> burstDurationSeconds;
+    /**
+     * Tenant axis of the workload: > 1 splits the offered load across
+     * this many equal-share tenants (per-tenant arrival processes, see
+     * TraceGenConfig). Also stamped onto every cell's
+     * spec.tenancy.tenants so WFQ/DRR cells see the declared count.
+     */
+    int tenants = 1;
+    /**
+     * Noisy-neighbour storm: tenant 0 bursts to this multiple of its
+     * share for the middle half of the trace (<= 1 disables). Requires
+     * tenants > 1. Storm cells run under a bounded 30 s drain window
+     * (the fig29 convention) so the fairness index measures who gets
+     * served while the backlog is contended; a full drain would
+     * converge every scheduler to the trace's demand mix.
+     */
+    double tenantStorm = 1.0;
 };
 
 /** The sweep description; see file comment for the JSON grammar. */

@@ -21,6 +21,16 @@ namespace chameleon::workload {
 /** Unique request identifier. */
 using RequestId = std::int64_t;
 
+/**
+ * Tenant identifier. Tenant 0 is the anonymous default every request
+ * carries unless a trace or generator says otherwise, so single-tenant
+ * workloads behave exactly as before the tenancy layer existed.
+ */
+using TenantId = std::int32_t;
+
+/** The anonymous tenant assigned when no tenancy config is present. */
+inline constexpr TenantId kAnonymousTenant = 0;
+
 /** One inference request as recorded in a trace. */
 struct Request
 {
@@ -33,6 +43,8 @@ struct Request
     std::int64_t outputTokens = 0;
     /** Target adapter, or model::kNoAdapter for base-only requests. */
     model::AdapterId adapter = model::kNoAdapter;
+    /** Owning tenant (0 = anonymous single-tenant default). */
+    TenantId tenant = kAnonymousTenant;
 };
 
 } // namespace chameleon::workload

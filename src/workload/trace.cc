@@ -42,10 +42,10 @@ Trace::saveCsv(const std::string &path) const
 {
     std::ofstream out(path);
     CHM_CHECK(out.good(), "cannot open " << path << " for writing");
-    out << "id,arrival_us,input_tokens,output_tokens,adapter\n";
+    out << "id,arrival_us,input_tokens,output_tokens,adapter,tenant\n";
     for (const auto &r : requests_) {
         out << r.id << ',' << r.arrival << ',' << r.inputTokens << ','
-            << r.outputTokens << ',' << r.adapter << '\n';
+            << r.outputTokens << ',' << r.adapter << ',' << r.tenant << '\n';
     }
 }
 
@@ -66,6 +66,9 @@ Trace::loadCsv(const std::string &path)
         ss >> r.id >> comma >> r.arrival >> comma >> r.inputTokens >> comma >>
             r.outputTokens >> comma >> r.adapter;
         CHM_CHECK(!ss.fail(), "malformed trace line: " << line);
+        // Optional trailing tenant column; pre-tenancy traces omit it.
+        if (!(ss >> comma >> r.tenant))
+            r.tenant = kAnonymousTenant;
         reqs.push_back(r);
     }
     return Trace(std::move(reqs));

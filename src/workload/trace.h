@@ -34,7 +34,7 @@ class Trace
     /** Append a request; must not violate arrival ordering. */
     void append(const Request &r);
 
-    /** Write as CSV: id,arrival_us,input,output,adapter. */
+    /** Write as CSV: id,arrival_us,input,output,adapter,tenant. */
     void saveCsv(const std::string &path) const;
 
     /** Parse the CSV format written by saveCsv. */

@@ -98,27 +98,51 @@ TraceGenerator::sampleAdapter(Rng &rng) const
     return ids[withinSamplers_[bucket].sample(rng)];
 }
 
-Trace
-TraceGenerator::generate()
+std::vector<double>
+TraceGenerator::normalisedShares() const
 {
-    Rng rng(config_.seed);
-    Rng arrivalRng = rng.split();
-    Rng lengthRng = rng.split();
-    Rng adapterRng = rng.split();
+    const auto n = static_cast<std::size_t>(config_.numTenants);
+    std::vector<double> shares = config_.tenantShares;
+    if (shares.empty())
+        shares.assign(n, 1.0);
+    CHM_CHECK(shares.size() == n,
+              "tenant_shares must be empty or have one entry per tenant");
+    double total = 0.0;
+    for (const double s : shares) {
+        CHM_CHECK(s > 0.0, "tenant shares must be positive");
+        total += s;
+    }
+    for (double &s : shares)
+        s /= total;
+    return shares;
+}
 
+/**
+ * One tenant's arrival process: the same modulated-Poisson loop as the
+ * single-tenant path, at `shareRps`, plus the noisy-neighbour storm
+ * window when this tenant is the storm tenant.
+ */
+std::vector<Request>
+TraceGenerator::generateTenant(TenantId tenant, double shareRps,
+                               Rng root) const
+{
+    Rng arrivalRng = root.split();
+    Rng lengthRng = root.split();
+    Rng adapterRng = root.split();
+
+    const bool storming = tenant == config_.stormTenant &&
+                          config_.stormMultiplier > 1.0 &&
+                          config_.stormEndSeconds > config_.stormStartSeconds;
     std::vector<Request> reqs;
     const sim::SimTime horizon = sim::fromSeconds(config_.durationSeconds);
     sim::SimTime t = 0;
-    RequestId next_id = 0;
-    // Normalise periodic burstiness so the mean offered load stays rps:
-    // base * ((period - dur) + dur * mult) / period == rps.
-    double base_rate = config_.rps;
+    double base_rate = shareRps;
     if (config_.burstMultiplier > 1.0 && config_.burstPeriodSeconds > 0) {
         const double p = config_.burstPeriodSeconds;
         const double d =
             std::min(config_.burstDurationSeconds, config_.burstPeriodSeconds);
         const double m = config_.burstMultiplier;
-        base_rate = config_.rps * p / ((p - d) + d * m);
+        base_rate = shareRps * p / ((p - d) + d * m);
     }
     while (true) {
         double rate = base_rate;
@@ -134,19 +158,66 @@ TraceGenerator::generate()
             if (now_s >= b.startSeconds && now_s < b.endSeconds)
                 rate *= b.rateMultiplier;
         }
+        if (storming && now_s >= config_.stormStartSeconds &&
+            now_s < config_.stormEndSeconds)
+            rate *= config_.stormMultiplier;
         const double gap_s = sim::sampleExponential(arrivalRng, rate);
         t += sim::fromSeconds(gap_s);
         if (t > horizon)
             break;
         Request r;
-        r.id = next_id++;
         r.arrival = t;
         r.inputTokens = sampleLength(config_.input, lengthRng);
         r.outputTokens = sampleLength(config_.output, lengthRng);
         r.adapter = sampleAdapter(adapterRng);
+        if (config_.tenantAdapterSkew && r.adapter != model::kNoAdapter &&
+            config_.numTenants > 1) {
+            // Rotate each tenant's draws through a different slice of
+            // the adapter space: per-tenant skew, unchanged marginal.
+            const int span = config_.numAdapters;
+            const int shift = tenant * (span / config_.numTenants);
+            r.adapter = (r.adapter + shift) % span;
+        }
+        r.tenant = tenant;
         reqs.push_back(r);
     }
-    return Trace(std::move(reqs));
+    return reqs;
+}
+
+Trace
+TraceGenerator::generate()
+{
+    if (config_.numTenants <= 1) {
+        // Pre-tenancy code path, byte-identical draws: the seed-root rng
+        // is handed straight to generateTenant, whose three splits are
+        // exactly the arrival/length/adapter streams the old loop drew —
+        // golden traces and every existing preset stay unchanged.
+        std::vector<Request> reqs = generateTenant(
+            kAnonymousTenant, config_.rps, Rng(config_.seed));
+        RequestId next_id = 0;
+        for (auto &r : reqs)
+            r.id = next_id++;
+        return Trace(std::move(reqs));
+    }
+
+    const std::vector<double> shares = normalisedShares();
+    Rng rng(config_.seed);
+    std::vector<Request> merged;
+    for (int tenant = 0; tenant < config_.numTenants; ++tenant) {
+        std::vector<Request> part =
+            generateTenant(tenant, config_.rps * shares[tenant], rng.split());
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Request &a, const Request &b) {
+                         if (a.arrival != b.arrival)
+                             return a.arrival < b.arrival;
+                         return a.tenant < b.tenant;
+                     });
+    RequestId next_id = 0;
+    for (auto &r : merged)
+        r.id = next_id++;
+    return Trace(std::move(merged));
 }
 
 } // namespace chameleon::workload

@@ -82,6 +82,30 @@ struct TraceGenConfig
     double burstDurationSeconds = 8.0;
     /** RNG seed; same seed + config -> identical trace. */
     std::uint64_t seed = 42;
+    /**
+     * Multi-tenant generation. With numTenants <= 1 the generator takes
+     * the exact pre-tenancy code path (every request gets tenant 0).
+     * With more, each tenant runs an independent arrival process at
+     * rps * share and the per-tenant streams are merged by arrival.
+     */
+    int numTenants = 1;
+    /** Per-tenant fraction of `rps`; empty = equal shares (normalised). */
+    std::vector<double> tenantShares{};
+    /**
+     * Noisy-neighbour storm: tenant `stormTenant` runs at
+     * stormMultiplier x its share inside [stormStartSeconds,
+     * stormEndSeconds). stormTenant < 0 or multiplier <= 1 disables it.
+     */
+    int stormTenant = -1;
+    double stormMultiplier = 1.0;
+    double stormStartSeconds = 0.0;
+    double stormEndSeconds = 0.0;
+    /**
+     * When true each tenant favours a different slice of the adapter
+     * space (its sampled adapter id is rotated by tenant index), giving
+     * per-tenant popularity skew without changing the marginal mix.
+     */
+    bool tenantAdapterSkew = false;
 };
 
 /** Splitwise-like conversation workload (testbed-scaled lengths). */
@@ -105,6 +129,9 @@ class TraceGenerator
   private:
     std::int64_t sampleLength(const LengthDist &dist, sim::Rng &rng) const;
     model::AdapterId sampleAdapter(sim::Rng &rng) const;
+    std::vector<Request> generateTenant(TenantId tenant, double shareRps,
+                                        sim::Rng root) const;
+    std::vector<double> normalisedShares() const;
 
     TraceGenConfig config_;
     const model::AdapterPool *pool_;

@@ -26,6 +26,8 @@
  *       --autoscale-alpha 0.2 --rps 24
  *   chameleon_sim --system chameleon --replicas 4 --router affinity \
  *       --rps 30 --trace-out trace.json --metrics-out metrics.json
+ *   chameleon_sim --system chameleon+wfq --tenants 4 --tenant-storm 8 \
+ *       --rps 12
  *
  * In --system mode, --seed drives the trace generator, the
  * output-length predictor, and the router's sampling stream, so a
@@ -141,6 +143,18 @@ main(int argc, char **argv)
     auto *seed = flags.addInt("seed", 42, "workload seed");
     auto *workload_name = flags.addString(
         "workload", "splitwise", "trace preset: splitwise|wildchat|lmsys");
+    auto *tenants = flags.addInt(
+        "tenants", 1,
+        "split the workload across this many equal-share tenants "
+        "(wfq/drr schedulers weight them; 1 = anonymous single tenant)");
+    auto *tenant_storm = flags.addDouble(
+        "tenant-storm", 1.0,
+        "noisy neighbour: tenant 0 bursts to this multiple of its share "
+        "for the middle half of the trace (requires > 1 tenant)");
+    auto *slo_multiplier = flags.addDouble(
+        "slo-multiplier", 5.0,
+        "TTFT SLO as a multiple of the mean isolated latency "
+        "(0 disables SLO reporting)");
     auto *acc = flags.addDouble("predictor-acc", 0.8,
                                 "output-length predictor accuracy");
     auto *replicas = flags.addInt("replicas", 1,
@@ -224,7 +238,7 @@ main(int argc, char **argv)
              {"system", "model", "gpu", "mem-gib", "tp", "predictor-acc",
               "replicas", "fleet", "router", "autoscale", "min-replicas",
               "max-replicas", "replica-rps", "autoscale-boot-ms",
-              "autoscale-up-policy", "autoscale-alpha"}) {
+              "autoscale-up-policy", "autoscale-alpha", "tenants"}) {
             CHM_CHECK(!flagGiven(argc, argv, conflicting),
                       "--" << conflicting
                            << " conflicts with --config; edit the "
@@ -264,6 +278,9 @@ main(int argc, char **argv)
         spec.engine.tpDegree = static_cast<int>(*tp);
         spec.predictor.accuracy = *acc;
         spec.predictor.seed = static_cast<std::uint64_t>(*seed);
+
+        CHM_CHECK(*tenants >= 1, "--tenants must be >= 1");
+        spec.tenancy.tenants = static_cast<int>(*tenants);
 
         CHM_CHECK(*replicas >= 1, "--replicas must be >= 1");
         spec.cluster.replicas = static_cast<int>(*replicas);
@@ -328,6 +345,15 @@ main(int argc, char **argv)
     const bool clusterRun =
         spec.cluster.replicas > 1 || spec.cluster.autoscale;
 
+    CHM_CHECK(*tenant_storm >= 1.0,
+              "--tenant-storm must be >= 1 (1 disables the storm)");
+    CHM_CHECK(*tenant_storm <= 1.0 || spec.tenancy.tenants > 1,
+              "--tenant-storm needs more than one tenant (--tenants, or "
+              "the config file's tenancy.tenants); a storm is one tenant "
+              "bursting against the others");
+    CHM_CHECK(*slo_multiplier >= 0.0,
+              "--slo-multiplier must be >= 0 (0 disables SLO reporting)");
+
     if (*dump_config) {
         // The resolved spec alone reproduces this system: pipe it back
         // through --config - for a bit-identical seeded run.
@@ -358,6 +384,15 @@ main(int argc, char **argv)
         wl.durationSeconds = *duration;
         wl.numAdapters = static_cast<int>(*adapters);
         wl.seed = static_cast<std::uint64_t>(*seed);
+        wl.numTenants = spec.tenancy.tenants;
+        if (*tenant_storm > 1.0) {
+            // Tenant 0 bursts for the middle half of the trace, leaving
+            // clean head/tail windows for comparison.
+            wl.stormTenant = 0;
+            wl.stormMultiplier = *tenant_storm;
+            wl.stormStartSeconds = 0.25 * wl.durationSeconds;
+            wl.stormEndSeconds = 0.75 * wl.durationSeconds;
+        }
         workload::TraceGenerator gen(wl, pool.get());
         trace = gen.generate();
     }
@@ -367,7 +402,10 @@ main(int argc, char **argv)
     model::CostModel cost(spec.engine.model, spec.engine.gpu,
                           spec.engine.tpDegree, spec.engine.cost);
     const double slo =
-        sim::toSeconds(serving::computeSlo(trace, cost, pool.get()));
+        *slo_multiplier > 0.0
+            ? sim::toSeconds(serving::computeSlo(trace, cost, pool.get(),
+                                                 *slo_multiplier))
+            : 0.0;
 
     std::printf("system      : %s (scheduler %s, adapters %s"
                 "%s%s)\n",
@@ -401,9 +439,22 @@ main(int argc, char **argv)
     std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",
                 trace.size(), trace.meanRps(),
                 sim::toSeconds(trace.duration()));
-    std::printf("TTFT SLO    : %.2f s (5x mean isolated latency)\n\n", slo);
+    if (spec.tenancy.tenants > 1) {
+        std::printf("tenants     : %d equal-share", spec.tenancy.tenants);
+        if (*tenant_storm > 1.0)
+            std::printf(", tenant 0 storming at %gx mid-trace",
+                        *tenant_storm);
+        std::printf("\n");
+    }
+    if (*slo_multiplier > 0.0) {
+        std::printf("TTFT SLO    : %.2f s (%gx mean isolated latency)\n\n",
+                    slo, *slo_multiplier);
+    } else {
+        std::printf("TTFT SLO    : disabled (--slo-multiplier 0)\n\n");
+    }
 
     core::Runner runner(spec, pool.get());
+    runner.setSloMultiplier(*slo_multiplier);
     obs::TraceRecorder recorder;
     if (!trace_out->empty())
         runner.setTraceRecorder(&recorder);
@@ -418,9 +469,11 @@ main(int argc, char **argv)
                 static_cast<long long>(s.squashes),
                 static_cast<long long>(s.bypasses),
                 100.0 * s.cacheHitRate());
-    std::printf("TTFT        : p50 %.3f s, p90 %.3f s, p99 %.3f s  %s\n",
+    std::printf("TTFT        : p50 %.3f s, p90 %.3f s, p99 %.3f s%s\n",
                 s.ttft.p50(), s.ttft.p90(), s.ttft.p99(),
-                s.ttft.p99() <= slo ? "(meets SLO)" : "(VIOLATES SLO)");
+                *slo_multiplier <= 0.0  ? ""
+                : s.ttft.p99() <= slo ? "  (meets SLO)"
+                                      : "  (VIOLATES SLO)");
     std::printf("TBT         : p50 %.1f ms, p99 %.1f ms\n", s.tbt.p50(),
                 s.tbt.p99());
     std::printf("E2E         : p50 %.2f s, p99 %.2f s\n", s.e2e.p50(),
@@ -432,6 +485,27 @@ main(int argc, char **argv)
     std::printf("adapters    : hit rate %.1f%%, %lld evictions\n",
                 100.0 * report.cacheHitRate,
                 static_cast<long long>(report.cacheEvictions));
+    if (report.sloAttainment >= 0.0) {
+        std::printf("SLO         : %.1f%% of requests met the %.2f s "
+                    "TTFT SLO\n",
+                    100.0 * report.sloAttainment, report.sloSeconds);
+    }
+    if (report.tenants.size() > 1) {
+        std::printf("fairness    : Jain index %.4f over per-tenant "
+                    "weighted service\n",
+                    report.fairnessIndex);
+        for (const auto &t : report.tenants) {
+            std::printf("tenant %-5d: %lld finished, TTFT p50 %.3f s "
+                        "p99 %.3f s, E2E p99 %.2f s, slowdown mean %.2f "
+                        "p99 %.2f",
+                        t.tenant, static_cast<long long>(t.finished),
+                        t.p50TtftSeconds, t.p99TtftSeconds,
+                        t.p99E2eSeconds, t.meanSlowdown, t.p99Slowdown);
+            if (t.sloAttainment >= 0.0)
+                std::printf(", SLO %.1f%%", 100.0 * t.sloAttainment);
+            std::printf("\n");
+        }
+    }
     if (clusterRun) {
         // Per-link rate/utilisation is not meaningful summed over
         // replicas; report totals only.
