@@ -1,6 +1,7 @@
 #include "chameleon/system.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include <map>
@@ -337,7 +338,57 @@ Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
     obs::MetricsRegistry registry;
     fillRunMetrics(registry, *cluster_, report);
     report.metrics = registry.snapshot();
+    report.eventHash = fnv1a64(canonicalEventStream(*cluster_, report));
     return report;
+}
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace {
+
+/** Doubles by bit pattern: exact, locale- and printf-independent. */
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t out;
+    static_assert(sizeof(out) == sizeof(value), "double is 64-bit");
+    std::memcpy(&out, &value, sizeof(out));
+    return out;
+}
+
+} // namespace
+
+std::string
+canonicalEventStream(const serving::DataParallelCluster &cluster,
+                     const RunReport &report)
+{
+    std::ostringstream os;
+    os << "finished=" << report.stats.finished
+       << " scale_ups=" << report.scaleUps
+       << " scale_downs=" << report.scaleDowns
+       << " peak=" << report.peakReplicas
+       << " final_active=" << report.finalActiveReplicas << '\n';
+    const auto &engines = cluster.engines();
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        for (const auto &r : engines[i]->stats().records) {
+            os << i << ',' << r.id << ',' << r.arrival << ','
+               << r.inputTokens << ',' << r.outputTokens << ','
+               << r.adapter << ',' << r.rank << ',' << r.ttft << ','
+               << r.e2e << ',' << r.queueDelay << ',' << r.adapterStall
+               << ',' << doubleBits(r.wrs) << ',' << r.queueIndex << ','
+               << r.squashCount << ',' << r.preemptCount << '\n';
+        }
+    }
+    return os.str();
 }
 
 namespace {

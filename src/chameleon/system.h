@@ -152,6 +152,17 @@ struct RunReport
      * dump() is the --metrics-out document.
      */
     sim::JsonValue metrics;
+
+    /**
+     * FNV-1a 64 hash of the run's canonical event stream
+     * (canonicalEventStream): the whole per-replica finished-record
+     * sequence plus the scaling counters, in the golden-trace suite's
+     * exact format. Two runs with equal hashes dispatched the same
+     * requests to the same replicas with the same timings — the
+     * sweep's per-cell determinism fingerprint and the currency of
+     * `chameleon_sweep --baseline`.
+     */
+    std::uint64_t eventHash = 0;
 };
 
 /**
@@ -229,6 +240,24 @@ class Runner
 void fillRunMetrics(obs::MetricsRegistry &registry,
                     const serving::DataParallelCluster &cluster,
                     const RunReport &report);
+
+/** FNV-1a 64-bit hash (offset basis 0xcbf29ce484222325). */
+std::uint64_t fnv1a64(const std::string &text);
+
+/**
+ * Canonical event-stream CSV of a finished run: a summary line of the
+ * scaling counters, then one line per finished request in per-replica
+ * finish order (replica index first) carrying every routing- and
+ * scheduling-visible field; doubles are serialised by bit pattern.
+ * Anything routing, scheduling, or autoscaling can influence is in
+ * here — a single moved dispatch or extra scale event changes the
+ * text. This is the exact format the golden-trace pins hash (the suite
+ * calls this function), so RunReport::eventHash values are comparable
+ * across tests, sweeps, and baselines.
+ */
+std::string canonicalEventStream(
+    const serving::DataParallelCluster &cluster,
+    const RunReport &report);
 
 /** One-shot convenience wrapper. */
 RunReport runSpec(const SystemSpec &spec, const model::AdapterPool *pool,

@@ -59,28 +59,69 @@ namespace {
  * comparison below reduces to the unweighted policy.
  */
 double
-weightedLoad(const ClusterView &view, std::size_t i)
+weightedLoad(const ClusterView &view, const std::vector<double> &weights,
+             std::size_t i)
 {
-    return static_cast<double>(view.outstanding(i)) /
-           view.serviceWeight(i);
+    return static_cast<double>(view.outstanding(i)) / weights[i];
 }
 
-/** Least-loaded replica; ties go to the lowest index (deterministic). */
-std::size_t
-leastLoaded(const ClusterView &view)
+/**
+ * One dispatch decision's flattened load view. Outstanding counts and
+ * weights are read once per replica into a reused buffer, so policies
+ * that compare loads several times per decision (the affinity router's
+ * residency scan + spill walk + fallback) stop re-querying the view.
+ * Nothing dispatches between the snapshot and the decision, and every
+ * entry is computed with the exact expression the per-call path used,
+ * so decisions are bit-identical.
+ */
+class LoadSnapshot
 {
-    const std::size_t n = view.replicaCount();
-    std::size_t best = 0;
-    double bestLoad = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-        const double load = weightedLoad(view, i);
-        if (load < bestLoad) {
-            best = i;
-            bestLoad = load;
+  public:
+    void
+    refresh(const ClusterView &view)
+    {
+        const std::vector<double> &weights = view.serviceWeights();
+        const std::size_t n = weights.size();
+        loads_.resize(n);
+        totalOutstanding_ = 0;
+        totalWeight_ = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::int64_t out = view.outstanding(i);
+            totalOutstanding_ += out;
+            totalWeight_ += weights[i];
+            loads_[i] = static_cast<double>(out) / weights[i];
         }
     }
-    return best;
-}
+
+    double load(std::size_t i) const { return loads_[i]; }
+
+    /** Least-loaded replica; ties to the lowest index (deterministic). */
+    std::size_t
+    leastLoaded() const
+    {
+        std::size_t best = 0;
+        double bestLoad = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < loads_.size(); ++i) {
+            if (loads_[i] < bestLoad) {
+                best = i;
+                bestLoad = loads_[i];
+            }
+        }
+        return best;
+    }
+
+    /** Weighted cluster-mean load (spill-bound numerator/denominator). */
+    double
+    meanLoad() const
+    {
+        return static_cast<double>(totalOutstanding_) / totalWeight_;
+    }
+
+  private:
+    std::vector<double> loads_;
+    std::int64_t totalOutstanding_ = 0;
+    double totalWeight_ = 0.0;
+};
 
 class RoundRobinRouter final : public Router
 {
@@ -117,8 +158,12 @@ class JoinShortestQueueRouter final : public Router
     route(const workload::Request &, const ClusterView &view) override
     {
         CHM_CHECK(view.replicaCount() > 0, "routing with no active replicas");
-        return leastLoaded(view);
+        snapshot_.refresh(view);
+        return snapshot_.leastLoaded();
     }
+
+  private:
+    LoadSnapshot snapshot_; // reused across decisions (no per-dispatch allocs)
 };
 
 class PowerOfTwoChoicesRouter final : public Router
@@ -145,8 +190,11 @@ class PowerOfTwoChoicesRouter final : public Router
         std::size_t b = rng_.nextBelow(n - 1);
         if (b >= a)
             ++b; // second draw over the remaining n-1 replicas
-        const double loadA = weightedLoad(view, a);
-        const double loadB = weightedLoad(view, b);
+        // Two probes only — the whole point of p2c is O(1) decisions,
+        // so no full snapshot; the weight vector is the cached one.
+        const std::vector<double> &weights = view.serviceWeights();
+        const double loadA = weightedLoad(view, weights, a);
+        const double loadB = weightedLoad(view, weights, b);
         if (loadA == loadB)
             return std::min(a, b);
         return loadA < loadB ? a : b;
@@ -179,11 +227,12 @@ class AdapterAffinityRouter final : public Router
         CHM_CHECK(n > 0, "routing with no active replicas");
         if (ringDirty_ || ring_.replicaCount() != n)
             syncRing(view, n);
+        snapshot_.refresh(view);
         // Base-model requests have no affinity; balance them.
         if (request.adapter == model::kNoAdapter)
-            return leastLoaded(view);
+            return snapshot_.leastLoaded();
 
-        const double limit = spillLimit(view, n);
+        const double limit = spillLimit();
         if (cacheAware_) {
             // A replica that already holds the adapter serves it with
             // zero loading cost even if the hash owner differs (e.g.
@@ -193,7 +242,7 @@ class AdapterAffinityRouter final : public Router
             for (std::size_t i = 0; i < n; ++i) {
                 if (!view.adapterResident(i, request.adapter))
                     continue;
-                const double load = weightedLoad(view, i);
+                const double load = snapshot_.load(i);
                 if (load < bestLoad) {
                     best = i;
                     bestLoad = load;
@@ -214,12 +263,12 @@ class AdapterAffinityRouter final : public Router
         // case — avoid materialising the preference list for it).
         const auto key = static_cast<std::uint64_t>(request.adapter);
         const std::size_t owner = ring_.owner(key);
-        if (weightedLoad(view, owner) <= limit)
+        if (snapshot_.load(owner) <= limit)
             return owner;
         // Spillover: walk the owner's ring successors.
         const auto prefs = ring_.preferenceList(key, n);
         for (const std::size_t replica : prefs) {
-            if (weightedLoad(view, replica) <= limit) {
+            if (snapshot_.load(replica) <= limit) {
                 if (trace_ != nullptr) {
                     trace_->instant(obs::kClusterPid,
                                     obs::Lane::Control, "route_spill",
@@ -232,7 +281,7 @@ class AdapterAffinityRouter final : public Router
             }
         }
         // Everything is overloaded; degrade to least-loaded.
-        const std::size_t fallback = leastLoaded(view);
+        const std::size_t fallback = snapshot_.leastLoaded();
         if (trace_ != nullptr) {
             trace_->instant(obs::kClusterPid, obs::Lane::Control,
                             "route_spill", clock_->now(),
@@ -262,10 +311,8 @@ class AdapterAffinityRouter final : public Router
     void
     syncRing(const ClusterView &view, std::size_t n)
     {
-        std::vector<double> weights(n);
-        for (std::size_t i = 0; i < n; ++i)
-            weights[i] = view.serviceWeight(i);
-        ring_.resizeWeighted(weights);
+        (void)n;
+        ring_.resizeWeighted(view.serviceWeights());
         ringDirty_ = false;
     }
 
@@ -277,16 +324,9 @@ class AdapterAffinityRouter final : public Router
      * bound.
      */
     double
-    spillLimit(const ClusterView &view, std::size_t n) const
+    spillLimit() const
     {
-        std::int64_t total = 0;
-        double totalWeight = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            total += view.outstanding(i);
-            totalWeight += view.serviceWeight(i);
-        }
-        const double mean = static_cast<double>(total) / totalWeight;
-        return config_.spillLoadFactor * mean +
+        return config_.spillLoadFactor * snapshot_.meanLoad() +
                static_cast<double>(config_.spillMargin);
     }
 
@@ -294,6 +334,7 @@ class AdapterAffinityRouter final : public Router
     bool cacheAware_;
     ConsistentHashRing ring_;
     bool ringDirty_ = false;
+    LoadSnapshot snapshot_; // reused across decisions
 };
 
 } // namespace

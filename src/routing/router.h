@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "model/adapter.h"
 #include "workload/request.h"
@@ -81,6 +82,28 @@ class ClusterView
         (void)i;
         return 1.0;
     }
+
+    /**
+     * The whole weight vector, indexed [0, replicaCount()). Every
+     * load-comparing policy reads weights once per replica per
+     * decision, so views on the dispatch path override this with a
+     * cached vector (DataParallelCluster invalidates on resize and
+     * measured-rate updates); the default rebuilds from
+     * serviceWeight(i) into a reused scratch buffer. Entries are
+     * exactly serviceWeight(i) — same doubles, same divisions — so
+     * switching a policy to the vector cannot move a routing decision.
+     */
+    virtual const std::vector<double> &
+    serviceWeights() const
+    {
+        weightScratch_.resize(replicaCount());
+        for (std::size_t i = 0; i < weightScratch_.size(); ++i)
+            weightScratch_[i] = serviceWeight(i);
+        return weightScratch_;
+    }
+
+  private:
+    mutable std::vector<double> weightScratch_;
 };
 
 /** Selectable dispatch policies. */

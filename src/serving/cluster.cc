@@ -84,6 +84,7 @@ DataParallelCluster::enableMeasuredRates(double alpha)
     if (alpha <= 0.0)
         return; // nominal weights, bit-identical streams
     measuredAlpha_ = alpha;
+    weightsDirty_ = true; // weights switch to the measured stream
     measured_.clear();
     for (std::size_t i = 0; i < engines_.size(); ++i) {
         measured_.emplace_back(alpha, rates_[i]);
@@ -120,6 +121,18 @@ DataParallelCluster::serviceWeight(std::size_t i) const
                             ? measured_[engineIndex].rate()
                             : rates_[engineIndex];
     return rate / maxRate_;
+}
+
+const std::vector<double> &
+DataParallelCluster::serviceWeights() const
+{
+    if (weightsDirty_) {
+        weights_.resize(routable_.size());
+        for (std::size_t i = 0; i < routable_.size(); ++i)
+            weights_[i] = serviceWeight(i);
+        weightsDirty_ = false;
+    }
+    return weights_;
 }
 
 std::vector<double>
@@ -174,6 +187,7 @@ DataParallelCluster::installMeasuredRate(std::size_t index)
     engines_[index]->setCompletionListener(
         [this, index](sim::SimTime now) {
             measured_[index].onCompletion(now);
+            weightsDirty_ = true; // the EWMA moved; recompute lazily
         });
 }
 
@@ -184,6 +198,7 @@ DataParallelCluster::appendEngine(std::unique_ptr<ServingEngine> engine,
     engines_.push_back(std::move(engine));
     rates_.push_back(nominalRate);
     maxRate_ = std::max(maxRate_, nominalRate);
+    weightsDirty_ = true; // maxRate_ may have moved every weight
     states_.push_back(ReplicaState::Active);
     bootDeadline_.push_back(0);
     if (measuredAlpha_ > 0.0) {
@@ -295,6 +310,7 @@ DataParallelCluster::syncRoutable()
     booting_ = booting;
     if (routable != routable_) {
         routable_ = std::move(routable);
+        weightsDirty_ = true;
         router_->onReplicaCountChanged(routable_.size());
     }
 }

@@ -172,6 +172,11 @@ class DataParallelCluster : public routing::ClusterView
      * nominal rate — measured when enabled, nominal otherwise; exactly
      * 1.0 everywhere on a homogeneous unmeasured cluster. */
     double serviceWeight(std::size_t i) const override;
+    /** Cached weight vector for the dispatch path: rebuilt (as exactly
+     * serviceWeight(i) per entry) only after the routable set, the
+     * fleet, or a measured rate changes — so capacity-aware routing
+     * scans stop recomputing weights per decision. */
+    const std::vector<double> &serviceWeights() const override;
 
     /**
      * Per-replica nominal service-rate estimates (requests/s, from
@@ -276,6 +281,10 @@ class DataParallelCluster : public routing::ClusterView
     double referenceRate_ = 0.0; // capacity-factor denominator
     /** Dispatchable view: view index -> engine index. */
     std::vector<std::size_t> routable_;
+    /** serviceWeight(i) cache, aligned with routable_ (see
+     * serviceWeights); dirty after resizes / rate updates. */
+    mutable std::vector<double> weights_;
+    mutable bool weightsDirty_ = true;
     std::size_t provisioned_ = 0; // active + booting prefix length
     std::size_t booting_ = 0;
     BootStats bootStats_;

@@ -93,7 +93,7 @@ ServingEngine::setTraceRecorder(obs::TraceRecorder *recorder, int pid)
 void
 ServingEngine::submit(const workload::Request &request)
 {
-    auto live = std::make_unique<LiveRequest>();
+    LiveRequest *live = requests_.allocate();
     live->req = request;
     live->arrival = request.arrival;
     live->predictedOutput = predictor_->predict(request);
@@ -103,9 +103,7 @@ ServingEngine::submit(const workload::Request &request)
         live->rank = spec.rank;
         live->adapterBytes = spec.bytes;
     }
-    LiveRequest *ptr = live.get();
-    requests_.push_back(std::move(live));
-    sim_.scheduleAt(request.arrival, [this, ptr] { onArrival(ptr); });
+    sim_.scheduleAt(request.arrival, [this, live] { onArrival(live); });
 }
 
 void
@@ -608,11 +606,14 @@ ServingEngine::squash(LiveRequest *r)
 LiveRequest *
 ServingEngine::findRequest(workload::RequestId id)
 {
-    for (const auto &r : requests_) {
-        if (r->req.id == id)
-            return r.get();
-    }
-    return nullptr;
+    LiveRequest *found = nullptr;
+    requests_.scan([&](LiveRequest &r) {
+        if (r.req.id != id)
+            return true;
+        found = &r;
+        return false;
+    });
+    return found;
 }
 
 std::int64_t

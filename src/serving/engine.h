@@ -38,6 +38,7 @@
 #include "predict/output_predictor.h"
 #include "serving/adapter_manager.h"
 #include "serving/metrics.h"
+#include "serving/request_slab.h"
 #include "serving/scheduler.h"
 #include "simkit/simulator.h"
 #include "workload/trace.h"
@@ -254,7 +255,7 @@ class ServingEngine
      *  touched while a recorder is attached). */
     std::map<workload::TenantId, std::int64_t> tenantFinished_;
 
-    std::deque<std::unique_ptr<LiveRequest>> requests_; // stable storage
+    RequestSlab requests_; // stable storage, block-allocated
     std::vector<LiveRequest *> prefilling_;
     std::vector<LiveRequest *> running_;
     bool iterationInFlight_ = false;

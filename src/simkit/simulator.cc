@@ -7,39 +7,49 @@
 namespace chameleon::sim {
 
 EventId
-Simulator::scheduleAt(SimTime t, std::function<void()> fn)
+Simulator::scheduleImpl(SimTime t, EventFn &&fn)
 {
-    CHM_CHECK(t >= now_, "cannot schedule in the past: t=" << t
-                         << " now=" << now_);
+    CHM_CHECK(t >= now_, "cannot schedule in the past: t=" << t << " ("
+                         << toSeconds(t) << " s) now=" << now_ << " ("
+                         << toSeconds(now_) << " s)");
     EventId id;
-    if (!freeSlots_.empty()) {
+    if (lastFreed_ != kNoSlot) {
+        id = lastFreed_;
+        lastFreed_ = kNoSlot;
+    } else if (!freeSlots_.empty()) {
         id = freeSlots_.back();
         freeSlots_.pop_back();
     } else {
-        id = slots_.size();
-        slots_.emplace_back();
+        if ((slotCount_ & (kSlotBlock - 1)) == 0) {
+            slotBlocks_.push_back(std::make_unique<SlotBlock>());
+            blockPtrs_.push_back(slotBlocks_.back()->data());
+            blockTable_ = blockPtrs_.data();
+        }
+        id = slotCount_++;
     }
-    slots_[id].fn = std::move(fn);
-    slots_[id].live = true;
+    Slot &s = slot(id);
+    s.fn = std::move(fn);
+    s.state = SlotState::Live;
     ++pendingLive_;
-    queue_.push(Scheduled{t, nextSeq_++, id});
+    queue_.push(EventKey{t, nextSeq_++, id});
     return id;
 }
 
 EventId
-Simulator::scheduleAfter(SimTime delay, std::function<void()> fn)
+Simulator::scheduleAfter(SimTime delay, EventFn fn)
 {
     CHM_CHECK(delay >= 0, "negative delay " << delay);
-    return scheduleAt(now_ + delay, std::move(fn));
+    return scheduleImpl(now_ + delay, std::move(fn));
 }
 
 bool
 Simulator::cancel(EventId id)
 {
-    if (id >= slots_.size() || !slots_[id].live)
+    if (id >= slotCount_ || slot(id).state != SlotState::Live)
         return false;
-    slots_[id].live = false;
-    slots_[id].fn = nullptr;
+    Slot &s = slot(id);
+    s.state = SlotState::Cancelled;
+    s.fn = nullptr;
     --pendingLive_;
     // The queue entry stays and is skipped at dispatch time.
     return true;
@@ -48,26 +58,34 @@ Simulator::cancel(EventId id)
 void
 Simulator::dispatchNext()
 {
-    const Scheduled top = queue_.top();
-    queue_.pop();
-    if (top.id >= slots_.size() || !slots_[top.id].live) {
-        // Cancelled entry; slot already recycled or dead.
-        if (top.id < slots_.size() && !slots_[top.id].live &&
-            !slots_[top.id].fn) {
+    const EventKey top = queue_.popFront();
+    Slot &s = slot(top.id);
+    if (s.state != SlotState::Live) {
+        // Cancelled entry: the skip is where the id gets recycled.
+        if (s.state == SlotState::Cancelled) {
+            s.state = SlotState::Free;
             freeSlots_.push_back(top.id);
-            slots_[top.id].fn = [] {}; // poison against double-free
         }
         return;
     }
     CHM_CHECK(top.time >= now_, "event queue time went backwards");
     now_ = top.time;
-    auto fn = std::move(slots_[top.id].fn);
-    slots_[top.id].live = false;
-    slots_[top.id].fn = nullptr;
+    // Slots have stable addresses, so the closure runs in place — no
+    // move-out copy. Freeing the state first makes a self-cancel a
+    // no-op, and the id joins freeSlots_ only after the call returns,
+    // so an event scheduled from inside the closure can never reuse
+    // (and overwrite) the slot of the closure that is running.
+    s.state = SlotState::Free;
     --pendingLive_;
-    freeSlots_.push_back(top.id);
     ++dispatched_;
-    fn();
+    s.fn();
+    s.fn = nullptr;
+    // Park the id for the schedule call the closure most likely just
+    // made a sibling of; only a second consecutive dispatch without a
+    // schedule in between spills to the freeSlots_ vector.
+    if (lastFreed_ != kNoSlot)
+        freeSlots_.push_back(lastFreed_);
+    lastFreed_ = top.id;
 }
 
 void

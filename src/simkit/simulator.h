@@ -2,19 +2,25 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * The Simulator owns the virtual clock and a priority queue of scheduled
- * callbacks. Events at the same timestamp fire in scheduling order
- * (stable FIFO tie-break via a sequence number) so runs are deterministic.
+ * The Simulator owns the virtual clock and a calendar queue
+ * (event_queue.h) of scheduled callbacks. Events at the same timestamp
+ * fire in scheduling order (stable FIFO tie-break via a sequence
+ * number) so runs are deterministic. Callbacks are stored as
+ * sim::EventFn — a small-buffer move-only callable — in block-allocated
+ * slots with stable addresses, so scheduling the hot-path closures
+ * never touches the heap and never relocates pending events.
  */
 
 #ifndef CHAMELEON_SIMKIT_SIMULATOR_H
 #define CHAMELEON_SIMKIT_SIMULATOR_H
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "simkit/event_fn.h"
+#include "simkit/event_queue.h"
 #include "simkit/time.h"
 
 namespace chameleon::sim {
@@ -40,10 +46,14 @@ class Simulator
     SimTime now() const { return now_; }
 
     /** Schedule a callback at absolute time t (must be >= now). */
-    EventId scheduleAt(SimTime t, std::function<void()> fn);
+    EventId
+    scheduleAt(SimTime t, EventFn fn)
+    {
+        return scheduleImpl(t, std::move(fn));
+    }
 
     /** Schedule a callback delay microseconds from now. */
-    EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+    EventId scheduleAfter(SimTime delay, EventFn fn);
 
     /** Cancel a pending event; returns false if already fired/cancelled. */
     bool cancel(EventId id);
@@ -64,35 +74,59 @@ class Simulator
     std::size_t pendingEvents() const { return pendingLive_; }
 
   private:
-    struct Scheduled
-    {
-        SimTime time;
-        std::uint64_t seq;
-        EventId id;
+    void dispatchNext();
 
-        bool
-        operator>(const Scheduled &o) const
-        {
-            return time != o.time ? time > o.time : seq > o.seq;
-        }
+    EventId scheduleImpl(SimTime t, EventFn &&fn);
+
+    /**
+     * A slot cycles Free -> Live (scheduled) -> Free (dispatched), or
+     * Live -> Cancelled -> Free: a cancelled event's queue entry stays
+     * behind and is skipped at dispatch time, and only that skip may
+     * recycle the id — recycling at cancel would let a new event alias
+     * the stale queue entry.
+     */
+    enum class SlotState : std::uint8_t { Free, Live, Cancelled };
+
+    struct Slot
+    {
+        EventFn fn;
+        SlotState state = SlotState::Free;
     };
 
-    void dispatchNext();
+    // Slots live in fixed blocks so growing never relocates pending
+    // EventFns (a vector realloc would move every live closure).
+    static constexpr int kSlotBlockBits = 12;
+    static constexpr std::size_t kSlotBlock = std::size_t{1}
+                                              << kSlotBlockBits;
+    using SlotBlock = std::array<Slot, kSlotBlock>;
+
+    /** Sentinel for lastFreed_: no id parked. */
+    static constexpr EventId kNoSlot = ~EventId{0};
+
+    Slot &
+    slot(EventId id)
+    {
+        return blockTable_[id >> kSlotBlockBits]
+                          [id & (kSlotBlock - 1)];
+    }
 
     SimTime now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
     std::size_t pendingLive_ = 0;
-    std::priority_queue<Scheduled, std::vector<Scheduled>,
-                        std::greater<Scheduled>> queue_;
-    // Callback slots keyed by EventId; live=false marks cancellation.
-    struct Slot
-    {
-        std::function<void()> fn;
-        bool live = false;
-    };
-    std::vector<Slot> slots_;
+    CalendarQueue queue_;
+    std::vector<std::unique_ptr<SlotBlock>> slotBlocks_;
+    /** Raw mirror of slotBlocks_, with blockTable_ caching its
+     * data() (refreshed whenever a block is added), so slot() is
+     * two loads with no smart-pointer or bounds-check hops. */
+    std::vector<Slot *> blockPtrs_;
+    Slot **blockTable_ = nullptr;
+    std::size_t slotCount_ = 0;
     std::vector<EventId> freeSlots_;
+    /** The id freed by the latest dispatch, parked in a register
+     * slot: the dispatch -> schedule ping-pong of event chains
+     * recycles it without touching the freeSlots_ vector. */
+    EventId lastFreed_ = kNoSlot;
 };
 
 } // namespace chameleon::sim

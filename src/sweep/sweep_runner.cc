@@ -1,12 +1,31 @@
 #include "sweep/sweep_runner.h"
 
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "simkit/check.h"
 #include "workload/trace_gen.h"
 
 namespace chameleon::sweep {
+
+namespace {
+
+/**
+ * Event hashes travel as fixed-width hex strings, not JSON numbers: a
+ * 64-bit hash round-trips a double-based JSON parser lossily, and the
+ * --baseline gate compares these fields exactly.
+ */
+std::string
+hashLiteral(std::uint64_t hash)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace
 
 SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec))
 {
@@ -130,7 +149,8 @@ SweepRunner::appendRows(BenchJson &json,
             .field("requests_delayed_by_boot",
                    report.requestsDelayedByBoot)
             .field("fairness_index", report.fairnessIndex)
-            .field("slo_attainment", report.sloAttainment);
+            .field("slo_attainment", report.sloAttainment)
+            .field("event_hash", hashLiteral(report.eventHash));
     }
 }
 

@@ -42,56 +42,22 @@ namespace {
 
 constexpr std::uint64_t kSeed = 1234;
 
-/** FNV-1a 64-bit over the canonical stream text. */
-std::uint64_t
-fnv1a(const std::string &text)
-{
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (const unsigned char c : text) {
-        hash ^= c;
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
-}
-
-/** Doubles by bit pattern: exact, locale- and printf-independent. */
-std::uint64_t
-bits(double value)
-{
-    std::uint64_t out;
-    static_assert(sizeof(out) == sizeof(value), "double is 64-bit");
-    std::memcpy(&out, &value, sizeof(out));
-    return out;
-}
-
 /**
- * Canonical event-stream CSV: one line per finished request in
- * per-replica finish order (replica index first), preceded by a
- * summary line of the scaling counters. Everything that routing or
- * autoscaling can influence is in here; a single moved dispatch or an
- * extra scale event changes the hash.
+ * The canonical stream and hash now live in the library
+ * (core::canonicalEventStream / core::fnv1a64) so sweeps and
+ * `chameleon_sweep --baseline` fingerprint cells in this suite's exact
+ * format; the pins below — recorded against the test's original local
+ * serialiser — staying green is the proof the library emits the same
+ * bytes. RunReport::eventHash is the same value end-to-end, asserted
+ * per scenario.
  */
-std::string
-canonicalStream(core::Runner &runner, const core::RunReport &report)
+std::uint64_t
+canonicalHash(core::Runner &runner, const core::RunReport &report)
 {
-    std::ostringstream os;
-    os << "finished=" << report.stats.finished
-       << " scale_ups=" << report.scaleUps
-       << " scale_downs=" << report.scaleDowns
-       << " peak=" << report.peakReplicas
-       << " final_active=" << report.finalActiveReplicas << '\n';
-    const auto &engines = runner.cluster().engines();
-    for (std::size_t i = 0; i < engines.size(); ++i) {
-        for (const auto &r : engines[i]->stats().records) {
-            os << i << ',' << r.id << ',' << r.arrival << ','
-               << r.inputTokens << ',' << r.outputTokens << ','
-               << r.adapter << ',' << r.rank << ',' << r.ttft << ','
-               << r.e2e << ',' << r.queueDelay << ',' << r.adapterStall
-               << ',' << bits(r.wrs) << ',' << r.queueIndex << ','
-               << r.squashCount << ',' << r.preemptCount << '\n';
-        }
-    }
-    return os.str();
+    const std::uint64_t hash = core::fnv1a64(
+        core::canonicalEventStream(runner.cluster(), report));
+    EXPECT_EQ(hash, report.eventHash);
+    return hash;
 }
 
 /** One golden scenario: router x fleet shape x autoscale. */
@@ -137,7 +103,7 @@ runScenario(routing::RouterPolicy router, bool hetero, bool autoscale)
     // Sanity besides the hash: nothing may be lost or stuck.
     EXPECT_EQ(report.stats.finished,
               static_cast<std::int64_t>(trace.size()));
-    return fnv1a(canonicalStream(runner, report));
+    return canonicalHash(runner, report);
 }
 
 void
@@ -157,6 +123,86 @@ expectGolden(routing::RouterPolicy router, bool hetero, bool autoscale,
         << "event stream diverged for router "
         << routing::routerPolicyName(router)
         << (hetero ? ", hetero fleet" : ", homogeneous fleet")
+        << (autoscale ? ", autoscale on" : ", autoscale off")
+        << "; if the change is intended, rerun with CHM_GOLDEN_PRINT=1 "
+        << "and update the pin (note it in CHANGES.md)";
+}
+
+/**
+ * One tenancy golden scenario: fair scheduler x tenant shape x
+ * autoscale, over a 2-replica JSQ cluster. Storm runs measure under
+ * the bounded fig29 drain window (the backlog is the interesting
+ * state), so `finished == trace.size()` is only asserted without one.
+ */
+std::uint64_t
+runTenantScenario(const char *scheduler, int tenants, bool storm,
+                  bool autoscale)
+{
+    model::AdapterPool pool(model::llama7B(), 40);
+
+    auto spec = core::SystemRegistry::global().lookup(
+        std::string("chameleon+") + scheduler);
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    spec.cluster.router = routing::RouterPolicy::JoinShortestQueue;
+    spec.cluster.routerConfig.seed = kSeed;
+    spec.predictor.seed = kSeed;
+    spec.cluster.replicas = 2;
+    spec.tenancy.tenants = tenants;
+    if (autoscale) {
+        spec.cluster.autoscale = true;
+        spec.cluster.autoscaler.minReplicas = 1;
+        spec.cluster.autoscaler.maxReplicas = 4;
+        spec.cluster.autoscaler.evalPeriodSeconds = 5.0;
+        spec.cluster.autoscaler.replicaServiceRps = 6.0;
+        spec.cluster.autoscaler.downCooldownPeriods = 2;
+    }
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 10.0;
+    wl.durationSeconds = 60.0;
+    wl.numAdapters = 40;
+    wl.seed = kSeed;
+    wl.numTenants = tenants;
+    if (storm) {
+        // Tenant 0 at 8x its share over the middle half (the
+        // CLI/sweep/fig29 storm convention).
+        wl.stormTenant = 0;
+        wl.stormMultiplier = 8.0;
+        wl.stormStartSeconds = 0.25 * wl.durationSeconds;
+        wl.stormEndSeconds = 0.75 * wl.durationSeconds;
+    }
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    core::Runner runner(spec, &pool);
+    const auto report =
+        runner.run(trace, storm ? 30 * sim::kSec : 3600 * sim::kSec);
+    if (storm) {
+        EXPECT_GT(report.stats.finished, 0);
+    } else {
+        EXPECT_EQ(report.stats.finished,
+                  static_cast<std::int64_t>(trace.size()));
+    }
+    return canonicalHash(runner, report);
+}
+
+void
+expectTenantGolden(const char *scheduler, int tenants, bool storm,
+                   bool autoscale, std::uint64_t pinned)
+{
+    const std::uint64_t hash =
+        runTenantScenario(scheduler, tenants, storm, autoscale);
+    if (std::getenv("CHM_GOLDEN_PRINT") != nullptr) {
+        std::printf("GOLDEN %s %s %s 0x%016llxull\n", scheduler,
+                    storm ? "storm4" : "single",
+                    autoscale ? "autoscale" : "fixed",
+                    static_cast<unsigned long long>(hash));
+        return;
+    }
+    EXPECT_EQ(hash, pinned)
+        << "event stream diverged for scheduler " << scheduler << ", "
+        << tenants << " tenant(s)" << (storm ? " (storm)" : "")
         << (autoscale ? ", autoscale on" : ", autoscale off")
         << "; if the change is intended, rerun with CHM_GOLDEN_PRINT=1 "
         << "and update the pin (note it in CHANGES.md)";
@@ -191,4 +237,15 @@ TEST(GoldenTrace, JsqHeteroAutoscale)      { expectGolden(routing::RouterPolicy:
 TEST(GoldenTrace, P2cHeteroAutoscale)      { expectGolden(routing::RouterPolicy::PowerOfTwoChoices,         1, 1, 0x7f73bdfe8bd9a647ull); }
 TEST(GoldenTrace, AffinityHeteroAutoscale) { expectGolden(routing::RouterPolicy::AdapterAffinity,           1, 1, 0xf6e8487ed39745b1ull); }
 TEST(GoldenTrace, AffinityCacheHeteroAutoscale) { expectGolden(routing::RouterPolicy::AdapterAffinityCacheAware, 1, 1, 0x748730f518247018ull); }
+
+// Tenancy pins: PR 7 fair-scheduler behaviour ({wfq, drr} x
+// {single-tenant, 4-tenant storm} x {fixed, autoscale}), recorded
+// before the PR 8 event-queue/pool rebuild and asserted unchanged
+// across it. Storm runs use the bounded fig29 drain window.
+TEST(GoldenTrace, WfqSingleFixed)     { expectTenantGolden("wfq", 1, 0, 0, 0xdf5c533bcbfe241aull); }
+TEST(GoldenTrace, WfqStormFixed)      { expectTenantGolden("wfq", 4, 1, 0, 0xcb4051efba9cf7d0ull); }
+TEST(GoldenTrace, WfqStormAutoscale)  { expectTenantGolden("wfq", 4, 1, 1, 0xf53244aa63814caeull); }
+TEST(GoldenTrace, DrrSingleFixed)     { expectTenantGolden("drr", 1, 0, 0, 0xddad91f8d3d13595ull); }
+TEST(GoldenTrace, DrrStormFixed)      { expectTenantGolden("drr", 4, 1, 0, 0x67486ae747e7f57bull); }
+TEST(GoldenTrace, DrrStormAutoscale)  { expectTenantGolden("drr", 4, 1, 1, 0x3b3c8e13ca97af96ull); }
 // clang-format on

@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "simkit/json.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/sweep_spec.h"
 
@@ -333,6 +336,56 @@ TEST(SweepRunner, ThreadCountDoesNotChangeTheDocument)
     sweep::SweepRunner threaded(spec);
     EXPECT_EQ(serial.runToBenchJson().toString(),
               threaded.runToBenchJson().toString());
+}
+
+TEST(SweepRunner, ThreadStressAt100kRequestsKeepsHashesAndBytes)
+{
+    // Determinism at scale: ~113k simulated requests across 8 cells,
+    // run with 1, 2, and 8 worker threads. The consolidated BenchJson
+    // must be byte-identical and every cell's event_hash — the FNV
+    // fingerprint of its full canonical event stream — must match,
+    // i.e. thread scheduling cannot leak into any simulation.
+    auto spec = parseSweep(R"({
+      "name": "stress",
+      "systems": ["slora", "chameleon"],
+      "loads": [30.0, 40.0],
+      "replicas": [2, 4],
+      "workload": {"preset": "splitwise", "duration_s": 400,
+                   "adapters": 32},
+      "seed": 21
+    })");
+
+    std::vector<std::string> documents;
+    for (const int threads : {1, 2, 8}) {
+        spec.threads = threads;
+        documents.push_back(
+            sweep::SweepRunner(spec).runToBenchJson().toString());
+    }
+    EXPECT_EQ(documents[0], documents[1]);
+    EXPECT_EQ(documents[0], documents[2]);
+
+    // Byte equality already implies hash equality; now check the
+    // hashes themselves are present, well-formed, and that the grid
+    // really ran at the promised scale.
+    const auto doc = sim::parseJson(documents[0]);
+    ASSERT_TRUE(doc.has_value());
+    const sim::JsonValue *rows = doc->find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->items().size(), 8u);
+    std::int64_t submitted = 0;
+    for (const auto &row : rows->items()) {
+        const sim::JsonValue *hash = row.find("event_hash");
+        ASSERT_NE(hash, nullptr);
+        const std::string &text = hash->asString();
+        ASSERT_EQ(text.size(), 18u) << text;
+        EXPECT_EQ(text.substr(0, 2), "0x") << text;
+        EXPECT_NE(text, "0x0000000000000000")
+            << "a zero hash means the stream was never hashed";
+        submitted += static_cast<std::int64_t>(
+            row.find("submitted")->asNumber());
+    }
+    EXPECT_GE(submitted, 100000) << "grid shrank below 100k-request "
+                                    "scale; enlarge the stress sweep";
 }
 
 TEST(SweepRunner, RunsEveryCellOverTheSharedTrace)

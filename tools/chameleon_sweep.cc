@@ -14,6 +14,14 @@
  *   chameleon_sweep --config examples/sweeps/fig17_policy_grid.json
  *   chameleon_sweep --config sweep.json --dry-run     # list the cells
  *   chameleon_sweep --config sweep.json --threads 8 --out grid.json
+ *
+ * Regression gate (--baseline): compare this run's document against a
+ * previously committed one, row-aligned (see sweep/baseline_diff.h).
+ * A per-cell event_hash mismatch or a structural difference exits 1 —
+ * the simulation is no longer deterministic against the baseline;
+ * numeric drift beyond 5% with identical hashes only warns.
+ *
+ *   chameleon_sweep --config sweep.json --baseline bench/baselines/old.json
  */
 
 #include <cstdio>
@@ -22,6 +30,7 @@
 #include <string>
 
 #include "simkit/flags.h"
+#include "sweep/baseline_diff.h"
 #include "sweep/sweep_runner.h"
 #include "tool_io.h"
 
@@ -43,6 +52,11 @@ main(int argc, char **argv)
         "metrics-dir", "",
         "also dump each cell's metrics snapshot as "
         "DIR/metrics_cell<N>.json (N = cell index in the grid order)");
+    auto *baseline = flags.addString(
+        "baseline", "",
+        "compare against this BenchJson document, row-aligned: "
+        "event-hash or structural mismatches fail (exit 1), numeric "
+        "drift > 5% warns");
     if (!flags.parse(argc, argv))
         return 2;
 
@@ -125,6 +139,49 @@ main(int argc, char **argv)
     sweep::BenchJson json(runner.spec().name);
     sweep::SweepRunner::appendRows(json, results);
     json.write(runner.spec().outputPath());
+
+    if (!baseline->empty()) {
+        std::string parseError;
+        const auto baseDoc = sim::parseJson(
+            tools::readAll(*baseline, "chameleon_sweep"), &parseError);
+        if (!baseDoc.has_value()) {
+            std::fprintf(stderr, "chameleon_sweep: --baseline %s: %s\n",
+                         baseline->c_str(), parseError.c_str());
+            return 2;
+        }
+        const auto curDoc = sim::parseJson(json.toString());
+        CHM_CHECK(curDoc.has_value(),
+                  "sweep output is not valid JSON");
+        const auto diff =
+            sweep::diffAgainstBaseline(*curDoc, *baseDoc, 0.05);
+        for (const auto &problem : diff.structural)
+            std::fprintf(stderr, "baseline: FAIL %s\n", problem.c_str());
+        for (const auto &m : diff.hashMismatches) {
+            std::fprintf(stderr,
+                         "baseline: FAIL row %zu: event_hash %s -> %s "
+                         "(event stream diverged from the baseline)\n",
+                         m.row, m.baseline.c_str(), m.current.c_str());
+        }
+        for (const auto &m : diff.drifts) {
+            std::fprintf(stderr,
+                         "baseline: warn row %zu: %s drifted %s -> %s\n",
+                         m.row, m.key.c_str(), m.baseline.c_str(),
+                         m.current.c_str());
+        }
+        if (!diff.passed()) {
+            std::fprintf(stderr,
+                         "baseline: %zu structural problem(s), %zu hash "
+                         "mismatch(es) against %s\n",
+                         diff.structural.size(),
+                         diff.hashMismatches.size(), baseline->c_str());
+            return 1;
+        }
+        std::printf("\nbaseline: OK — %zu rows match %s (%zu numeric "
+                    "drift warning%s)\n",
+                    json.rowCount(), baseline->c_str(),
+                    diff.drifts.size(),
+                    diff.drifts.size() == 1 ? "" : "s");
+    }
 
     if (!metrics_dir->empty()) {
         std::filesystem::create_directories(*metrics_dir);
