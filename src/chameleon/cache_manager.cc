@@ -36,6 +36,41 @@ CacheManager::find(AdapterId id) const
     return it == entries_.end() ? nullptr : &it->second;
 }
 
+void
+CacheManager::notifyLoadStart(AdapterId id)
+{
+    if (residency_ != nullptr)
+        residency_->onLoadStart(replicaIndex_, id);
+}
+
+void
+CacheManager::notifyLoadComplete(AdapterId id)
+{
+    if (residency_ != nullptr)
+        residency_->onLoadComplete(replicaIndex_, id);
+}
+
+void
+CacheManager::notifyEvict(AdapterId id)
+{
+    if (residency_ != nullptr)
+        residency_->onEvict(replicaIndex_, id);
+}
+
+void
+CacheManager::notifyAcquire(AdapterId id, SimTime now)
+{
+    if (residency_ != nullptr)
+        residency_->onAcquire(replicaIndex_, id, now);
+}
+
+void
+CacheManager::notifyRelease(AdapterId id)
+{
+    if (residency_ != nullptr)
+        residency_->onRelease(replicaIndex_, id);
+}
+
 double
 CacheManager::decayedFrequency(const Entry &e, SimTime now) const
 {
@@ -133,6 +168,7 @@ CacheManager::evictUntilFree(std::int64_t bytes, bool includePinned,
         mem_.freeAdapterCache(pool_.spec(vid).bytes);
         ve.state = State::NotResident;
         ++evictions_;
+        notifyEvict(vid);
         if (trace_ != nullptr) {
             trace_->instant(tracePid_, obs::Lane::Cache, "evict", now,
                             {{"adapter", vid},
@@ -222,6 +258,7 @@ CacheManager::startLoad(AdapterId id, Entry &e, LoadKind kind, SimTime now)
     }
     e.state = State::Loading;
     e.prefetched = kind != LoadKind::Demand;
+    notifyLoadStart(id);
     e.readyAt = link_.enqueue(bytes, [this, id] {
         auto &ent = entries_[id];
         CHM_CHECK(ent.state == State::Loading, "transfer done, not loading");
@@ -230,6 +267,56 @@ CacheManager::startLoad(AdapterId id, Entry &e, LoadKind kind, SimTime now)
             // Landed as a prefetch: it sits in the cache until claimed.
             mem_.moveInUseToCache(pool_.spec(id).bytes);
         }
+        notifyLoadComplete(id);
+    });
+    return e.readyAt;
+}
+
+SimTime
+CacheManager::peerAdmit(AdapterId id, SimTime readyAt, SimTime now)
+{
+    lastNow_ = now;
+    Entry &e = entry(id);
+    if (e.state != State::NotResident) {
+        // Already usable or inbound over the host link; nothing to
+        // admit (the fabric treats this as a decline and reserves no
+        // peer bandwidth).
+        return sim::kTimeNever;
+    }
+    const auto bytes = pool_.spec(id).bytes;
+    // A peer-warmed adapter is speculation, exactly like a predictive
+    // prefetch: it may displace unpinned idle cache entries but must
+    // leave the interference watermark free (§4.2.1) so migration can
+    // never starve KV growth.
+    if (mem_.freeBytes() < bytes + config_.minFreeBytes &&
+        !evictUntilFree(bytes + config_.minFreeBytes,
+                        /*includePinned=*/false, now)) {
+        return sim::kTimeNever;
+    }
+    const bool ok = mem_.tryAllocAdapterInUse(bytes);
+    CHM_CHECK(ok, "allocation must succeed after eviction");
+    ++peerLoads_;
+    if (trace_ != nullptr) {
+        trace_->instant(tracePid_, obs::Lane::Cache, "peer_load", now,
+                        {{"adapter", id}, {"bytes", bytes}});
+    }
+    e.state = State::Loading;
+    e.prefetched = true;
+    e.readyAt = std::max(readyAt, now);
+    notifyLoadStart(id);
+    // The weights ride a peer link modelled by the fabric, not the
+    // host PcieLink: schedule the Resident flip directly, so host PCIe
+    // counters stay flat for migrated adapters.
+    link_.simulator().scheduleAt(e.readyAt, [this, id] {
+        auto &ent = entries_[id];
+        CHM_CHECK(ent.state == State::Loading,
+                  "peer transfer done, not loading");
+        ent.state = State::Resident;
+        if (ent.runningRc == 0) {
+            // Landed unclaimed: it sits in the cache until acquired.
+            mem_.moveInUseToCache(pool_.spec(id).bytes);
+        }
+        notifyLoadComplete(id);
     });
     return e.readyAt;
 }
@@ -260,6 +347,7 @@ CacheManager::acquire(AdapterId id, SimTime now)
     ++e.runningRc;
     e.prefetched = false;
     touch(e, now);
+    notifyAcquire(id, now);
     return ready;
 }
 
@@ -269,6 +357,7 @@ CacheManager::release(AdapterId id)
     Entry &e = entry(id);
     CHM_CHECK(e.runningRc > 0, "release without acquire for " << id);
     --e.runningRc;
+    notifyRelease(id);
     if (e.runningRc == 0 && e.state == State::Resident) {
         if (e.queuedRc > 0 || mem_.freeBytes() >= config_.minFreeBytes) {
             // Contrary to the baseline: retain the adapter in the cache.
@@ -281,6 +370,7 @@ CacheManager::release(AdapterId id)
             // memory back instead (§4.2.1).
             mem_.freeAdapterInUse(pool_.spec(id).bytes);
             e.state = State::NotResident;
+            notifyEvict(id);
         }
     }
 }

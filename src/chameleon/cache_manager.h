@@ -78,6 +78,25 @@ class CacheManager : public serving::AdapterManager
                            sim::SimTime now) override;
     bool tryFreeMemory(std::int64_t bytes) override;
 
+    /** Report every residency transition to the cluster directory. */
+    void setResidencyListener(serving::ResidencyEvents *listener,
+                              int replica) override
+    {
+        residency_ = listener;
+        replicaIndex_ = replica;
+    }
+
+    /**
+     * Accept adapter weights over a peer link (cache-fabric
+     * migration): reserve memory like a predictive prefetch — only
+     * with the interference watermark intact, evicting unpinned idle
+     * entries at most — and flip the adapter Resident at `readyAt`
+     * through the simulator, bypassing the host PCIe link entirely.
+     * Returns the usable time, or sim::kTimeNever when declined.
+     */
+    sim::SimTime peerAdmit(model::AdapterId id, sim::SimTime readyAt,
+                           sim::SimTime now) override;
+
     std::int64_t hits() const override { return hits_; }
     std::int64_t misses() const override { return misses_; }
     std::int64_t cachedBytes() const override;
@@ -103,6 +122,8 @@ class CacheManager : public serving::AdapterManager
     std::int64_t demandLoads() const { return demandLoads_; }
     std::int64_t queuedLoads() const { return queuedLoads_; }
     std::int64_t predictiveLoads() const { return predictiveLoads_; }
+    /** Peer-link admits accepted (cache-fabric migrations landed). */
+    std::int64_t peerLoads() const { return peerLoads_; }
     const EvictionPolicy &policy() const { return *policy_; }
 
   private:
@@ -130,6 +151,13 @@ class CacheManager : public serving::AdapterManager
 
     Entry &entry(model::AdapterId id);
     const Entry *find(model::AdapterId id) const;
+    // Residency-listener notifications (no-ops while unattached; the
+    // listener observes only, so attachment never alters behaviour).
+    void notifyLoadStart(model::AdapterId id);
+    void notifyLoadComplete(model::AdapterId id);
+    void notifyEvict(model::AdapterId id);
+    void notifyAcquire(model::AdapterId id, sim::SimTime now);
+    void notifyRelease(model::AdapterId id);
     void touch(Entry &e, sim::SimTime now);
     double decayedFrequency(const Entry &e, sim::SimTime now) const;
     sim::SimTime startLoad(model::AdapterId id, Entry &e, LoadKind kind,
@@ -158,10 +186,13 @@ class CacheManager : public serving::AdapterManager
     std::int64_t demandLoads_ = 0;
     std::int64_t queuedLoads_ = 0;
     std::int64_t predictiveLoads_ = 0;
+    std::int64_t peerLoads_ = 0;
     /** Most recent simulation time observed (tryFreeMemory has no now). */
     sim::SimTime lastNow_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
     int tracePid_ = 0;
+    serving::ResidencyEvents *residency_ = nullptr;
+    int replicaIndex_ = 0;
 };
 
 } // namespace chameleon::core

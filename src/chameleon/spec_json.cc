@@ -191,6 +191,20 @@ clusterToJson(const ClusterSpec &c)
 }
 
 JsonValue
+fabricToJson(const FabricSpec &f)
+{
+    JsonValue o = JsonValue::makeObject();
+    o.set("migration",
+          JsonValue::makeString(
+              fabric::migrationPolicyName(f.migration)));
+    o.set("topology",
+          JsonValue::makeString(fabric::topologyName(f.topology)));
+    o.set("top_k",
+          JsonValue::makeInt(static_cast<std::int64_t>(f.topK)));
+    return o;
+}
+
+JsonValue
 tenancyToJson(const TenancySpec &t)
 {
     JsonValue o = JsonValue::makeObject();
@@ -471,6 +485,7 @@ specToJsonValue(const SystemSpec &spec)
     root.set("predictor", predictorToJson(spec.predictor));
     root.set("cluster", clusterToJson(spec.cluster));
     root.set("tenancy", tenancyToJson(spec.tenancy));
+    root.set("fabric", fabricToJson(spec.fabric));
     root.set("reservation",
              JsonValue::makeString(reservationPolicyName(spec.reservation)));
     root.set("chunked_prefill", JsonValue::makeBool(spec.chunkedPrefill));
@@ -522,6 +537,20 @@ predictorFromJson(const JsonValue &obj, const std::string &path,
     r.getString("kind", &out->kind);
     r.getDouble("accuracy", &out->accuracy);
     r.getUint64("seed", &out->seed);
+    return r.finish();
+}
+
+bool
+fabricFromJson(const JsonValue &obj, const std::string &path,
+               FabricSpec *out, std::string *error)
+{
+    sim::JsonObjectReader r(obj, path, error);
+    r.getEnum("migration", &out->migration,
+              fabric::migrationPolicyByName,
+              fabric::migrationPolicyNames());
+    r.getEnum("topology", &out->topology, fabric::topologyByName,
+              fabric::topologyNames());
+    r.getSize("top_k", &out->topK);
     return r.finish();
 }
 
@@ -597,6 +626,10 @@ specFromJsonValue(const JsonValue &root, std::string *error)
     }
     if (const JsonValue *t = r.child("tenancy")) {
         if (!tenancyFromJson(*t, "tenancy", &spec.tenancy, error))
+            return specParseFailure(error);
+    }
+    if (const JsonValue *f = r.child("fabric")) {
+        if (!fabricFromJson(*f, "fabric", &spec.fabric, error))
             return specParseFailure(error);
     }
     r.getEnum("reservation", &spec.reservation, reservationPolicyByName,

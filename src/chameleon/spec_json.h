@@ -78,6 +78,12 @@ bool autoscalerFromJson(const sim::JsonValue &obj, const std::string &path,
                         routing::AutoscalerConfig *out,
                         std::string *error);
 
+/** Apply a "fabric" JSON object onto *out; as engineFromJson. Unknown
+ * migration/topology names fail listing the valid options. Shared by
+ * the spec parser and the sweep "fabric" template. */
+bool fabricFromJson(const sim::JsonValue &obj, const std::string &path,
+                    FabricSpec *out, std::string *error);
+
 } // namespace chameleon::core
 
 #endif // CHAMELEON_CHAMELEON_SPEC_JSON_H

@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "fabric/cache_fabric.h"
 #include "predict/history_predictor.h"
 #include "predict/length_predictor.h"
 #include "serving/fifo_scheduler.h"
@@ -227,6 +228,19 @@ Runner::Runner(SystemSpec spec, const model::AdapterPool *pool)
                 });
         }
     }
+    if (spec_.fabricEnabled()) {
+        // Built only when the run needs it (migration on, or the
+        // directory-backed router): non-fabric runs never construct a
+        // fabric, so their event streams match the pre-fabric ones
+        // byte-for-byte.
+        fabric::FabricConfig fcfg;
+        fcfg.migration = spec_.fabric.migration;
+        fcfg.topology = spec_.fabric.topology;
+        fcfg.topK = spec_.fabric.topK;
+        fabric_ = std::make_unique<fabric::CacheFabric>(
+            sim_, pool_ ? *pool_ : placeholderPool(), fcfg);
+        cluster_->attachFabric(fabric_.get());
+    }
 }
 
 Runner::~Runner() = default;
@@ -277,6 +291,12 @@ Runner::run(const workload::Trace &trace, sim::SimTime drainWindow)
     report.bootEvents = boot.boots;
     report.totalBootSeconds = sim::toSeconds(boot.totalBootTime);
     report.requestsDelayedByBoot = boot.requestsDelayedByBoot;
+    if (fabric_ != nullptr) {
+        report.fabricEnabled = true;
+        report.fabricMigrations = fabric_->migrations();
+        report.fabricPeerBytes = fabric_->peerBytes();
+        report.fabricPeerTransfers = fabric_->peerTransfers();
+    }
 
     // --- per-tenant accounting (post-simulation: pure record reads) ---
     const model::CostModel cost(spec_.engine.model, spec_.engine.gpu,
@@ -444,6 +464,7 @@ fillRunMetrics(obs::MetricsRegistry &registry,
             count("cache.demand_loads", cache->demandLoads());
             count("cache.queued_loads", cache->queuedLoads());
             count("cache.predictive_loads", cache->predictiveLoads());
+            count("cache.peer_loads", cache->peerLoads());
         }
         count("pcie.bytes", engines[i]->pcieLink().totalBytes());
         count("pcie.transfers", engines[i]->pcieLink().totalTransfers());
@@ -483,6 +504,13 @@ fillRunMetrics(obs::MetricsRegistry &registry,
         .inc(static_cast<std::int64_t>(report.peakReplicas));
     registry.counter("cluster.replicas.final_active")
         .inc(static_cast<std::int64_t>(report.finalActiveReplicas));
+    if (report.fabricEnabled) {
+        registry.counter("fabric.migrations")
+            .inc(report.fabricMigrations);
+        registry.counter("fabric.peer_bytes").inc(report.fabricPeerBytes);
+        registry.counter("fabric.peer_transfers")
+            .inc(report.fabricPeerTransfers);
+    }
     fillHistogram(registry.histogram("cluster.latency.ttft_s"),
                   total.ttft);
     fillHistogram(registry.histogram("cluster.latency.e2e_s"),

@@ -144,6 +144,15 @@ struct RunReport
     /** Requests dispatched while >= 1 replica was still booting. */
     std::int64_t requestsDelayedByBoot = 0;
 
+    // --- cache fabric (all zero / false when no fabric was built) ---
+    /** A cache fabric (directory + migration) was wired into the run. */
+    bool fabricEnabled = false;
+    /** Peer migrations started (declined admits excluded). */
+    std::int64_t fabricMigrations = 0;
+    /** Adapter bytes moved over peer links. */
+    std::int64_t fabricPeerBytes = 0;
+    std::int64_t fabricPeerTransfers = 0;
+
     /**
      * Hierarchical metrics snapshot (obs::MetricsRegistry populated by
      * core::fillRunMetrics): per-replica request/engine/cache counters
@@ -218,11 +227,19 @@ class Runner
     RunReport run(const workload::Trace &trace,
                   sim::SimTime drainWindow = 3600 * sim::kSec);
 
+    /** The cache fabric, or nullptr when spec().fabricEnabled() is
+     * false (non-fabric runs never construct one). */
+    fabric::CacheFabric *cacheFabric() { return fabric_.get(); }
+
   private:
     SystemSpec spec_;
     const model::AdapterPool *pool_;
     sim::Simulator sim_;
     std::unique_ptr<predict::OutputPredictor> predictor_;
+    /** Declared before cluster_: engines detach from the directory
+     * only at destruction-order convenience — the cluster (and its
+     * engines) must go first, so fabric_ outlives it. */
+    std::unique_ptr<fabric::CacheFabric> fabric_;
     std::unique_ptr<serving::DataParallelCluster> cluster_;
     double sloMultiplier_ = 5.0;
 };

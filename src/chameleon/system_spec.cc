@@ -337,6 +337,24 @@ SystemSpec::validate() const
            << "credit in prefill tokens";
         err(os);
     }
+    if (fabricEnabled() &&
+        adapters.policy != AdapterPolicy::ChameleonCache) {
+        std::ostringstream os;
+        os << "the cache fabric (migration '"
+           << fabric::migrationPolicyName(fabric.migration)
+           << "', router '" << routing::routerPolicyName(cluster.router)
+           << "') needs residency callbacks only the chameleon cache "
+           << "reports; set adapters.policy = "
+           << "AdapterPolicy::ChameleonCache (got "
+           << adapterPolicyName(adapters.policy) << ")";
+        err(os);
+    }
+    if (fabric.topK < 1) {
+        std::ostringstream os;
+        os << "fabric.topK must be >= 1 (got " << fabric.topK
+           << "); it is the hot-adapter window per migration trigger";
+        err(os);
+    }
     if (cluster.autoscale) {
         if (cluster.autoscaler.minReplicas < 1) {
             errors.push_back(
@@ -414,12 +432,20 @@ operator==(const TenancySpec &a, const TenancySpec &b)
 }
 
 bool
+operator==(const FabricSpec &a, const FabricSpec &b)
+{
+    return a.migration == b.migration && a.topology == b.topology &&
+           a.topK == b.topK;
+}
+
+bool
 operator==(const SystemSpec &a, const SystemSpec &b)
 {
     return a.name == b.name && a.engine == b.engine &&
            a.scheduler == b.scheduler && a.adapters == b.adapters &&
            a.predictor == b.predictor && a.cluster == b.cluster &&
-           a.tenancy == b.tenancy && a.reservation == b.reservation &&
+           a.tenancy == b.tenancy && a.fabric == b.fabric &&
+           a.reservation == b.reservation &&
            a.chunkedPrefill == b.chunkedPrefill &&
            a.chunkTokens == b.chunkTokens;
 }

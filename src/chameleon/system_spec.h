@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "chameleon/wrs.h"
+#include "fabric/cache_fabric.h"
 #include "routing/autoscaler.h"
 #include "routing/router.h"
 #include "serving/engine.h"
@@ -165,6 +166,28 @@ struct ClusterSpec
 };
 
 /**
+ * Cache-fabric axis: cluster-wide residency directory + peer-to-peer
+ * adapter migration (src/fabric/). Off by default — with migration
+ * off and no directory-backed router the Runner never constructs a
+ * fabric, so pre-fabric event streams are preserved byte-for-byte.
+ */
+struct FabricSpec
+{
+    /** Which cluster reshapes trigger peer migration. */
+    fabric::MigrationPolicy migration = fabric::MigrationPolicy::Off;
+    /** Peer-link preset migrations travel over. */
+    fabric::TopologyKind topology = fabric::TopologyKind::PciePeer;
+    /** Hot adapters considered per migration trigger. */
+    std::size_t topK = 4;
+
+    /** Does this axis alone require a fabric? */
+    bool enabled() const
+    {
+        return migration != fabric::MigrationPolicy::Off;
+    }
+};
+
+/**
  * A complete, declarative description of one serving system. Every
  * axis is independent: any eviction policy under any scheduler, any
  * combination cluster-deployed. Build one from scratch, from a preset
@@ -184,6 +207,7 @@ struct SystemSpec
     PredictorSpec predictor{};
     ClusterSpec cluster{};
     TenancySpec tenancy{};
+    FabricSpec fabric{};
 
     ReservationPolicy reservation = ReservationPolicy::Auto;
 
@@ -219,6 +243,17 @@ struct SystemSpec
     const serving::EngineConfig &resolvedEngine(std::size_t replica) const;
 
     /**
+     * Does the run need a cache fabric? True when migration is on or
+     * the router needs the residency directory (affinity-dir).
+     */
+    bool fabricEnabled() const
+    {
+        return fabric.enabled() ||
+               cluster.router ==
+                   routing::RouterPolicy::AdapterAffinityDirectory;
+    }
+
+    /**
      * Check the spec for contradictions. Returns one actionable message
      * per problem (empty = valid). Runner construction runs this and
      * fails fast with the joined messages.
@@ -236,6 +271,7 @@ bool operator==(const SchedulerSpec &a, const SchedulerSpec &b);
 bool operator==(const AdapterSpec &a, const AdapterSpec &b);
 bool operator==(const ClusterSpec &a, const ClusterSpec &b);
 bool operator==(const TenancySpec &a, const TenancySpec &b);
+bool operator==(const FabricSpec &a, const FabricSpec &b);
 bool operator==(const SystemSpec &a, const SystemSpec &b);
 inline bool operator!=(const PredictorSpec &a, const PredictorSpec &b)
 {
@@ -254,6 +290,10 @@ inline bool operator!=(const ClusterSpec &a, const ClusterSpec &b)
     return !(a == b);
 }
 inline bool operator!=(const TenancySpec &a, const TenancySpec &b)
+{
+    return !(a == b);
+}
+inline bool operator!=(const FabricSpec &a, const FabricSpec &b)
 {
     return !(a == b);
 }

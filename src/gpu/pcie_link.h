@@ -58,6 +58,9 @@ class PcieLink
     /** Fraction of elapsed time the link was busy (utilisation). */
     double utilisation() const;
 
+    /** The event kernel transfers are scheduled on (peer-admit path). */
+    sim::Simulator &simulator() const { return sim_; }
+
   private:
     sim::Simulator &sim_;
     std::function<sim::SimTime(std::int64_t)> serviceTimeFn_;

@@ -1,0 +1,41 @@
+#include "gpu/peer_link.h"
+
+#include <algorithm>
+
+#include "simkit/check.h"
+
+namespace chameleon::gpu {
+
+PeerLink::PeerLink(sim::Simulator &simulator, double bytesPerSecond,
+                   sim::SimTime latency)
+    : sim_(simulator), bytesPerSecond_(bytesPerSecond), latency_(latency)
+{
+    CHM_CHECK(bytesPerSecond_ > 0.0,
+              "peer link bandwidth must be positive");
+    CHM_CHECK(latency_ >= 0, "peer link latency must be >= 0");
+}
+
+sim::SimTime
+PeerLink::serviceTime(std::int64_t bytes) const
+{
+    return latency_ + sim::fromSeconds(static_cast<double>(bytes) /
+                                       bytesPerSecond_);
+}
+
+sim::SimTime
+PeerLink::earliestCompletion(std::int64_t bytes) const
+{
+    return std::max(busyUntil_, sim_.now()) + serviceTime(bytes);
+}
+
+sim::SimTime
+PeerLink::reserve(std::int64_t bytes)
+{
+    CHM_CHECK(bytes > 0, "peer transfer must carry bytes");
+    busyUntil_ = earliestCompletion(bytes);
+    totalBytes_ += bytes;
+    ++totalTransfers_;
+    return busyUntil_;
+}
+
+} // namespace chameleon::gpu

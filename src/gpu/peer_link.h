@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GPU->GPU peer transfer link model.
+ *
+ * Generalises PcieLink to device-to-device copies: a point-to-point
+ * FIFO link with a fixed bandwidth and a per-transfer setup latency
+ * (NVLink mesh hop or P2P over the PCIe switch). Unlike the host link,
+ * peer transfers are one-shot reservations — the caller computes the
+ * completion time here and schedules its own completion event — so the
+ * link carries no callback machinery, just the queueing model and the
+ * traffic counters the fabric reports as `fabric.peer_*`.
+ */
+
+#ifndef CHAMELEON_GPU_PEER_LINK_H
+#define CHAMELEON_GPU_PEER_LINK_H
+
+#include <cstdint>
+
+#include "simkit/simulator.h"
+#include "simkit/time.h"
+
+namespace chameleon::gpu {
+
+/** FIFO reservation queue over a fixed-bandwidth peer link. */
+class PeerLink
+{
+  public:
+    /**
+     * @param simulator event kernel (supplies the clock)
+     * @param bytesPerSecond effective link bandwidth
+     * @param latency fixed per-transfer setup cost
+     */
+    PeerLink(sim::Simulator &simulator, double bytesPerSecond,
+             sim::SimTime latency);
+
+    /** Completion time of a transfer submitted now (exact: FIFO). */
+    sim::SimTime earliestCompletion(std::int64_t bytes) const;
+
+    /**
+     * Reserve the link for one transfer; returns its completion time
+     * (equal to what earliestCompletion predicted at the same instant).
+     */
+    sim::SimTime reserve(std::int64_t bytes);
+
+    /** Total bytes ever reserved. */
+    std::int64_t totalBytes() const { return totalBytes_; }
+    /** Total transfers ever reserved. */
+    std::int64_t totalTransfers() const { return totalTransfers_; }
+
+  private:
+    sim::SimTime serviceTime(std::int64_t bytes) const;
+
+    sim::Simulator &sim_;
+    double bytesPerSecond_;
+    sim::SimTime latency_;
+    sim::SimTime busyUntil_ = 0;
+    std::int64_t totalBytes_ = 0;
+    std::int64_t totalTransfers_ = 0;
+};
+
+} // namespace chameleon::gpu
+
+#endif // CHAMELEON_GPU_PEER_LINK_H

@@ -21,6 +21,7 @@ routerPolicyName(RouterPolicy policy)
       case RouterPolicy::PowerOfTwoChoices: return "p2c";
       case RouterPolicy::AdapterAffinity: return "affinity";
       case RouterPolicy::AdapterAffinityCacheAware: return "affinity-cache";
+      case RouterPolicy::AdapterAffinityDirectory: return "affinity-dir";
     }
     return "?";
 }
@@ -28,7 +29,7 @@ routerPolicyName(RouterPolicy policy)
 const char *
 routerPolicyNames()
 {
-    return "rr, jsq, p2c, affinity, affinity-cache";
+    return "rr, jsq, p2c, affinity, affinity-cache, affinity-dir";
 }
 
 bool
@@ -44,6 +45,8 @@ routerPolicyByName(const std::string &name, RouterPolicy *out)
         *out = RouterPolicy::AdapterAffinity;
     else if (name == "affinity-cache")
         *out = RouterPolicy::AdapterAffinityCacheAware;
+    else if (name == "affinity-dir")
+        *out = RouterPolicy::AdapterAffinityDirectory;
     else
         return false;
     return true;
@@ -207,16 +210,25 @@ class PowerOfTwoChoicesRouter final : public Router
 class AdapterAffinityRouter final : public Router
 {
   public:
-    AdapterAffinityRouter(const RouterConfig &config, bool cacheAware)
-        : config_(config), cacheAware_(cacheAware),
-          ring_(config.virtualNodes)
+    /** How the router learns residency before falling back to the
+     * hash ring: not at all, by scanning every replica's cache, or by
+     * one residency-directory lookup. */
+    enum class Mode { Hash, Scan, Directory };
+
+    AdapterAffinityRouter(const RouterConfig &config, Mode mode)
+        : config_(config), mode_(mode), ring_(config.virtualNodes)
     {
     }
 
     const char *
     name() const override
     {
-        return cacheAware_ ? "affinity-cache" : "affinity";
+        switch (mode_) {
+          case Mode::Hash: return "affinity";
+          case Mode::Scan: return "affinity-cache";
+          case Mode::Directory: return "affinity-dir";
+        }
+        return "?";
     }
 
     std::size_t
@@ -233,7 +245,34 @@ class AdapterAffinityRouter final : public Router
             return snapshot_.leastLoaded();
 
         const double limit = spillLimit();
-        if (cacheAware_) {
+        if (mode_ == Mode::Directory) {
+            // True cache-hit routing: one directory lookup yields the
+            // holders; pick the least loaded under the spill bound.
+            // Same decision the Scan mode reaches by interrogating all
+            // n replicas, at O(holders) per request.
+            view.residentReplicas(request.adapter, &holders_);
+            std::size_t best = n;
+            double bestLoad = std::numeric_limits<double>::infinity();
+            for (const std::size_t i : holders_) {
+                if (i >= n)
+                    continue; // stale view index: never dispatch to it
+                const double load = snapshot_.load(i);
+                if (load < bestLoad) {
+                    best = i;
+                    bestLoad = load;
+                }
+            }
+            if (best < n && bestLoad <= limit) {
+                if (trace_ != nullptr) {
+                    trace_->instant(obs::kClusterPid,
+                                    obs::Lane::Control,
+                                    "route_dir_hit", clock_->now(),
+                                    {{"adapter", request.adapter},
+                                     {"replica", best}});
+                }
+                return best;
+            }
+        } else if (mode_ == Mode::Scan) {
             // A replica that already holds the adapter serves it with
             // zero loading cost even if the hash owner differs (e.g.
             // residency left over from spillover or a ring resize).
@@ -331,10 +370,11 @@ class AdapterAffinityRouter final : public Router
     }
 
     RouterConfig config_;
-    bool cacheAware_;
+    Mode mode_;
     ConsistentHashRing ring_;
     bool ringDirty_ = false;
     LoadSnapshot snapshot_; // reused across decisions
+    std::vector<std::size_t> holders_; // directory-lookup scratch
 };
 
 } // namespace
@@ -350,9 +390,14 @@ makeRouter(RouterPolicy policy, const RouterConfig &config)
       case RouterPolicy::PowerOfTwoChoices:
         return std::make_unique<PowerOfTwoChoicesRouter>(config.seed);
       case RouterPolicy::AdapterAffinity:
-        return std::make_unique<AdapterAffinityRouter>(config, false);
+        return std::make_unique<AdapterAffinityRouter>(
+            config, AdapterAffinityRouter::Mode::Hash);
       case RouterPolicy::AdapterAffinityCacheAware:
-        return std::make_unique<AdapterAffinityRouter>(config, true);
+        return std::make_unique<AdapterAffinityRouter>(
+            config, AdapterAffinityRouter::Mode::Scan);
+      case RouterPolicy::AdapterAffinityDirectory:
+        return std::make_unique<AdapterAffinityRouter>(
+            config, AdapterAffinityRouter::Mode::Directory);
     }
     CHM_PANIC("unknown router policy");
 }

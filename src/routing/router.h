@@ -69,6 +69,26 @@ class ClusterView
                                  model::AdapterId id) const = 0;
 
     /**
+     * View indices of every replica whose cache holds `id` resident,
+     * ascending, into `out` (cleared first). The directory-backed
+     * affinity policy reads this instead of scanning adapterResident
+     * over all replicas: views with a residency directory answer in
+     * O(holders) per decision. The default derives it from
+     * adapterResident — same truth, scan cost — so any view supports
+     * the policy.
+     */
+    virtual void
+    residentReplicas(model::AdapterId id,
+                     std::vector<std::size_t> *out) const
+    {
+        out->clear();
+        for (std::size_t i = 0; i < replicaCount(); ++i) {
+            if (adapterResident(i, id))
+                out->push_back(i);
+        }
+    }
+
+    /**
      * Relative service rate of replica i, normalised so the fastest
      * replica is 1.0. Capacity-aware policies divide queue depths by
      * this weight (one queued request on a half-speed replica counts
@@ -113,6 +133,12 @@ enum class RouterPolicy {
     PowerOfTwoChoices,
     AdapterAffinity,
     AdapterAffinityCacheAware,
+    /** Affinity with true cache-hit routing: residency comes from the
+     * cluster residency directory (ClusterView::residentReplicas, one
+     * lookup) instead of the cache-aware per-replica scan. Requires a
+     * view backed by the cache fabric's directory to beat the scan;
+     * decisions are identical where both see the same residency. */
+    AdapterAffinityDirectory,
 };
 
 /** Canonical short name (also accepted by routerPolicyByName). */

@@ -26,6 +26,34 @@ class TraceRecorder;
 
 namespace chameleon::serving {
 
+/**
+ * Cluster-level observer of one replica's adapter residency. An
+ * AdapterManager with a listener attached reports every residency
+ * transition (load start/complete, eviction) and reference-count move
+ * (acquire/release), keyed by the replica index given at attach time.
+ * The cache fabric's ResidencyDirectory implements this to keep a
+ * cluster-wide adapter -> {replica, tier, refcount, last-use} map
+ * coherent without polling per-replica caches. Listeners only observe;
+ * they must never call back into the reporting manager.
+ */
+class ResidencyEvents
+{
+  public:
+    virtual ~ResidencyEvents() = default;
+
+    /** A transfer started (NotResident -> Loading). */
+    virtual void onLoadStart(int replica, model::AdapterId id) = 0;
+    /** The transfer completed (Loading -> Resident). */
+    virtual void onLoadComplete(int replica, model::AdapterId id) = 0;
+    /** The adapter left device memory (-> NotResident). */
+    virtual void onEvict(int replica, model::AdapterId id) = 0;
+    /** A running reference was taken (admission). */
+    virtual void onAcquire(int replica, model::AdapterId id,
+                           sim::SimTime now) = 0;
+    /** A running reference was dropped (finish or squash). */
+    virtual void onRelease(int replica, model::AdapterId id) = 0;
+};
+
 /** Residency/transfer policy for LoRA adapters on one engine. */
 class AdapterManager
 {
@@ -87,6 +115,39 @@ class AdapterManager
     {
         (void)recorder;
         (void)pid;
+    }
+
+    /**
+     * Attach the cluster residency listener; `replica` is the engine
+     * index this manager reports as. Default: ignore — the baseline
+     * manager keeps nothing idle worth tracking, and an unattached
+     * manager behaves identically either way. Attach before the first
+     * request; there is no replay of pre-attach contents.
+     */
+    virtual void setResidencyListener(ResidencyEvents *listener,
+                                      int replica)
+    {
+        (void)listener;
+        (void)replica;
+    }
+
+    /**
+     * Admit adapter weights arriving over a peer (replica-to-replica)
+     * link instead of the host PCIe link: reserve memory, mark the
+     * adapter Loading, and flip it Resident at `readyAt` — the peer
+     * transfer's completion time, modelled by the caller. Returns the
+     * time the weights become usable, or sim::kTimeNever when the
+     * manager declines (no memory without violating its watermark, or
+     * no cache at all — the default). Never touches the host link, so
+     * host pcie byte counters stay flat for peer-warmed adapters.
+     */
+    virtual sim::SimTime peerAdmit(model::AdapterId id,
+                                   sim::SimTime readyAt, sim::SimTime now)
+    {
+        (void)id;
+        (void)readyAt;
+        (void)now;
+        return sim::kTimeNever;
     }
 
     /** Residency checks that needed no transfer (cache/residency hits). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "fabric/cache_fabric.h"
 #include "simkit/check.h"
 
 namespace chameleon::serving {
@@ -108,6 +109,33 @@ DataParallelCluster::adapterResident(std::size_t i,
     return engine.adapterManager().isResident(id);
 }
 
+void
+DataParallelCluster::residentReplicas(model::AdapterId id,
+                                      std::vector<std::size_t> *out) const
+{
+    if (fabric_ == nullptr) {
+        routing::ClusterView::residentReplicas(id, out);
+        return;
+    }
+    out->clear();
+    if (id == model::kNoAdapter) {
+        // No-adapter requests hit everywhere (adapterResident parity).
+        for (std::size_t i = 0; i < routable_.size(); ++i)
+            out->push_back(i);
+        return;
+    }
+    // Directory answers in engine indices; translate to view indices.
+    // Both sides are ascending, so one binary search per holder.
+    fabric_->directory().residentReplicas(id, &fabricHolders_);
+    for (std::size_t engineIndex : fabricHolders_) {
+        const auto it = std::lower_bound(routable_.begin(),
+                                         routable_.end(), engineIndex);
+        if (it != routable_.end() && *it == engineIndex)
+            out->push_back(
+                static_cast<std::size_t>(it - routable_.begin()));
+    }
+}
+
 double
 DataParallelCluster::serviceWeight(std::size_t i) const
 {
@@ -148,11 +176,26 @@ DataParallelCluster::effectiveServiceRates() const
 }
 
 void
+DataParallelCluster::attachFabric(fabric::CacheFabric *fabric)
+{
+    CHM_CHECK(!traceSubmitted_,
+              "attachFabric must precede submitTrace");
+    CHM_CHECK(fabric_ == nullptr, "cluster already has a cache fabric");
+    fabric_ = fabric;
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        fabric_->attachReplica(i, engines_[i]->adapterManager());
+    if (trace_ != nullptr)
+        fabric_->setTraceRecorder(trace_);
+}
+
+void
 DataParallelCluster::setTraceRecorder(obs::TraceRecorder *recorder)
 {
     trace_ = recorder;
     if (autoscaler_ != nullptr)
         autoscaler_->setTraceRecorder(recorder);
+    if (fabric_ != nullptr)
+        fabric_->setTraceRecorder(recorder);
     if (recorder == nullptr) {
         router_->setTraceRecorder(nullptr, nullptr);
         for (auto &engine : engines_)
@@ -207,6 +250,10 @@ DataParallelCluster::appendEngine(std::unique_ptr<ServingEngine> engine,
     }
     if (trace_ != nullptr)
         wireEngineTrace(engines_.size() - 1);
+    if (fabric_ != nullptr) {
+        fabric_->attachReplica(engines_.size() - 1,
+                               engines_.back()->adapterManager());
+    }
 }
 
 void
@@ -266,22 +313,29 @@ DataParallelCluster::buildScaleUpReplica()
                         {{"replica", index},
                          {"gpu", engines_[index]->config().gpu.name}});
     }
-    if (!coldStart_.enabled())
-        return;
-    const sim::SimTime boot =
-        coldStart_.bootTime(engines_[index]->config());
-    states_[index] = ReplicaState::Booting;
-    bootDeadline_[index] = sim_.now() + boot;
-    ++bootStats_.boots;
-    bootStats_.totalBootTime += boot;
-    if (trace_ != nullptr) {
-        // The boot duration is known at schedule time, so the span is a
-        // complete event up front. A drain can cancel the boot
-        // mid-span; the cancellation shows as the "drain" instant.
-        trace_->complete(obs::pidForReplica(index), obs::Lane::Engine,
-                         "boot", sim_.now(), boot);
+    if (coldStart_.enabled()) {
+        const sim::SimTime boot =
+            coldStart_.bootTime(engines_[index]->config());
+        states_[index] = ReplicaState::Booting;
+        bootDeadline_[index] = sim_.now() + boot;
+        ++bootStats_.boots;
+        bootStats_.totalBootTime += boot;
+        if (trace_ != nullptr) {
+            // The boot duration is known at schedule time, so the span
+            // is a complete event up front. A drain can cancel the boot
+            // mid-span; the cancellation shows as the "drain" instant.
+            trace_->complete(obs::pidForReplica(index),
+                             obs::Lane::Engine, "boot", sim_.now(),
+                             boot);
+        }
+        sim_.scheduleAfter(boot,
+                           [this, index] { onBootComplete(index); });
     }
-    sim_.scheduleAfter(boot, [this, index] { onBootComplete(index); });
+    // Peer-warm the new replica while (or despite) it boots: the
+    // migrations land through the calendar queue, so the cache is warm
+    // by the time the boot deadline admits the replica to the ring.
+    if (fabric_ != nullptr)
+        fabric_->onScaleUp(index, sim_.now());
 }
 
 void
@@ -312,6 +366,10 @@ DataParallelCluster::syncRoutable()
         routable_ = std::move(routable);
         weightsDirty_ = true;
         router_->onReplicaCountChanged(routable_.size());
+        // Ring remap: re-home globally hot adapters that lost their
+        // last active holder to the drain/boot that changed the set.
+        if (fabric_ != nullptr && !routable_.empty())
+            fabric_->onRemap(routable_, sim_.now());
     }
 }
 
@@ -373,6 +431,7 @@ DataParallelCluster::applyTarget(std::size_t target)
 {
     if (target == provisioned_)
         return;
+    std::vector<std::size_t> drained;
     if (target > provisioned_) {
         while (provisioned_ < target) {
             if (provisioned_ < engines_.size()) {
@@ -402,6 +461,7 @@ DataParallelCluster::applyTarget(std::size_t target)
         while (provisioned_ > target) {
             --provisioned_;
             states_[provisioned_] = ReplicaState::Drained;
+            drained.push_back(provisioned_);
             if (trace_ != nullptr) {
                 trace_->instant(obs::kClusterPid, obs::Lane::Control,
                                 "drain", sim_.now(),
@@ -410,6 +470,14 @@ DataParallelCluster::applyTarget(std::size_t target)
         }
     }
     syncRoutable();
+    // After the routable set settles: each drained replica pushes its
+    // hot idle cache entries to the survivors (ascending index, so the
+    // migration order is deterministic).
+    if (fabric_ != nullptr && !drained.empty()) {
+        std::sort(drained.begin(), drained.end());
+        for (std::size_t index : drained)
+            fabric_->onDrain(index, routable_, sim_.now());
+    }
 }
 
 void

@@ -56,6 +56,10 @@
 #include "serving/engine.h"
 #include "serving/measured_rate.h"
 
+namespace chameleon::fabric {
+class CacheFabric;
+}
+
 namespace chameleon::serving {
 
 /** A set of data-parallel engines behind a global dispatcher. */
@@ -160,6 +164,17 @@ class DataParallelCluster : public routing::ClusterView
      */
     void setTraceRecorder(obs::TraceRecorder *recorder);
 
+    /**
+     * Attach the cluster-wide cache fabric (residency directory +
+     * peer-to-peer migration). Registers every existing engine's
+     * adapter manager with the fabric directory; engines built later
+     * by scale-ups register at creation, and lifecycle transitions
+     * (scale-up boot, drain, routable-set remap) trigger the fabric's
+     * migration hooks. Call before submitTrace. The fabric outlives
+     * the cluster's use of it (the Runner owns both).
+     */
+    void attachFabric(fabric::CacheFabric *fabric);
+
     /** Route every request of the trace at its arrival time. */
     void submitTrace(const workload::Trace &trace);
 
@@ -168,6 +183,11 @@ class DataParallelCluster : public routing::ClusterView
     std::int64_t outstanding(std::size_t i) const override;
     bool adapterResident(std::size_t i,
                          model::AdapterId id) const override;
+    /** Directory-backed when a cache fabric is attached (O(holders)
+     * per lookup); falls back to the base-class residency scan
+     * otherwise. Both return the same view indices. */
+    void residentReplicas(model::AdapterId id,
+                          std::vector<std::size_t> *out) const override;
     /** Service rate of dispatchable replica i over the fleet's maximum
      * nominal rate — measured when enabled, nominal otherwise; exactly
      * 1.0 everywhere on a homogeneous unmeasured cluster. */
@@ -268,6 +288,9 @@ class DataParallelCluster : public routing::ClusterView
     sim::Simulator &sim_;
     EngineFactory factory_;
     obs::TraceRecorder *trace_ = nullptr;
+    fabric::CacheFabric *fabric_ = nullptr;
+    /** residentReplicas scratch: engine indices from the directory. */
+    mutable std::vector<std::size_t> fabricHolders_;
     std::unique_ptr<routing::Router> router_;
     std::unique_ptr<routing::Autoscaler> autoscaler_;
     ColdStartModel coldStart_{0.0};

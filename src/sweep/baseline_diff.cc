@@ -13,8 +13,9 @@ bool
 isIdentityKey(const std::string &key)
 {
     static const char *const kIdentity[] = {
-        "system", "rps",       "replicas",  "fleet",
-        "router", "autoscale", "trace_seed"};
+        "system",    "rps",      "replicas",   "fleet",
+        "router",    "autoscale", "migration", "topology",
+        "trace_seed"};
     return std::any_of(std::begin(kIdentity), std::end(kIdentity),
                        [&](const char *k) { return key == k; });
 }

@@ -121,6 +121,8 @@ SweepRunner::appendRows(BenchJson &json,
             .field("fleet", cell.fleet)
             .field("router", cell.router)
             .field("autoscale", cell.autoscale)
+            .field("migration", cell.migration)
+            .field("topology", cell.topology)
             .field("trace_seed", cell.traceSeed)
             .field("submitted", s.submitted)
             .field("finished", s.finished)
@@ -148,6 +150,9 @@ SweepRunner::appendRows(BenchJson &json,
             .field("total_boot_s", report.totalBootSeconds)
             .field("requests_delayed_by_boot",
                    report.requestsDelayedByBoot)
+            .field("fabric_migrations", report.fabricMigrations)
+            .field("fabric_peer_gb",
+                   static_cast<double>(report.fabricPeerBytes) / 1e9)
             .field("fairness_index", report.fairnessIndex)
             .field("slo_attainment", report.sloAttainment)
             .field("event_hash", hashLiteral(report.eventHash));

@@ -246,6 +246,14 @@ sweepFromJson(const std::string &text, std::string *error)
                                       error))
             return failure();
     }
+    stringList(r, "migrations", &spec.migrations,
+               /*allowEmpty=*/false);
+    stringList(r, "topologies", &spec.topologies,
+               /*allowEmpty=*/false);
+    if (const JsonValue *f = r.child("fabric")) {
+        if (!core::fabricFromJson(*f, "fabric", &spec.fabric, error))
+            return failure();
+    }
     if (const JsonValue *w = r.child("workload")) {
         if (!workloadFromJson(*w, &spec.workload, error))
             return failure();
@@ -373,6 +381,48 @@ expandSweep(const SweepSpec &spec, std::string *error)
         spec.autoscale.empty() ? std::vector<bool>{false}
                                : spec.autoscale;
 
+    // The fabric axes: migration policies and peer topologies, each
+    // resolved through the fabric registries up front so an unknown
+    // name fails once with the valid options, not per cell.
+    struct MigrationAxisValue
+    {
+        std::string name;
+        fabric::MigrationPolicy policy = fabric::MigrationPolicy::Off;
+    };
+    std::vector<MigrationAxisValue> migrationAxis;
+    for (const auto &name :
+         spec.migrations.empty() ? std::vector<std::string>{"off"}
+                                 : spec.migrations) {
+        MigrationAxisValue value;
+        value.name = name;
+        if (!fabric::migrationPolicyByName(name, &value.policy)) {
+            if (error != nullptr)
+                *error = "sweep migrations: unknown policy \"" + name +
+                         "\"; known: " + fabric::migrationPolicyNames();
+            return std::nullopt;
+        }
+        migrationAxis.push_back(std::move(value));
+    }
+    struct TopologyAxisValue
+    {
+        std::string name;
+        fabric::TopologyKind kind = fabric::TopologyKind::PciePeer;
+    };
+    std::vector<TopologyAxisValue> topologyAxis;
+    for (const auto &name :
+         spec.topologies.empty() ? std::vector<std::string>{"pcie"}
+                                 : spec.topologies) {
+        TopologyAxisValue value;
+        value.name = name;
+        if (!fabric::topologyByName(name, &value.kind)) {
+            if (error != nullptr)
+                *error = "sweep topologies: unknown topology \"" + name +
+                         "\"; known: " + fabric::topologyNames();
+            return std::nullopt;
+        }
+        topologyAxis.push_back(std::move(value));
+    }
+
     // The deployment axis: either homogeneous replica counts or
     // heterogeneous fleet presets (mutually exclusive — a fleet
     // already fixes each cell's replica count and GPU mix).
@@ -432,12 +482,16 @@ expandSweep(const SweepSpec &spec, std::string *error)
                 const int replicaCount = deployment.replicas;
                 for (const auto &router : routerAxis) {
                   for (const bool autoscale : autoscaleAxis) {
+                   for (const auto &migration : migrationAxis) {
+                    for (const auto &topology : topologyAxis) {
                     SweepCell cell;
                     cell.system = system;
                     cell.replicaCount = replicaCount;
                     cell.fleet = deployment.fleet;
                     cell.router = router;
                     cell.autoscale = autoscale;
+                    cell.migration = migration.name;
+                    cell.topology = topology.name;
                     cell.rps = spec.rpsPerReplica
                                    ? loads[li] * replicaCount
                                    : loads[li];
@@ -463,6 +517,9 @@ expandSweep(const SweepSpec &spec, std::string *error)
                     cell.spec.cluster.autoscale = autoscale;
                     if (autoscale)
                         cell.spec.cluster.autoscaler = spec.autoscaler;
+                    cell.spec.fabric = spec.fabric;
+                    cell.spec.fabric.migration = migration.policy;
+                    cell.spec.fabric.topology = topology.kind;
 
                     const auto problems = cell.spec.validate();
                     if (!problems.empty()) {
@@ -476,6 +533,8 @@ expandSweep(const SweepSpec &spec, std::string *error)
                             os << ", router " << router;
                             if (autoscale)
                                 os << ", autoscale";
+                            if (cell.migration != "off")
+                                os << ", migration " << cell.migration;
                             os << ") is invalid:";
                             for (const auto &p : problems)
                                 os << "\n  - " << p;
@@ -497,6 +556,8 @@ expandSweep(const SweepSpec &spec, std::string *error)
                         traceKeys.push_back(key);
                     cell.traceIndex = index;
                     cells.push_back(std::move(cell));
+                    }
+                   }
                   }
                 }
             }

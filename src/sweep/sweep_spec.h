@@ -128,6 +128,18 @@ struct SweepSpec
     std::vector<bool> autoscale;
     /** Autoscaler template stamped onto every autoscaling cell. */
     routing::AutoscalerConfig autoscaler{};
+    /**
+     * Cache-fabric migration axis (off|scale-up|drain|remap|all);
+     * empty = {"off"} — no fabric unless the router axis asks for
+     * affinity-dir. Each entry becomes one axis value stamped onto
+     * spec.fabric.migration.
+     */
+    std::vector<std::string> migrations;
+    /** Peer-topology axis (pcie|nvlink); empty = {"pcie"}. */
+    std::vector<std::string> topologies;
+    /** Fabric template stamped onto every cell (migration/topology
+     * come from the axes above). */
+    core::FabricSpec fabric{};
 
     SweepWorkload workload;
     /** Hardware template stamped onto every cell. */
@@ -157,6 +169,10 @@ struct SweepCell
     std::string router;
     /** Autoscale-axis value of the cell. */
     bool autoscale = false;
+    /** Migration-axis value of the cell ("off" on non-fabric sweeps). */
+    std::string migration = "off";
+    /** Topology-axis value of the cell. */
+    std::string topology = "pcie";
     /** Index of the shared trace this cell runs (SweepRunner). */
     std::size_t traceIndex = 0;
     /** Seed the cell's trace is generated with. */

@@ -60,9 +60,13 @@ canonicalHash(core::Runner &runner, const core::RunReport &report)
     return hash;
 }
 
-/** One golden scenario: router x fleet shape x autoscale. */
+/** One golden scenario: router x fleet shape x autoscale, optionally
+ * with cache-fabric peer migration on every trigger. */
 std::uint64_t
-runScenario(routing::RouterPolicy router, bool hetero, bool autoscale)
+runScenario(routing::RouterPolicy router, bool hetero, bool autoscale,
+            fabric::MigrationPolicy migration = fabric::MigrationPolicy::Off,
+            fabric::TopologyKind topology = fabric::TopologyKind::PciePeer,
+            std::size_t fabricTopK = 4)
 {
     model::AdapterPool pool(model::llama7B(), 40);
 
@@ -72,6 +76,9 @@ runScenario(routing::RouterPolicy router, bool hetero, bool autoscale)
     spec.cluster.router = router;
     spec.cluster.routerConfig.seed = kSeed;
     spec.predictor.seed = kSeed;
+    spec.fabric.migration = migration;
+    spec.fabric.topology = topology;
+    spec.fabric.topK = fabricTopK;
     spec.cluster.replicas = hetero ? 2 : 3;
     if (hetero) {
         serving::EngineConfig fast = spec.engine;
@@ -188,6 +195,30 @@ runTenantScenario(const char *scheduler, int tenants, bool storm,
 }
 
 void
+expectFabricGolden(routing::RouterPolicy router, bool hetero,
+                   bool autoscale, std::uint64_t pinned)
+{
+    const std::uint64_t hash = runScenario(router, hetero, autoscale,
+                                           fabric::MigrationPolicy::All);
+    if (std::getenv("CHM_GOLDEN_PRINT") != nullptr) {
+        std::printf("GOLDEN fabric %s %s %s 0x%016llxull\n",
+                    routing::routerPolicyName(router),
+                    hetero ? "hetero" : "homog",
+                    autoscale ? "autoscale" : "fixed",
+                    static_cast<unsigned long long>(hash));
+        return;
+    }
+    EXPECT_EQ(hash, pinned)
+        << "event stream diverged for router "
+        << routing::routerPolicyName(router)
+        << (hetero ? ", hetero fleet" : ", homogeneous fleet")
+        << (autoscale ? ", autoscale on" : ", autoscale off")
+        << ", migration all"
+        << "; if the change is intended, rerun with CHM_GOLDEN_PRINT=1 "
+        << "and update the pin (note it in CHANGES.md)";
+}
+
+void
 expectTenantGolden(const char *scheduler, int tenants, bool storm,
                    bool autoscale, std::uint64_t pinned)
 {
@@ -242,6 +273,22 @@ TEST(GoldenTrace, AffinityCacheHeteroAutoscale) { expectGolden(routing::RouterPo
 // {single-tenant, 4-tenant storm} x {fixed, autoscale}), recorded
 // before the PR 8 event-queue/pool rebuild and asserted unchanged
 // across it. Storm runs use the bounded fig29 drain window.
+// Cache-fabric pins: {affinity-dir, affinity-cache} x {homog, hetero}
+// x {fixed, autoscale} with migration "all" over the pcie peer
+// topology. Fixed fleets never trigger a migration (the only remap is
+// at construction, before any heat exists), so those four pin that the
+// fabric machinery is inert without a reshape; the autoscale pins
+// cover real peer-warm scale-up traffic. Regenerate with
+// CHM_GOLDEN_PRINT=1.
+TEST(GoldenTrace, FabricDirHomogFixed)          { expectFabricGolden(routing::RouterPolicy::AdapterAffinityDirectory,  0, 0, 0x483cf354defc6814ull); }
+TEST(GoldenTrace, FabricDirHeteroFixed)         { expectFabricGolden(routing::RouterPolicy::AdapterAffinityDirectory,  1, 0, 0xe3be4ec701d59bf8ull); }
+TEST(GoldenTrace, FabricDirHomogAutoscale)      { expectFabricGolden(routing::RouterPolicy::AdapterAffinityDirectory,  0, 1, 0x6bbfe18965fcf889ull); }
+TEST(GoldenTrace, FabricDirHeteroAutoscale)     { expectFabricGolden(routing::RouterPolicy::AdapterAffinityDirectory,  1, 1, 0xd568b212e4e944caull); }
+TEST(GoldenTrace, FabricCacheHomogFixed)        { expectFabricGolden(routing::RouterPolicy::AdapterAffinityCacheAware, 0, 0, 0x483cf354defc6814ull); }
+TEST(GoldenTrace, FabricCacheHeteroFixed)       { expectFabricGolden(routing::RouterPolicy::AdapterAffinityCacheAware, 1, 0, 0xe3be4ec701d59bf8ull); }
+TEST(GoldenTrace, FabricCacheHomogAutoscale)    { expectFabricGolden(routing::RouterPolicy::AdapterAffinityCacheAware, 0, 1, 0x6bbfe18965fcf889ull); }
+TEST(GoldenTrace, FabricCacheHeteroAutoscale)   { expectFabricGolden(routing::RouterPolicy::AdapterAffinityCacheAware, 1, 1, 0xd568b212e4e944caull); }
+
 TEST(GoldenTrace, WfqSingleFixed)     { expectTenantGolden("wfq", 1, 0, 0, 0xdf5c533bcbfe241aull); }
 TEST(GoldenTrace, WfqStormFixed)      { expectTenantGolden("wfq", 4, 1, 0, 0xcb4051efba9cf7d0ull); }
 TEST(GoldenTrace, WfqStormAutoscale)  { expectTenantGolden("wfq", 4, 1, 1, 0xf53244aa63814caeull); }
@@ -249,3 +296,39 @@ TEST(GoldenTrace, DrrSingleFixed)     { expectTenantGolden("drr", 1, 0, 0, 0xdda
 TEST(GoldenTrace, DrrStormFixed)      { expectTenantGolden("drr", 4, 1, 0, 0x67486ae747e7f57bull); }
 TEST(GoldenTrace, DrrStormAutoscale)  { expectTenantGolden("drr", 4, 1, 1, 0x3b3c8e13ca97af96ull); }
 // clang-format on
+
+/**
+ * With migration off, the directory router must route exactly like the
+ * cache-aware scan it replaces — the directory is a coherent mirror of
+ * the same per-replica residency the scan reads. The AffinityCache*
+ * pins above hold these streams byte-identical to the pre-fabric
+ * seeds, so this equivalence transitively pins affinity-dir's
+ * migration-off behaviour without four more constants.
+ */
+TEST(GoldenTrace, DirectoryRouterMatchesCacheAwareScan)
+{
+    for (const bool hetero : {false, true}) {
+        for (const bool autoscale : {false, true}) {
+            EXPECT_EQ(
+                runScenario(
+                    routing::RouterPolicy::AdapterAffinityDirectory,
+                    hetero, autoscale),
+                runScenario(
+                    routing::RouterPolicy::AdapterAffinityCacheAware,
+                    hetero, autoscale))
+                << (hetero ? "hetero" : "homog")
+                << (autoscale ? ", autoscale" : ", fixed");
+        }
+    }
+}
+
+/** Non-default fabric knobs are inert while migration is off: the
+ * stream stays byte-identical to the pinned pre-fabric scenario. */
+TEST(GoldenTrace, FabricKnobsInertWithMigrationOff)
+{
+    EXPECT_EQ(runScenario(routing::RouterPolicy::AdapterAffinityCacheAware,
+                          true, true, fabric::MigrationPolicy::Off,
+                          fabric::TopologyKind::NvLink, 9),
+              0x748730f518247018ull)
+        << "fabric topology/top_k leaked into a migration-off run";
+}

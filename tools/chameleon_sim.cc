@@ -49,6 +49,7 @@
 
 #include "chameleon/spec_json.h"
 #include "chameleon/system.h"
+#include "fabric/cache_fabric.h"
 #include "tool_io.h"
 #include "model/gpu_spec.h"
 #include "model/llm.h"
@@ -165,7 +166,18 @@ main(int argc, char **argv)
         "(defines the replica count; per-replica GPUs override --gpu)");
     auto *router = flags.addString(
         "router", "jsq",
-        "cluster dispatch policy: rr|jsq|p2c|affinity|affinity-cache");
+        "cluster dispatch policy: "
+        "rr|jsq|p2c|affinity|affinity-cache|affinity-dir");
+    auto *migration = flags.addString(
+        "migration", "off",
+        "cache-fabric peer migration triggers: "
+        "off|scale-up|drain|remap|all");
+    auto *topology = flags.addString(
+        "topology", "pcie",
+        "peer-link preset migrations travel over: pcie|nvlink");
+    auto *fabric_top_k = flags.addInt(
+        "fabric-top-k", 4,
+        "hot adapters considered per migration trigger");
     auto *autoscale = flags.addBool(
         "autoscale", false, "enable predictor-driven replica autoscaling");
     auto *min_replicas = flags.addInt("min-replicas", 1,
@@ -238,7 +250,8 @@ main(int argc, char **argv)
              {"system", "model", "gpu", "mem-gib", "tp", "predictor-acc",
               "replicas", "fleet", "router", "autoscale", "min-replicas",
               "max-replicas", "replica-rps", "autoscale-boot-ms",
-              "autoscale-up-policy", "autoscale-alpha", "tenants"}) {
+              "autoscale-up-policy", "autoscale-alpha", "tenants",
+              "migration", "topology", "fabric-top-k"}) {
             CHM_CHECK(!flagGiven(argc, argv, conflicting),
                       "--" << conflicting
                            << " conflicts with --config; edit the "
@@ -329,6 +342,22 @@ main(int argc, char **argv)
             return 2;
         }
         spec.cluster.autoscaler.measuredRateAlpha = *measured_alpha;
+        if (!fabric::migrationPolicyByName(*migration,
+                                           &spec.fabric.migration)) {
+            std::fprintf(stderr,
+                         "unknown --migration '%s'; known: %s\n",
+                         migration->c_str(),
+                         fabric::migrationPolicyNames());
+            return 2;
+        }
+        if (!fabric::topologyByName(*topology, &spec.fabric.topology)) {
+            std::fprintf(stderr,
+                         "unknown --topology '%s'; known: %s\n",
+                         topology->c_str(), fabric::topologyNames());
+            return 2;
+        }
+        CHM_CHECK(*fabric_top_k >= 1, "--fabric-top-k must be >= 1");
+        spec.fabric.topK = static_cast<std::size_t>(*fabric_top_k);
         // Cluster-only flags silently doing nothing would misread as a
         // valid run of the requested policy.
         CHM_CHECK(spec.cluster.replicas > 1 || spec.cluster.autoscale ||
@@ -341,6 +370,13 @@ main(int argc, char **argv)
                   "--min-replicas/--max-replicas/--replica-rps/"
                   "--autoscale-boot-ms/--autoscale-up-policy/"
                   "--autoscale-alpha require --autoscale");
+        CHM_CHECK(spec.fabric.migration == fabric::MigrationPolicy::Off ||
+                      spec.cluster.replicas > 1 || spec.cluster.autoscale,
+                  "--migration needs peers: --replicas > 1 or "
+                  "--autoscale");
+        CHM_CHECK(spec.fabric.enabled() ||
+                      (*topology == "pcie" && *fabric_top_k == 4),
+                  "--topology/--fabric-top-k require --migration");
     }
     const bool clusterRun =
         spec.cluster.replicas > 1 || spec.cluster.autoscale;
@@ -434,6 +470,13 @@ main(int argc, char **argv)
             for (const auto &engine : spec.cluster.replicaEngines)
                 std::printf(" %s", engine.gpu.name.c_str());
             std::printf("\n");
+        }
+        if (spec.fabricEnabled()) {
+            std::printf("fabric      : migration %s over %s, top-%zu "
+                        "hot adapters\n",
+                        fabric::migrationPolicyName(spec.fabric.migration),
+                        fabric::topologyName(spec.fabric.topology),
+                        spec.fabric.topK);
         }
     }
     std::printf("trace       : %zu requests, %.2f RPS, %.0f s\n",
@@ -560,6 +603,14 @@ main(int argc, char **argv)
                         report.totalBootSeconds,
                         static_cast<long long>(
                             report.requestsDelayedByBoot));
+        }
+        if (report.fabricEnabled) {
+            std::printf("fabric      : %lld migrations, %.2f GB over "
+                        "%lld peer transfers\n",
+                        static_cast<long long>(report.fabricMigrations),
+                        static_cast<double>(report.fabricPeerBytes) / 1e9,
+                        static_cast<long long>(
+                            report.fabricPeerTransfers));
         }
     }
 

@@ -98,15 +98,16 @@ main(int argc, char **argv)
     if (*dry_run) {
         std::printf("sweep %s: %zu cells\n", spec->name.c_str(),
                     cells->size());
-        std::printf("%-32s %8s %9s %-16s %-15s %9s %12s\n", "system",
-                    "rps", "replicas", "fleet", "router", "autoscale",
-                    "trace_seed");
+        std::printf("%-32s %8s %9s %-16s %-15s %9s %-9s %12s\n",
+                    "system", "rps", "replicas", "fleet", "router",
+                    "autoscale", "migration", "trace_seed");
         for (const auto &cell : *cells) {
-            std::printf("%-32s %8.2f %9d %-16s %-15s %9s %12llu\n",
+            std::printf("%-32s %8.2f %9d %-16s %-15s %9s %-9s %12llu\n",
                         cell.system.c_str(), cell.rps, cell.replicaCount,
                         cell.fleet.empty() ? "-" : cell.fleet.c_str(),
                         cell.router.c_str(),
                         cell.autoscale ? "on" : "off",
+                        cell.migration.c_str(),
                         static_cast<unsigned long long>(cell.traceSeed));
         }
         return 0;
