@@ -155,6 +155,8 @@ clusterToJson(const ClusterSpec &c)
     rc.set("spill_load_factor",
            JsonValue::makeNumber(c.routerConfig.spillLoadFactor));
     rc.set("spill_margin", JsonValue::makeInt(c.routerConfig.spillMargin));
+    rc.set("slo_admission",
+           JsonValue::makeBool(c.routerConfig.sloAdmission));
     o.set("router_config", std::move(rc));
     o.set("autoscale", JsonValue::makeBool(c.autoscale));
     JsonValue as = JsonValue::makeObject();
@@ -186,6 +188,11 @@ clusterToJson(const ClusterSpec &c)
                c.autoscaler.scaleUpPolicy)));
     as.set("measured_rate_alpha",
            JsonValue::makeNumber(c.autoscaler.measuredRateAlpha));
+    as.set("demand_source",
+           JsonValue::makeString(
+               routing::demandSourceName(c.autoscaler.demandSource)));
+    as.set("boot_aware_horizon",
+           JsonValue::makeBool(c.autoscaler.bootAwareHorizon));
     o.set("autoscaler", std::move(as));
     return o;
 }
@@ -460,6 +467,7 @@ clusterFromJson(const JsonValue &v, const std::string &path,
         rr.getDouble("spill_load_factor",
                      &out->routerConfig.spillLoadFactor);
         rr.getInt64("spill_margin", &out->routerConfig.spillMargin);
+        rr.getBool("slo_admission", &out->routerConfig.sloAdmission);
         if (!rr.finish())
             return false;
     }
@@ -573,6 +581,9 @@ autoscalerFromJson(const JsonValue &obj, const std::string &path,
     r.getEnum("scale_up_policy", &out->scaleUpPolicy,
               routing::scaleUpPolicyByName, routing::scaleUpPolicyNames());
     r.getDouble("measured_rate_alpha", &out->measuredRateAlpha);
+    r.getEnum("demand_source", &out->demandSource,
+              routing::demandSourceByName, routing::demandSourceNames());
+    r.getBool("boot_aware_horizon", &out->bootAwareHorizon);
     return r.finish();
 }
 

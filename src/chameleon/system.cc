@@ -8,6 +8,7 @@
 
 #include "fabric/cache_fabric.h"
 #include "predict/history_predictor.h"
+#include "routing/slo_admission.h"
 #include "predict/length_predictor.h"
 #include "serving/fifo_scheduler.h"
 #include "serving/sjf_scheduler.h"
@@ -192,18 +193,31 @@ Runner::Runner(SystemSpec spec, const model::AdapterPool *pool)
     // not per-engine state).
     predictor_ = buildPredictor(spec_.predictor);
     const ClusterSpec &ccfg = spec_.cluster;
+    std::unique_ptr<routing::Router> router =
+        routing::makeRouter(ccfg.router, ccfg.routerConfig);
+    if (ccfg.routerConfig.sloAdmission) {
+        // SLO-critical tenants (multiplier < 1.0) bypass the base
+        // policy for the fastest effective-rate replica; with the
+        // default multiplier table the decorator never intercepts.
+        router = std::make_unique<routing::SloAdmissionRouter>(
+            std::move(router), spec_.tenancy.sloMultipliers);
+    }
     cluster_ = std::make_unique<serving::DataParallelCluster>(
         sim_,
         [this](std::size_t replica) {
             return buildEngine(spec_, replica, pool_, sim_,
                                predictor_.get());
         },
-        ccfg.replicas, routing::makeRouter(ccfg.router, ccfg.routerConfig));
+        ccfg.replicas, std::move(router));
     if (ccfg.autoscale) {
         // replicaServiceRps rates the spec's base engine; per-replica
         // capacity factors divide each replica's nominal rate by it.
         cluster_->enableAutoscaler(
             ccfg.autoscaler, serving::nominalServiceRate(spec_.engine));
+        // Default-policy scale-ups past the fleet list build the base
+        // engine; pricing its boot for the boot-aware horizon needs
+        // the config without building a replica.
+        cluster_->setReferenceEngine(spec_.engine);
         if (ccfg.autoscaler.scaleUpPolicy !=
             routing::ScaleUpPolicy::Default) {
             // Catalogue for the hetero-aware scale-up policy: the

@@ -385,6 +385,17 @@ SystemSpec::validate() const
                << "); 0 keeps the static nominal routing weights";
             err(os);
         }
+        if (cluster.autoscaler.demandSource ==
+                routing::DemandSource::Measured &&
+            cluster.autoscaler.measuredRateAlpha <= 0.0) {
+            std::ostringstream os;
+            os << "autoscaler.demandSource 'measured' needs "
+               << "measuredRateAlpha > 0 — without the per-replica "
+               << "EWMAs the capacity signals silently degrade to the "
+               << "nominal rates; set measured_rate_alpha (or keep "
+               << "demand_source 'nominal')";
+            err(os);
+        }
     }
     return errors;
 }

@@ -39,6 +39,34 @@ scaleUpPolicyNames()
     return "default, cheapest, fastest";
 }
 
+const char *
+demandSourceName(DemandSource source)
+{
+    switch (source) {
+      case DemandSource::Nominal: return "nominal";
+      case DemandSource::Measured: return "measured";
+    }
+    return "?";
+}
+
+bool
+demandSourceByName(const std::string &name, DemandSource *out)
+{
+    if (name == "nominal")
+        *out = DemandSource::Nominal;
+    else if (name == "measured")
+        *out = DemandSource::Measured;
+    else
+        return false;
+    return true;
+}
+
+const char *
+demandSourceNames()
+{
+    return "nominal, measured";
+}
+
 Autoscaler::Autoscaler(AutoscalerConfig config)
     : config_(config),
       forecast_(config.forecastWindowSeconds)
@@ -80,6 +108,11 @@ Autoscaler::evaluate(std::size_t activeReplicas,
                      std::int64_t totalOutstanding, sim::SimTime now,
                      const CapacitySignals &capacity)
 {
+    // The raw count is what the cluster actually provisioned; the
+    // clamped copy drives the decision arithmetic. Tracing both makes
+    // min/max saturation visible in Perfetto instead of silently
+    // reporting the clamped value as if it were the fleet's state.
+    const std::size_t rawActive = activeReplicas;
     activeReplicas = std::clamp(activeReplicas, config_.minReplicas,
                                 config_.maxReplicas);
     ++sinceUp_;
@@ -95,11 +128,14 @@ Autoscaler::evaluate(std::size_t activeReplicas,
             trace_->instant(obs::kClusterPid, obs::Lane::Control,
                             "autoscale_eval", now,
                             {{"active", activeReplicas},
+                             {"raw_active", rawActive},
                              {"target", target},
                              {"outstanding", totalOutstanding},
                              {"demand", lastDemand_},
                              {"capacity",
-                              capacity.activeCapacityFactor}});
+                              capacity.activeCapacityFactor},
+                             {"next_factor",
+                              capacity.nextReplicaFactor}});
         }
         return target;
     };
@@ -107,11 +143,18 @@ Autoscaler::evaluate(std::size_t activeReplicas,
     // Forecast signal: demand in reference-replica units (the scalar
     // replicaServiceRps rates the reference replica; the active set's
     // aggregate capacity factor says how many reference replicas the
-    // fleet currently amounts to).
+    // fleet currently amounts to). With the boot-aware horizon, look
+    // ahead at least as far as the next replica's boot latency: a
+    // scale-up decided now only delivers capacity after the boot, so a
+    // shorter horizon always loses the race against a building burst.
     double demand = 0.0;
     if (config_.replicaServiceRps > 0.0) {
-        const double rps = forecast_.forecastRps(
-            now, config_.forecastHorizonSeconds);
+        double horizon = config_.forecastHorizonSeconds;
+        if (config_.bootAwareHorizon) {
+            horizon =
+                std::max(horizon, capacity.nextReplicaBootSeconds);
+        }
+        const double rps = forecast_.forecastRps(now, horizon);
         demand = std::ceil(rps / config_.replicaServiceRps);
     }
     lastDemand_ = demand;
@@ -176,7 +219,9 @@ operator==(const AutoscalerConfig &a, const AutoscalerConfig &b)
            a.upCooldownPeriods == b.upCooldownPeriods &&
            a.downCooldownPeriods == b.downCooldownPeriods &&
            a.bootMs == b.bootMs && a.scaleUpPolicy == b.scaleUpPolicy &&
-           a.measuredRateAlpha == b.measuredRateAlpha;
+           a.measuredRateAlpha == b.measuredRateAlpha &&
+           a.demandSource == b.demandSource &&
+           a.bootAwareHorizon == b.bootAwareHorizon;
 }
 
 } // namespace chameleon::routing

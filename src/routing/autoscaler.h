@@ -71,6 +71,31 @@ bool scaleUpPolicyByName(const std::string &name, ScaleUpPolicy *out);
 /** Comma-separated policy names, for error messages. */
 const char *scaleUpPolicyNames();
 
+/**
+ * Which per-replica service-rate estimate the cluster folds into the
+ * CapacitySignals it hands each evaluation.
+ */
+enum class DemandSource {
+    /** Static nominal rates (serving::nominalServiceRate) — the
+     * pre-closed-loop behaviour, and the only option when measured
+     * rates are disabled. */
+    Nominal,
+    /** Blended effective rates: the measured completion-rate EWMA
+     * (serving::MeasuredRate) when measured_rate_alpha > 0, nominal
+     * otherwise — demand-in-reference-units then tracks *achieved*
+     * throughput, so a degraded fleet scales up earlier. */
+    Measured,
+};
+
+/** Canonical short name (also accepted by demandSourceByName). */
+const char *demandSourceName(DemandSource source);
+
+/** Parse a demand-source name; returns false on unknown names. */
+bool demandSourceByName(const std::string &name, DemandSource *out);
+
+/** Comma-separated demand-source names, for error messages. */
+const char *demandSourceNames();
+
 /** Watermarks, bounds and cadence of the autoscaler. */
 struct AutoscalerConfig
 {
@@ -115,6 +140,22 @@ struct AutoscalerConfig
      * weights stay the static nominal estimates, bit-identically.
      */
     double measuredRateAlpha = 0.0;
+    /**
+     * Which rate estimate feeds the capacity factors the cluster
+     * reports (CapacitySignals). Nominal keeps the static estimates —
+     * bit-identical decisions; Measured uses the effective (measured
+     * when alpha > 0) rates, so capacity tracks achieved throughput.
+     */
+    DemandSource demandSource = DemandSource::Nominal;
+    /**
+     * Stretch the forecast horizon to at least the boot time of the
+     * replica the scale-up policy would actually add
+     * (CapacitySignals::nextReplicaBootSeconds), so a scale-up is
+     * triggered early enough for the new replica to finish booting
+     * before the forecasted load lands — closing the fig28 race. Off
+     * (the default) keeps the static forecast_horizon_s.
+     */
+    bool bootAwareHorizon = false;
 };
 
 /** Field-wise equality (spec round-trip tests). */
@@ -136,6 +177,14 @@ struct CapacitySignals
     double activeCapacityFactor = 0.0;
     /** Factor of the replica the next scale-up step would add. */
     double nextReplicaFactor = 1.0;
+    /**
+     * Boot latency of that same next replica, seconds: the remaining
+     * boot of a drained-mid-boot reactivation, or ColdStartModel
+     * weight-load + boot_ms for a fresh build. 0 while the cold-start
+     * model is disabled. Only read when
+     * AutoscalerConfig::bootAwareHorizon is on.
+     */
+    double nextReplicaBootSeconds = 0.0;
 };
 
 /** Decides the target active-replica count; owns the forecaster. */

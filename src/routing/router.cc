@@ -407,7 +407,8 @@ operator==(const RouterConfig &a, const RouterConfig &b)
 {
     return a.seed == b.seed && a.virtualNodes == b.virtualNodes &&
            a.spillLoadFactor == b.spillLoadFactor &&
-           a.spillMargin == b.spillMargin;
+           a.spillMargin == b.spillMargin &&
+           a.sloAdmission == b.sloAdmission;
 }
 
 } // namespace chameleon::routing

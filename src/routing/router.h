@@ -168,6 +168,14 @@ struct RouterConfig
      */
     double spillLoadFactor = 1.0;
     std::int64_t spillMargin = 3;
+    /**
+     * Wrap the policy in the SLO-aware admission decorator
+     * (routing/slo_admission.h): requests of SLO-critical tenants
+     * (slo_multiplier < 1.0) are steered to the fastest effective-rate
+     * replica instead of going through the wrapped policy. Off (the
+     * default) leaves every decision to the base policy, bit-identically.
+     */
+    bool sloAdmission = false;
 };
 
 /** Field-wise equality (spec round-trip tests). */
@@ -207,10 +215,12 @@ class Router
      * Attach the span recorder for routing-decision instants. route()
      * has no time argument, so the clock rides along for timestamps;
      * policies that emit nothing simply never read the members. Null
-     * (the default) disables emission.
+     * (the default) disables emission. Virtual so decorating routers
+     * (SloAdmissionRouter) can propagate the recorder to the policy
+     * they wrap.
      */
-    void setTraceRecorder(obs::TraceRecorder *recorder,
-                          const sim::Simulator *clock)
+    virtual void setTraceRecorder(obs::TraceRecorder *recorder,
+                                  const sim::Simulator *clock)
     {
         trace_ = recorder;
         clock_ = clock;

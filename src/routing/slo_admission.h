@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SLO-aware admission: steer latency-critical tenants to fast replicas.
+ *
+ * The tenancy layer marks some tenants SLO-critical by giving them a
+ * TTFT SLO multiplier below 1.0 (TenancySpec::sloMultipliers) — their
+ * deadline is a fraction of the global SLO, so a dispatch to a slow or
+ * degraded replica eats most of their budget before the first token.
+ * The engine-local schedulers cannot repair a bad placement; admission
+ * is the only point where the deadline can still steer the decision.
+ *
+ * SloAdmissionRouter is a decorator over any base routing policy:
+ * requests of SLO-critical tenants go to the replica with the highest
+ * effective service rate (ClusterView::serviceWeight — the measured,
+ * staleness-floored rate when measurement is live, the nominal
+ * estimate otherwise), ties broken by the lower capacity-normalised
+ * queue and then the lower index; everything else falls through to the
+ * wrapped policy untouched. With no SLO-critical tenant in the
+ * multiplier table the decorator never intercepts and every decision
+ * is bit-identical to the bare policy.
+ */
+
+#ifndef CHAMELEON_ROUTING_SLO_ADMISSION_H
+#define CHAMELEON_ROUTING_SLO_ADMISSION_H
+
+#include <memory>
+#include <vector>
+
+#include "routing/router.h"
+
+namespace chameleon::routing {
+
+/** Decorator routing SLO-critical tenants to the fastest replicas. */
+class SloAdmissionRouter final : public Router
+{
+  public:
+    /**
+     * @param inner the base policy non-critical requests fall through
+     *        to (takes ownership)
+     * @param sloMultipliers per-tenant TTFT SLO scales, indexed by
+     *        tenant id; missing entries default to 1.0. A tenant is
+     *        SLO-critical iff its multiplier is < 1.0.
+     */
+    SloAdmissionRouter(std::unique_ptr<Router> inner,
+                       std::vector<double> sloMultipliers);
+
+    const char *name() const override { return "slo-admission"; }
+
+    std::size_t route(const workload::Request &request,
+                      const ClusterView &view) override;
+
+    void onReplicaCountChanged(std::size_t activeReplicas) override;
+
+    /** Propagates to the wrapped policy as well. */
+    void setTraceRecorder(obs::TraceRecorder *recorder,
+                          const sim::Simulator *clock) override;
+
+    const Router &inner() const { return *inner_; }
+
+    /** Dispatches intercepted for SLO-critical tenants so far. */
+    std::int64_t steered() const { return steered_; }
+
+  private:
+    bool sloCritical(workload::TenantId tenant) const;
+
+    std::unique_ptr<Router> inner_;
+    std::vector<double> sloMultipliers_;
+    std::int64_t steered_ = 0;
+};
+
+} // namespace chameleon::routing
+
+#endif // CHAMELEON_ROUTING_SLO_ADMISSION_H

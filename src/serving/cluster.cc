@@ -76,6 +76,19 @@ DataParallelCluster::setScaleUpCandidates(
 }
 
 void
+DataParallelCluster::setReferenceEngine(const EngineConfig &config)
+{
+    referenceEngine_ = std::make_unique<EngineConfig>(config);
+}
+
+const EngineConfig &
+DataParallelCluster::referenceEngineConfig() const
+{
+    return referenceEngine_ != nullptr ? *referenceEngine_
+                                       : engines_.front()->config();
+}
+
+void
 DataParallelCluster::enableMeasuredRates(double alpha)
 {
     CHM_CHECK(!traceSubmitted_,
@@ -143,10 +156,12 @@ DataParallelCluster::serviceWeight(std::size_t i) const
     // prefix) so a replica's weight does not change when a slower
     // drained replica leaves the active set. maxRate_ is maintained
     // by buildReplica: serviceWeight sits on the per-request dispatch
-    // path, called once per replica per routing decision.
+    // path, called once per replica per routing decision. The measured
+    // rate is staleness-floored so a stalled replica's weight decays
+    // instead of keeping its last EWMA (and the dispatches) forever.
     const std::size_t engineIndex = routable_[i];
     const double rate = measuredAlpha_ > 0.0
-                            ? measured_[engineIndex].rate()
+                            ? measured_[engineIndex].rate(sim_.now())
                             : rates_[engineIndex];
     return rate / maxRate_;
 }
@@ -154,11 +169,17 @@ DataParallelCluster::serviceWeight(std::size_t i) const
 const std::vector<double> &
 DataParallelCluster::serviceWeights() const
 {
-    if (weightsDirty_) {
+    // With measured rates the entries decay with simulation time (the
+    // staleness floor), so a cache built at an earlier timestamp is no
+    // longer exactly serviceWeight(i); the extra time key costs the
+    // unmeasured path nothing (weightsDirty_ short-circuits).
+    const bool stale = measuredAlpha_ > 0.0 && weightsTime_ != sim_.now();
+    if (weightsDirty_ || stale) {
         weights_.resize(routable_.size());
         for (std::size_t i = 0; i < routable_.size(); ++i)
             weights_[i] = serviceWeight(i);
         weightsDirty_ = false;
+        weightsTime_ = sim_.now();
     }
     return weights_;
 }
@@ -379,29 +400,95 @@ DataParallelCluster::capacityFactor(std::size_t index) const
     return rates_[index] / referenceRate_;
 }
 
+bool
+DataParallelCluster::measuredSignals() const
+{
+    return measuredAlpha_ > 0.0 && autoscaler_ != nullptr &&
+           autoscaler_->config().demandSource ==
+               routing::DemandSource::Measured;
+}
+
 routing::CapacitySignals
 DataParallelCluster::capacitySignals() const
 {
-    // Capacity in reference-replica units. Homogeneous fleets divide a
-    // rate by itself — every factor is exactly 1.0 and the sum exactly
-    // the provisioned count, which keeps the autoscaler's decisions
-    // bit-identical to the historical scalar arithmetic.
+    // Capacity in reference-replica units. With DemandSource::Nominal
+    // (the default) the factors are the static nominal ratios —
+    // homogeneous fleets divide a rate by itself, every factor is
+    // exactly 1.0 and the sum exactly the provisioned count, which
+    // keeps the autoscaler's decisions bit-identical to the historical
+    // scalar arithmetic.
+    //
+    // With DemandSource::Measured each nominal factor is scaled by the
+    // replica's *health*: its measured-to-nominal ratio relative to
+    // the best armed ratio in the fleet. Measured EWMA rates are
+    // achieved throughput and only comparable across replicas — the
+    // analytic nominal rate is a different estimator (no batching), so
+    // dividing an absolute measured rate by the nominal reference
+    // would inflate capacity whenever real batching beats the model
+    // and stall every scale-up. Relative to the fleet's best, a
+    // throttled or stalled replica reads as a fraction of its nominal
+    // factor while a fleet that is merely fast everywhere stays at its
+    // nominal total. Replicas without a measurement yet (unarmed EWMA)
+    // keep their nominal prior; the bias of the normalisation is
+    // conservative — an under-utilised replica reads as partially
+    // degraded, which can only scale up earlier, never later.
     routing::CapacitySignals signals;
-    for (std::size_t i = 0; i < provisioned_; ++i)
-        signals.activeCapacityFactor += capacityFactor(i);
+    const bool measured = measuredSignals();
+    double bestRatio = 0.0;
+    if (measured) {
+        for (std::size_t i = 0; i < provisioned_; ++i) {
+            if (measured_[i].armed()) {
+                bestRatio = std::max(
+                    bestRatio,
+                    measured_[i].rate(sim_.now()) / rates_[i]);
+            }
+        }
+    }
+    // measured_ is only populated while the measured stream is live —
+    // nominal mode must not touch it (it is empty with alpha = 0).
+    const auto health = [&](std::size_t index, double rate) {
+        if (!measured_[index].armed() || bestRatio <= 0.0)
+            return 1.0;
+        return std::min(1.0, rate / rates_[index] / bestRatio);
+    };
+    for (std::size_t i = 0; i < provisioned_; ++i) {
+        signals.activeCapacityFactor +=
+            capacityFactor(i) *
+            (measured ? health(i, measured_[i].rate(sim_.now())) : 1.0);
+    }
     if (provisioned_ < engines_.size()) {
-        // Next step reactivates a drained replica of known capacity.
-        signals.nextReplicaFactor = capacityFactor(provisioned_);
+        // Next step reactivates a drained replica of known capacity:
+        // its effective rate, not its nominal one — a replica that
+        // never achieved its advertised throughput will not start now.
+        // The EWMA is read un-floored: a drained replica is idle by
+        // design, so elapsed-time decay would say "degraded" about a
+        // replica that is merely parked.
+        const std::size_t next = provisioned_;
+        signals.nextReplicaFactor =
+            capacityFactor(next) *
+            (measured ? health(next, measured_[next].rate()) : 1.0);
+        // A replica drained mid-boot resumes its original deadline, so
+        // the reactivation only pays the boot time still outstanding.
+        if (bootDeadline_[next] > sim_.now()) {
+            signals.nextReplicaBootSeconds =
+                sim::toSeconds(bootDeadline_[next] - sim_.now());
+        }
     } else if (autoscaler_ != nullptr && !candidates_.empty() &&
                autoscaler_->config().scaleUpPolicy !=
                    routing::ScaleUpPolicy::Default) {
         // Both catalogue policies cover a shortfall at worst at the
-        // fastest candidate's pace (Cheapest falls back to it).
+        // fastest candidate's pace (Cheapest falls back to it). A
+        // candidate not yet built has no measurement; nominal is the
+        // only estimate there is.
         signals.nextReplicaFactor =
             candidateRates_[fastestCandidate_] / referenceRate_;
+        signals.nextReplicaBootSeconds = sim::toSeconds(
+            coldStart_.bootTime(candidates_[fastestCandidate_]));
     } else {
         // Default policy past the fleet list builds the base engine.
         signals.nextReplicaFactor = 1.0;
+        signals.nextReplicaBootSeconds = sim::toSeconds(
+            coldStart_.bootTime(referenceEngineConfig()));
     }
     return signals;
 }

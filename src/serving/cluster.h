@@ -138,6 +138,15 @@ class DataParallelCluster : public routing::ClusterView
                               ConfigEngineFactory factory);
 
     /**
+     * Declare the configuration a Default-policy scale-up past the
+     * fleet list builds (the spec's base engine), so the boot-aware
+     * forecast horizon can price the next replica's cold start without
+     * building it. Unset, the cluster falls back to replica 0's
+     * configuration — exact for homogeneous fleets.
+     */
+    void setReferenceEngine(const EngineConfig &config);
+
+    /**
      * Track per-replica measured completion rates with EWMA weight
      * `alpha` and blend them into serviceWeight. Call before
      * submitTrace; alpha = 0 is a no-op (nominal weights, unchanged
@@ -283,6 +292,13 @@ class DataParallelCluster : public routing::ClusterView
     void applyTarget(std::size_t target);
     routing::CapacitySignals capacitySignals() const;
     double capacityFactor(std::size_t index) const;
+    /** Do the capacity signals read the measured (effective) rates?
+     * True only with measured rates live AND the autoscaler configured
+     * with DemandSource::Measured — Nominal keeps the static factors
+     * bit-identical even while measurement steers the routing weights. */
+    bool measuredSignals() const;
+    /** Default-policy scale-up configuration (see setReferenceEngine). */
+    const EngineConfig &referenceEngineConfig() const;
     void autoscaleTick(sim::SimTime until);
 
     sim::Simulator &sim_;
@@ -305,9 +321,16 @@ class DataParallelCluster : public routing::ClusterView
     /** Dispatchable view: view index -> engine index. */
     std::vector<std::size_t> routable_;
     /** serviceWeight(i) cache, aligned with routable_ (see
-     * serviceWeights); dirty after resizes / rate updates. */
+     * serviceWeights); dirty after resizes / rate updates. With
+     * measured rates live the entries are also time-dependent (the
+     * staleness floor decays a stalled replica's rate), so the cache
+     * additionally keys on the rebuild timestamp. */
     mutable std::vector<double> weights_;
     mutable bool weightsDirty_ = true;
+    mutable sim::SimTime weightsTime_ = 0;
+    /** Default-policy scale-up config for boot pricing (unset: falls
+     * back to replica 0's configuration). */
+    std::unique_ptr<EngineConfig> referenceEngine_;
     std::size_t provisioned_ = 0; // active + booting prefix length
     std::size_t booting_ = 0;
     BootStats bootStats_;

@@ -1,5 +1,7 @@
 #include "serving/measured_rate.h"
 
+#include <algorithm>
+
 #include "simkit/check.h"
 
 namespace chameleon::serving {
@@ -45,6 +47,21 @@ MeasuredRate::rate() const
     if (alpha_ <= 0.0 || ewmaIntervalSeconds_ <= 0.0)
         return nominalRps_;
     return 1.0 / ewmaIntervalSeconds_;
+}
+
+double
+MeasuredRate::rate(sim::SimTime now) const
+{
+    if (alpha_ <= 0.0 || ewmaIntervalSeconds_ <= 0.0)
+        return nominalRps_;
+    // During a stall the un-floored estimate is a lie: no completion
+    // has arrived for `elapsed` seconds, so the real interval is at
+    // least that long. max() leaves a healthy stream untouched
+    // (elapsed < EWMA between back-to-back completions).
+    const double elapsed = now > lastCompletion_
+                               ? sim::toSeconds(now - lastCompletion_)
+                               : 0.0;
+    return 1.0 / std::max(ewmaIntervalSeconds_, elapsed);
 }
 
 } // namespace chameleon::serving

@@ -48,8 +48,27 @@ class MeasuredRate
     /** Current rate estimate, requests/s. */
     double rate() const;
 
+    /**
+     * Staleness-aware rate estimate, requests/s: the EWMA interval is
+     * floored by the time elapsed since the last completion, so a
+     * stalled replica's estimate decays toward zero instead of
+     * reporting its last EWMA forever. Identical to rate() while
+     * completions keep arriving faster than the smoothed interval, and
+     * before the EWMA is armed (a replica idle from birth keeps its
+     * nominal seed — it is idle, not degraded).
+     */
+    double rate(sim::SimTime now) const;
+
     /** Completions observed so far (the first arms the interval). */
     std::int64_t completions() const { return completions_; }
+
+    /**
+     * True once the EWMA holds at least one interval sample — i.e.
+     * rate() reflects an observation rather than the nominal seed.
+     * Capacity-signal consumers treat an unarmed estimate as "no
+     * measurement" and keep the nominal prior.
+     */
+    bool armed() const { return alpha_ > 0.0 && ewmaIntervalSeconds_ > 0.0; }
 
   private:
     double alpha_;

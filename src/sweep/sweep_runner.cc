@@ -121,6 +121,12 @@ SweepRunner::appendRows(BenchJson &json,
             .field("fleet", cell.fleet)
             .field("router", cell.router)
             .field("autoscale", cell.autoscale)
+            .field("demand_source",
+                   std::string(routing::demandSourceName(
+                       cell.spec.cluster.autoscaler.demandSource)))
+            .field("boot_aware_horizon",
+                   cell.spec.cluster.autoscaler.bootAwareHorizon)
+            .field("slo_admission", cell.sloAdmission)
             .field("migration", cell.migration)
             .field("topology", cell.topology)
             .field("trace_seed", cell.traceSeed)

@@ -246,6 +246,8 @@ sweepFromJson(const std::string &text, std::string *error)
                                       error))
             return failure();
     }
+    if (!boolList(r, "slo_admission", &spec.sloAdmission))
+        return failure();
     stringList(r, "migrations", &spec.migrations,
                /*allowEmpty=*/false);
     stringList(r, "topologies", &spec.topologies,
@@ -380,6 +382,9 @@ expandSweep(const SweepSpec &spec, std::string *error)
     const std::vector<bool> autoscaleAxis =
         spec.autoscale.empty() ? std::vector<bool>{false}
                                : spec.autoscale;
+    const std::vector<bool> sloAdmissionAxis =
+        spec.sloAdmission.empty() ? std::vector<bool>{false}
+                                  : spec.sloAdmission;
 
     // The fabric axes: migration policies and peer topologies, each
     // resolved through the fabric registries up front so an unknown
@@ -482,6 +487,7 @@ expandSweep(const SweepSpec &spec, std::string *error)
                 const int replicaCount = deployment.replicas;
                 for (const auto &router : routerAxis) {
                   for (const bool autoscale : autoscaleAxis) {
+                   for (const bool sloAdmission : sloAdmissionAxis) {
                    for (const auto &migration : migrationAxis) {
                     for (const auto &topology : topologyAxis) {
                     SweepCell cell;
@@ -490,6 +496,7 @@ expandSweep(const SweepSpec &spec, std::string *error)
                     cell.fleet = deployment.fleet;
                     cell.router = router;
                     cell.autoscale = autoscale;
+                    cell.sloAdmission = sloAdmission;
                     cell.migration = migration.name;
                     cell.topology = topology.name;
                     cell.rps = spec.rpsPerReplica
@@ -514,6 +521,8 @@ expandSweep(const SweepSpec &spec, std::string *error)
                         return std::nullopt;
                     }
                     cell.spec.cluster.routerConfig.seed = spec.seed;
+                    cell.spec.cluster.routerConfig.sloAdmission =
+                        sloAdmission;
                     cell.spec.cluster.autoscale = autoscale;
                     if (autoscale)
                         cell.spec.cluster.autoscaler = spec.autoscaler;
@@ -533,6 +542,8 @@ expandSweep(const SweepSpec &spec, std::string *error)
                             os << ", router " << router;
                             if (autoscale)
                                 os << ", autoscale";
+                            if (sloAdmission)
+                                os << ", slo-admission";
                             if (cell.migration != "off")
                                 os << ", migration " << cell.migration;
                             os << ") is invalid:";
@@ -557,6 +568,7 @@ expandSweep(const SweepSpec &spec, std::string *error)
                     cell.traceIndex = index;
                     cells.push_back(std::move(cell));
                     }
+                   }
                    }
                   }
                 }

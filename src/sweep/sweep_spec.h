@@ -129,6 +129,12 @@ struct SweepSpec
     /** Autoscaler template stamped onto every autoscaling cell. */
     routing::AutoscalerConfig autoscaler{};
     /**
+     * SLO-admission axis: cells with `true` wrap the router so
+     * SLO-critical tenants (tenancy slo multiplier < 1) steer to the
+     * fastest effective-rate replica. Empty = {false}.
+     */
+    std::vector<bool> sloAdmission;
+    /**
      * Cache-fabric migration axis (off|scale-up|drain|remap|all);
      * empty = {"off"} — no fabric unless the router axis asks for
      * affinity-dir. Each entry becomes one axis value stamped onto
@@ -169,6 +175,8 @@ struct SweepCell
     std::string router;
     /** Autoscale-axis value of the cell. */
     bool autoscale = false;
+    /** SLO-admission-axis value of the cell. */
+    bool sloAdmission = false;
     /** Migration-axis value of the cell ("off" on non-fabric sweeps). */
     std::string migration = "off";
     /** Topology-axis value of the cell. */

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "chameleon/system.h"
+#include "routing/autoscaler.h"
 #include "routing/router.h"
 #include "predict/length_predictor.h"
 #include "model/gpu_spec.h"
@@ -576,4 +579,114 @@ TEST(DataParallel, AutoscalerGrowsAndDrainsTheCluster)
     EXPECT_LT(cluster.activeReplicas(), cluster.engines().size());
     EXPECT_EQ(cluster.mergedStats().finished,
               static_cast<std::int64_t>(trace.size()));
+}
+
+namespace {
+
+/** p99 TTFT (seconds) over requests arriving at/after `fromSeconds`. */
+double
+p99TtftAfter(const serving::DataParallelCluster &cluster,
+             double fromSeconds)
+{
+    std::vector<double> ttfts;
+    const sim::SimTime cutoff = sim::fromSeconds(fromSeconds);
+    for (const auto &rec : cluster.mergedRecords()) {
+        if (rec.arrival >= cutoff)
+            ttfts.push_back(sim::toSeconds(rec.ttft));
+    }
+    EXPECT_FALSE(ttfts.empty());
+    std::sort(ttfts.begin(), ttfts.end());
+    return ttfts[static_cast<std::size_t>(
+        0.99 * static_cast<double>(ttfts.size() - 1))];
+}
+
+} // namespace
+
+TEST(ClosedLoop, MeasuredDemandScalesUpADegradedFleet)
+{
+    // Two replicas with identical spec sheets, but one is throttled so
+    // its real throughput is a fraction of nominalServiceRate. The
+    // watermark is parked out of reach: any scale-up must come from the
+    // demand signal. Nominal capacity signals count two healthy
+    // replicas and never scale; measured signals see the degradation
+    // and grow the fleet.
+    model::AdapterPool pool(model::llama7B(), 30);
+    const auto runWith = [&](routing::DemandSource source) {
+        auto spec = specFor("chameleon", model::llama7B(), model::a40());
+        spec.cluster.replicas = 2;
+        spec.cluster.router = routing::RouterPolicy::JoinShortestQueue;
+        serving::EngineConfig degraded = spec.engine;
+        degraded.maxRunning = 2;
+        degraded.maxAdmissionsPerIter = 1;
+        degraded.admissionTokenBudget = 128;
+        spec.cluster.replicaEngines = {spec.engine, degraded};
+        spec.cluster.autoscale = true;
+        spec.cluster.autoscaler.minReplicas = 2;
+        spec.cluster.autoscaler.maxReplicas = 4;
+        spec.cluster.autoscaler.replicaServiceRps = 8.0;
+        spec.cluster.autoscaler.highWatermark = 1e6; // demand only
+        spec.cluster.autoscaler.measuredRateAlpha = 0.3;
+        spec.cluster.autoscaler.demandSource = source;
+
+        // A metronome trace — 10 rps at exactly 100 ms spacing — so the
+        // forecast slope is zero and the demand signal alone decides.
+        std::vector<workload::Request> trace;
+        for (int i = 0; i < 600; ++i) {
+            workload::Request request;
+            request.id = static_cast<workload::RequestId>(i);
+            request.arrival = (i + 1) * (sim::kSec / 10);
+            request.inputTokens = 64;
+            request.outputTokens = 48;
+            request.adapter = static_cast<model::AdapterId>(i % 30);
+            trace.push_back(request);
+        }
+        core::Runner runner(spec, &pool);
+        return runner.run(workload::Trace(std::move(trace)));
+    };
+    const auto nominal = runWith(routing::DemandSource::Nominal);
+    const auto measured = runWith(routing::DemandSource::Measured);
+    // Steady 10 rps over 8 rps/replica: demand 2 == nominal capacity 2,
+    // so the open loop sits still while the backlog belies it.
+    EXPECT_EQ(nominal.peakReplicas, 2u);
+    EXPECT_EQ(nominal.scaleUps, 0);
+    // The closed loop discounts the throttled replica and scales.
+    EXPECT_GT(measured.scaleUps, 0);
+    EXPECT_GT(measured.peakReplicas, 2u);
+}
+
+TEST(ClosedLoop, BootAwareHorizonCutsThePostStepTail)
+{
+    // A fig28-shaped load step against a slow-booting fleet: the
+    // static-horizon scaler orders replicas that land a full boot too
+    // late, the boot-aware one looks `bootSeconds` ahead and has them
+    // warm when the step arrives in force.
+    model::AdapterPool pool(model::llama7B(), 30);
+    auto wl = workload::splitwiseLike();
+    wl.rps = 6.0;
+    wl.durationSeconds = 140.0;
+    wl.numAdapters = 30;
+    wl.bursts.push_back(workload::Burst{40.0, 100.0, 4.0});
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    const auto p99With = [&](bool bootAware) {
+        auto spec = specFor("chameleon", model::llama7B(), model::a40());
+        spec.cluster.replicas = 1;
+        spec.cluster.autoscale = true;
+        spec.cluster.autoscaler.minReplicas = 1;
+        spec.cluster.autoscaler.maxReplicas = 6;
+        spec.cluster.autoscaler.replicaServiceRps = 8.0;
+        spec.cluster.autoscaler.highWatermark = 1e6; // demand only
+        spec.cluster.autoscaler.forecastWindowSeconds = 20.0;
+        spec.cluster.autoscaler.downCooldownPeriods = 4;
+        spec.cluster.autoscaler.bootMs = 30000.0;
+        spec.cluster.autoscaler.bootAwareHorizon = bootAware;
+        core::Runner runner(spec, &pool);
+        const auto report = runner.run(trace);
+        EXPECT_GT(report.scaleUps, 0) << "bootAware=" << bootAware;
+        return p99TtftAfter(runner.cluster(), 40.0);
+    };
+    const double staticP99 = p99With(false);
+    const double bootAwareP99 = p99With(true);
+    EXPECT_LT(bootAwareP99, staticP99);
 }

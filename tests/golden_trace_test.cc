@@ -322,6 +322,72 @@ TEST(GoldenTrace, DirectoryRouterMatchesCacheAwareScan)
     }
 }
 
+/**
+ * Knobs-on pin for the PR 10 closed-loop control plane: measured
+ * demand, boot-aware horizon and SLO admission all enabled on the
+ * hetero autoscale scenario. One constant covers the whole closed
+ * loop; it must also diverge from the knobs-off stream, or the knobs
+ * are dead.
+ */
+TEST(GoldenTrace, ClosedLoopHeteroAutoscale)
+{
+    model::AdapterPool pool(model::llama7B(), 40);
+
+    auto spec = core::SystemRegistry::global().lookup("chameleon");
+    spec.engine.model = model::llama7B();
+    spec.engine.gpu = model::a40();
+    spec.cluster.router = routing::RouterPolicy::JoinShortestQueue;
+    spec.cluster.routerConfig.seed = kSeed;
+    spec.cluster.routerConfig.sloAdmission = true;
+    spec.predictor.seed = kSeed;
+    spec.cluster.replicas = 2;
+    serving::EngineConfig fast = spec.engine;
+    fast.gpu = model::a100(48);
+    spec.cluster.replicaEngines = {fast, spec.engine};
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.minReplicas = 1;
+    spec.cluster.autoscaler.maxReplicas = 4;
+    spec.cluster.autoscaler.evalPeriodSeconds = 5.0;
+    spec.cluster.autoscaler.replicaServiceRps = 6.0;
+    spec.cluster.autoscaler.downCooldownPeriods = 2;
+    spec.cluster.autoscaler.bootMs = 8000.0;
+    spec.cluster.autoscaler.measuredRateAlpha = 0.3;
+    spec.cluster.autoscaler.demandSource =
+        routing::DemandSource::Measured;
+    spec.cluster.autoscaler.bootAwareHorizon = true;
+    spec.tenancy.tenants = 2;
+    spec.tenancy.sloMultipliers = {0.5, 2.0};
+    ASSERT_TRUE(spec.validate().empty());
+
+    auto wl = workload::splitwiseLike();
+    wl.rps = 10.0;
+    wl.durationSeconds = 60.0;
+    wl.numAdapters = 40;
+    wl.numTenants = 2;
+    wl.seed = kSeed;
+    wl.bursts.push_back(workload::Burst{15.0, 35.0, 3.0});
+    workload::TraceGenerator gen(wl, &pool);
+    const auto trace = gen.generate();
+
+    core::Runner runner(spec, &pool);
+    const auto report = runner.run(trace);
+    EXPECT_EQ(report.stats.finished,
+              static_cast<std::int64_t>(trace.size()));
+    const std::uint64_t hash = canonicalHash(runner, report);
+    if (std::getenv("CHM_GOLDEN_PRINT") != nullptr) {
+        std::printf("GOLDEN closed-loop hetero autoscale 0x%016llxull\n",
+                    static_cast<unsigned long long>(hash));
+        return;
+    }
+    EXPECT_EQ(hash, 0x6e08a3f6bde9cae5ull)
+        << "closed-loop knobs-on event stream diverged; if the change "
+        << "is intended, rerun with CHM_GOLDEN_PRINT=1 and update the "
+        << "pin (note it in CHANGES.md)";
+    // And the knobs must actually matter.
+    EXPECT_NE(hash, runScenario(routing::RouterPolicy::JoinShortestQueue,
+                                true, true));
+}
+
 /** Non-default fabric knobs are inert while migration is off: the
  * stream stays byte-identical to the pinned pre-fabric scenario. */
 TEST(GoldenTrace, FabricKnobsInertWithMigrationOff)

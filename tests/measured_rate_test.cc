@@ -93,3 +93,69 @@ TEST(MeasuredRate, SameTimestampCompletionsCarryNoInterval)
     rate.onCompletion(2 * sim::kSec);
     EXPECT_EQ(rate.rate(), before);
 }
+
+TEST(MeasuredRate, FlooredRateMatchesOnAHealthyStream)
+{
+    // While completions keep arriving faster than the smoothed
+    // interval, the staleness floor never engages: rate(now) == rate().
+    serving::MeasuredRate rate(0.2, 2.0);
+    sim::SimTime t = 0;
+    for (int i = 0; i < 200; ++i) {
+        rate.onCompletion(t += sim::kSec / 10);
+        ASSERT_EQ(rate.rate(t), rate.rate());
+        // Probing part-way into the expected next interval still reads
+        // the EWMA — elapsed has not yet exceeded it.
+        ASSERT_EQ(rate.rate(t + sim::kSec / 20), rate.rate());
+    }
+}
+
+TEST(MeasuredRate, FlooredRateDecaysMonotonicallyDuringAStall)
+{
+    // A replica that was measuring ~10 req/s, then stops completing:
+    // the un-floored estimate keeps reporting the last EWMA forever,
+    // while the floored one decays as 1/elapsed — after 10 s of
+    // silence the real interval is provably >= 10 s.
+    serving::MeasuredRate rate(0.2, 2.0);
+    sim::SimTime t = 0;
+    for (int i = 0; i < 500; ++i)
+        rate.onCompletion(t += sim::kSec / 10);
+    EXPECT_NEAR(rate.rate(), 10.0, 1e-6);
+    double previous = rate.rate(t);
+    for (int seconds = 1; seconds <= 20; ++seconds) {
+        const double stalled = rate.rate(t + seconds * sim::kSec);
+        ASSERT_LE(stalled, previous) << "at +" << seconds << "s";
+        previous = stalled;
+    }
+    EXPECT_NEAR(rate.rate(t + 10 * sim::kSec), 0.1, 1e-6);
+    // The stall leaves the EWMA itself untouched.
+    EXPECT_NEAR(rate.rate(), 10.0, 1e-6);
+}
+
+TEST(MeasuredRate, FlooredRateKeepsTheSeedUntilArmed)
+{
+    // Before the EWMA holds a sample there is nothing to floor: an
+    // idle-from-birth replica is idle, not degraded, and keeps its
+    // nominal seed no matter how much time passes.
+    serving::MeasuredRate rate(0.3, 4.0);
+    EXPECT_FALSE(rate.armed());
+    EXPECT_DOUBLE_EQ(rate.rate(3600 * sim::kSec), 4.0);
+    rate.onCompletion(sim::kSec); // arms the clock, still no sample
+    EXPECT_FALSE(rate.armed());
+    EXPECT_DOUBLE_EQ(rate.rate(3600 * sim::kSec), 4.0);
+    rate.onCompletion(2 * sim::kSec); // first interval sample
+    EXPECT_TRUE(rate.armed());
+    EXPECT_LT(rate.rate(3600 * sim::kSec), rate.rate());
+}
+
+TEST(MeasuredRate, AlphaZeroFloorsNothingEither)
+{
+    // Measurement disabled: the floored overload is the same constant
+    // nominal estimate as rate(), bit for bit.
+    serving::MeasuredRate rate(0.0, 3.5);
+    sim::SimTime t = 0;
+    for (int i = 0; i < 100; ++i)
+        rate.onCompletion(t += sim::kSec);
+    EXPECT_FALSE(rate.armed());
+    EXPECT_EQ(rate.rate(t + 3600 * sim::kSec), 3.5);
+    EXPECT_EQ(rate.rate(t + 3600 * sim::kSec), rate.rate());
+}

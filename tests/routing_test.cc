@@ -12,9 +12,11 @@
 #include <map>
 #include <set>
 
+#include "obs/trace_recorder.h"
 #include "routing/autoscaler.h"
 #include "routing/consistent_hash.h"
 #include "routing/router.h"
+#include "routing/slo_admission.h"
 #include "simkit/time.h"
 
 using namespace chameleon;
@@ -608,4 +610,169 @@ TEST(ScaleUpPolicy, NamesRoundTrip)
     }
     ScaleUpPolicy parsed;
     EXPECT_FALSE(routing::scaleUpPolicyByName("warp", &parsed));
+}
+
+TEST(DemandSource, NamesRoundTrip)
+{
+    using routing::DemandSource;
+    for (const auto source :
+         {DemandSource::Nominal, DemandSource::Measured}) {
+        DemandSource parsed;
+        ASSERT_TRUE(routing::demandSourceByName(
+            routing::demandSourceName(source), &parsed));
+        EXPECT_EQ(parsed, source);
+    }
+    DemandSource parsed;
+    EXPECT_FALSE(routing::demandSourceByName("psychic", &parsed));
+    // The rejection text the spec/CLI layers print.
+    EXPECT_STREQ(routing::demandSourceNames(), "nominal, measured");
+}
+
+TEST(Autoscaler, BootAwareHorizonScalesUpBeforeTheStaticOne)
+{
+    // A rising arrival rate whose forecast grows with the horizon:
+    // the boot-aware scaler prices in that the replica it orders now
+    // only arrives after a long boot, looks further out, and scales
+    // while the static-horizon scaler still sees enough capacity.
+    const auto targetWith = [](bool bootAware) {
+        routing::AutoscalerConfig config;
+        config.minReplicas = 1;
+        config.maxReplicas = 16;
+        config.replicaServiceRps = 5.0;
+        config.forecastWindowSeconds = 10.0;
+        config.forecastHorizonSeconds = 1.0;
+        config.upCooldownPeriods = 0;
+        config.bootAwareHorizon = bootAware;
+        routing::Autoscaler scaler(config);
+        sim::SimTime t = 0;
+        // 5/s over the older half-window, doubling over the recent
+        // half: the trend keeps raising longer-horizon forecasts.
+        for (int i = 0; i < 25; ++i)
+            scaler.onArrival(t += sim::kSec / 5);
+        for (int i = 0; i < 50; ++i)
+            scaler.onArrival(t += sim::kSec / 10);
+        routing::CapacitySignals capacity;
+        capacity.activeCapacityFactor = 4.0;
+        capacity.nextReplicaFactor = 1.0;
+        capacity.nextReplicaBootSeconds = 30.0;
+        return scaler.evaluate(4, 0, t, capacity);
+    };
+    const std::size_t staticTarget = targetWith(false);
+    const std::size_t bootAwareTarget = targetWith(true);
+    EXPECT_EQ(staticTarget, 4u);
+    EXPECT_GT(bootAwareTarget, staticTarget);
+}
+
+TEST(Autoscaler, BootAwareHorizonNeverShrinksTheConfiguredOne)
+{
+    // A boot shorter than the configured horizon must change nothing:
+    // the stretch is max(horizon, boot), not a replacement.
+    const auto demandWith = [](double bootSeconds, bool bootAware) {
+        routing::AutoscalerConfig config;
+        config.minReplicas = 1;
+        config.maxReplicas = 16;
+        config.replicaServiceRps = 5.0;
+        config.forecastWindowSeconds = 10.0;
+        config.forecastHorizonSeconds = 20.0;
+        config.upCooldownPeriods = 0;
+        config.bootAwareHorizon = bootAware;
+        routing::Autoscaler scaler(config);
+        sim::SimTime t = 0;
+        for (int i = 0; i < 25; ++i)
+            scaler.onArrival(t += sim::kSec / 5);
+        for (int i = 0; i < 75; ++i)
+            scaler.onArrival(t += sim::kSec / 15);
+        routing::CapacitySignals capacity;
+        capacity.activeCapacityFactor = 4.0;
+        capacity.nextReplicaFactor = 1.0;
+        capacity.nextReplicaBootSeconds = bootSeconds;
+        scaler.evaluate(4, 0, t, capacity);
+        return scaler.lastForecastDemand();
+    };
+    EXPECT_DOUBLE_EQ(demandWith(5.0, true), demandWith(5.0, false));
+    EXPECT_GT(demandWith(60.0, true), demandWith(60.0, false));
+}
+
+TEST(Autoscaler, EvalInstantRecordsRawCountAndNextFactor)
+{
+    // The autoscale_eval instant must carry the pre-clamp active count
+    // and the next-replica factor, or min/max saturation and capacity
+    // pricing stay invisible in the exported trace.
+    routing::AutoscalerConfig config;
+    config.minReplicas = 2;
+    config.maxReplicas = 4;
+    routing::Autoscaler scaler(config);
+    obs::TraceRecorder recorder;
+    scaler.setTraceRecorder(&recorder);
+    routing::CapacitySignals capacity;
+    capacity.activeCapacityFactor = 2.0;
+    capacity.nextReplicaFactor = 2.5;
+    scaler.evaluate(1, 0, sim::kSec, capacity); // raw 1, clamped to 2
+    const std::string json = recorder.toJson();
+    EXPECT_NE(json.find("\"raw_active\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"active\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"next_factor\": 2.5"), std::string::npos)
+        << json;
+}
+
+TEST(SloAdmissionRouter, SteersCriticalTenantsToTheFastestReplica)
+{
+    // Tenant 0 runs at 0.5x the SLO (critical); tenant 1 at 2x.
+    auto router = std::make_unique<routing::SloAdmissionRouter>(
+        routing::makeRouter(routing::RouterPolicy::RoundRobin),
+        std::vector<double>{0.5, 2.0});
+    EXPECT_STREQ(router->name(), "slo-admission");
+    FakeView view;
+    view.loads = {0, 0, 0};
+    view.weights = {1.0, 3.0, 2.0};
+
+    workload::Request critical = requestFor(model::kNoAdapter);
+    critical.tenant = 0;
+    // Always the fastest replica, regardless of the inner cursor.
+    EXPECT_EQ(router->route(critical, view), 1u);
+    EXPECT_EQ(router->route(critical, view), 1u);
+    EXPECT_EQ(router->steered(), 2);
+
+    // Non-critical traffic flows through the inner policy untouched —
+    // the round-robin cursor starts where the base policy left it.
+    workload::Request relaxed = requestFor(model::kNoAdapter);
+    relaxed.tenant = 1;
+    EXPECT_EQ(router->route(relaxed, view), 0u);
+    EXPECT_EQ(router->route(relaxed, view), 1u);
+    EXPECT_EQ(router->route(relaxed, view), 2u);
+    EXPECT_EQ(router->steered(), 2);
+}
+
+TEST(SloAdmissionRouter, BeyondTableTenantsUseTheDefaultMultiplier)
+{
+    // The tenancy table stops at tenant 0; every tenant past it (and
+    // the anonymous tenant of untagged requests) gets the default 1.0
+    // multiplier — not critical, so the base policy decides.
+    auto router = std::make_unique<routing::SloAdmissionRouter>(
+        routing::makeRouter(routing::RouterPolicy::RoundRobin),
+        std::vector<double>{0.5});
+    FakeView view;
+    view.loads = {0, 0};
+    view.weights = {1.0, 5.0};
+    workload::Request beyond = requestFor(model::kNoAdapter);
+    beyond.tenant = 7;
+    EXPECT_EQ(router->route(beyond, view), 0u); // round robin, not 1
+    EXPECT_EQ(router->steered(), 0);
+}
+
+TEST(SloAdmissionRouter, TieBreaksByNormalisedLoadThenIndex)
+{
+    auto router = std::make_unique<routing::SloAdmissionRouter>(
+        routing::makeRouter(routing::RouterPolicy::RoundRobin),
+        std::vector<double>{0.25});
+    FakeView view;
+    view.weights = {2.0, 2.0, 2.0};
+    workload::Request critical = requestFor(model::kNoAdapter);
+    critical.tenant = 0;
+    // Equal weights: the shorter queue wins.
+    view.loads = {4, 1, 3};
+    EXPECT_EQ(router->route(critical, view), 1u);
+    // Full tie: the lowest index wins, deterministically.
+    view.loads = {2, 2, 2};
+    EXPECT_EQ(router->route(critical, view), 0u);
 }

@@ -273,6 +273,61 @@ TEST(SpecJson, RejectsMalformedAutoscalerRealismKnobs)
         << alpha;
 }
 
+TEST(SpecJson, ClosedLoopKnobsSurviveRoundTrip)
+{
+    // The PR-10 control-plane trio: demand_source, boot_aware_horizon
+    // and slo_admission all round-trip with every knob switched on.
+    auto spec = core::presets::chameleon();
+    spec.cluster.replicas = 2;
+    spec.cluster.autoscale = true;
+    spec.cluster.autoscaler.measuredRateAlpha = 0.3;
+    spec.cluster.autoscaler.demandSource =
+        routing::DemandSource::Measured;
+    spec.cluster.autoscaler.bootAwareHorizon = true;
+    spec.cluster.routerConfig.sloAdmission = true;
+    ASSERT_TRUE(spec.validate().empty());
+    EXPECT_EQ(roundTrip(spec), spec);
+    const auto text = core::specToJson(spec);
+    EXPECT_NE(text.find("\"demand_source\": \"measured\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"boot_aware_horizon\": true"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"slo_admission\": true"), std::string::npos);
+    // Textual stability (the --dump-config | --config - contract).
+    const auto parsed = core::specFromJson(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(core::specToJson(*parsed), text);
+    // Hand-written JSON parses too, not only dumps.
+    const auto fromText = core::specFromJson(
+        R"({"cluster": {"replicas": 2, "autoscale": true,)"
+        R"( "router_config": {"slo_admission": true}, "autoscaler":)"
+        R"( {"measured_rate_alpha": 0.2, "demand_source": "measured",)"
+        R"(  "boot_aware_horizon": true}}})");
+    ASSERT_TRUE(fromText.has_value());
+    EXPECT_EQ(fromText->cluster.autoscaler.demandSource,
+              routing::DemandSource::Measured);
+    EXPECT_TRUE(fromText->cluster.autoscaler.bootAwareHorizon);
+    EXPECT_TRUE(fromText->cluster.routerConfig.sloAdmission);
+}
+
+TEST(SpecJson, RejectsUnknownDemandSourceListingTheOptions)
+{
+    const auto error = parseError(
+        R"({"cluster": {"autoscaler": {"demand_source": "psychic"}}})");
+    EXPECT_NE(error.find("cluster.autoscaler.demand_source"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("nominal"), std::string::npos) << error;
+    EXPECT_NE(error.find("measured"), std::string::npos) << error;
+    // And measured-without-measurement fails spec validation with the
+    // knob that unlocks it.
+    const auto unmeasured = parseError(
+        R"({"cluster": {"replicas": 2, "autoscale": true,)"
+        R"( "autoscaler": {"demand_source": "measured"}}})");
+    EXPECT_NE(unmeasured.find("measured_rate_alpha"), std::string::npos)
+        << unmeasured;
+}
+
 TEST(SpecJson, HeteroFleetRoundTripsBitIdentically)
 {
     auto spec = core::presets::chameleon();

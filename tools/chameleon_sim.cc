@@ -199,6 +199,18 @@ main(int argc, char **argv)
         "autoscale-alpha", 0.0,
         "EWMA weight of measured per-replica service rates blended "
         "into the routing weights (0 = static nominal weights)");
+    auto *demand_source = flags.addString(
+        "autoscale-demand-source", "nominal",
+        "rate estimate behind the autoscaler capacity signals: "
+        "nominal|measured (measured needs --autoscale-alpha > 0)");
+    auto *boot_horizon = flags.addBool(
+        "autoscale-boot-horizon", false,
+        "stretch the forecast horizon to at least the next replica's "
+        "boot time, so scale-ups land before the forecasted load");
+    auto *slo_admission = flags.addBool(
+        "slo-admission", false,
+        "steer SLO-critical tenants (slo multiplier < 1) to the "
+        "fastest effective-rate replica before the routing policy");
     auto *trace_in = flags.addString("trace", "",
                                      "load trace from CSV instead");
     auto *save_trace = flags.addString("save-trace", "",
@@ -250,7 +262,9 @@ main(int argc, char **argv)
              {"system", "model", "gpu", "mem-gib", "tp", "predictor-acc",
               "replicas", "fleet", "router", "autoscale", "min-replicas",
               "max-replicas", "replica-rps", "autoscale-boot-ms",
-              "autoscale-up-policy", "autoscale-alpha", "tenants",
+              "autoscale-up-policy", "autoscale-alpha",
+              "autoscale-demand-source", "autoscale-boot-horizon",
+              "slo-admission", "tenants",
               "migration", "topology", "fabric-top-k"}) {
             CHM_CHECK(!flagGiven(argc, argv, conflicting),
                       "--" << conflicting
@@ -342,6 +356,17 @@ main(int argc, char **argv)
             return 2;
         }
         spec.cluster.autoscaler.measuredRateAlpha = *measured_alpha;
+        if (!routing::demandSourceByName(
+                *demand_source, &spec.cluster.autoscaler.demandSource)) {
+            std::fprintf(stderr,
+                         "unknown --autoscale-demand-source '%s'; "
+                         "known: %s\n",
+                         demand_source->c_str(),
+                         routing::demandSourceNames());
+            return 2;
+        }
+        spec.cluster.autoscaler.bootAwareHorizon = *boot_horizon;
+        spec.cluster.routerConfig.sloAdmission = *slo_admission;
         if (!fabric::migrationPolicyByName(*migration,
                                            &spec.fabric.migration)) {
             std::fprintf(stderr,
@@ -366,10 +391,12 @@ main(int argc, char **argv)
         CHM_CHECK(spec.cluster.autoscale ||
                       (*min_replicas == 1 && *max_replicas == 8 &&
                        *replica_rps == 8.0 && *boot_ms == 0.0 &&
-                       *up_policy == "default" && *measured_alpha == 0.0),
+                       *up_policy == "default" && *measured_alpha == 0.0 &&
+                       *demand_source == "nominal" && !*boot_horizon),
                   "--min-replicas/--max-replicas/--replica-rps/"
                   "--autoscale-boot-ms/--autoscale-up-policy/"
-                  "--autoscale-alpha require --autoscale");
+                  "--autoscale-alpha/--autoscale-demand-source/"
+                  "--autoscale-boot-horizon require --autoscale");
         CHM_CHECK(spec.fabric.migration == fabric::MigrationPolicy::Off ||
                       spec.cluster.replicas > 1 || spec.cluster.autoscale,
                   "--migration needs peers: --replicas > 1 or "
@@ -461,10 +488,20 @@ main(int argc, char **argv)
                 spec.engine.gpu.name.c_str(), spec.engine.tpDegree,
                 static_cast<long long>(*adapters));
     if (clusterRun) {
-        std::printf("cluster     : %d replicas, %s routing%s\n",
+        std::printf("cluster     : %d replicas, %s routing%s%s%s%s\n",
                     spec.cluster.replicas,
                     routing::routerPolicyName(spec.cluster.router),
-                    spec.cluster.autoscale ? ", autoscaling" : "");
+                    spec.cluster.routerConfig.sloAdmission
+                        ? " + slo admission"
+                        : "",
+                    spec.cluster.autoscale ? ", autoscaling" : "",
+                    spec.cluster.autoscaler.demandSource ==
+                            routing::DemandSource::Measured
+                        ? " on measured demand"
+                        : "",
+                    spec.cluster.autoscaler.bootAwareHorizon
+                        ? ", boot-aware horizon"
+                        : "");
         if (!spec.cluster.replicaEngines.empty()) {
             std::printf("fleet       :");
             for (const auto &engine : spec.cluster.replicaEngines)
